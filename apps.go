@@ -1,0 +1,93 @@
+package kcore
+
+import (
+	"kcore/internal/apps"
+	"kcore/internal/graph"
+)
+
+// This file exposes the graph applications built on k-core decomposition
+// that the paper lists as motivating use cases (§1) and future-work
+// directions (§9): low out-degree orientation, densest-subgraph
+// approximation, influential spreaders, coloring and maximal matching.
+//
+// The static functions operate on an explicit edge list; the Decomposition
+// methods operate on the current dynamic graph and are quiescent (they
+// must not run concurrently with an update batch).
+
+// Orientation is an acyclic edge orientation with provably low out-degree:
+// Out[v] lists v's out-neighbours, and the maximum out-degree is at most
+// the graph degeneracy.
+type Orientation struct {
+	Out [][]uint32
+}
+
+// MaxOutDegree returns the largest out-degree in the orientation.
+func (o *Orientation) MaxOutDegree() int {
+	max := 0
+	for _, out := range o.Out {
+		if len(out) > max {
+			max = len(out)
+		}
+	}
+	return max
+}
+
+// OrientLowOutDegree computes a low out-degree (degeneracy-bounded)
+// orientation of a static graph via the peeling order.
+func OrientLowOutDegree(n int, edges []Edge) *Orientation {
+	o := apps.LowOutDegreeOrientation(graph.CSRFromEdges(n, toInternal(edges)))
+	return &Orientation{Out: o.Out}
+}
+
+// Orient computes a low out-degree orientation of the decomposition's
+// current graph. Quiescent operation.
+func (d *Decomposition) Orient() *Orientation {
+	o := apps.LowOutDegreeOrientation(d.c.Graph().Snapshot())
+	return &Orientation{Out: o.Out}
+}
+
+// DenseSubgraph holds an approximately densest subgraph: the vertex set
+// and its edge density (edges per vertex). The density is within a factor
+// of 2 of the optimum.
+type DenseSubgraph struct {
+	Vertices []uint32
+	Density  float64
+}
+
+// DensestSubgraph returns the maximum-coreness core of the current graph,
+// a 2-approximation of the densest subgraph. Quiescent operation.
+func (d *Decomposition) DensestSubgraph() DenseSubgraph {
+	r := apps.ApproxDensestSubgraph(d.c.Graph().Snapshot())
+	return DenseSubgraph{Vertices: r.Vertices, Density: r.Density}
+}
+
+// TopSpreaders returns the k vertices with the highest approximate
+// coreness (the k-shell heuristic for influential spreaders). It uses
+// linearizable reads, so it is safe to call concurrently with update
+// batches.
+func (d *Decomposition) TopSpreaders(k int) []uint32 {
+	n := d.NumVertices()
+	scores := make([]float64, n)
+	for v := 0; v < n; v++ {
+		scores[v] = d.Coreness(uint32(v))
+	}
+	return apps.TopSpreaders(scores, k)
+}
+
+// Color greedily colors the current graph in reverse degeneracy order,
+// using at most degeneracy+1 colors. It returns the per-vertex colors and
+// the number of colors used. Quiescent operation.
+func (d *Decomposition) Color() ([]int32, int) {
+	return apps.GreedyColoring(d.c.Graph().Snapshot())
+}
+
+// MaximalMatching computes a maximal matching of the current graph with
+// parallel greedy edge claiming. Quiescent operation.
+func (d *Decomposition) MaximalMatching() []Edge {
+	m := apps.MaximalMatching(d.c.Graph().Snapshot())
+	out := make([]Edge, len(m))
+	for i, e := range m {
+		out[i] = Edge{U: e.U, V: e.V}
+	}
+	return out
+}

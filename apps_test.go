@@ -1,0 +1,105 @@
+package kcore
+
+import "testing"
+
+func ring(n int) []Edge {
+	out := make([]Edge, n)
+	for i := 0; i < n; i++ {
+		out[i] = Edge{uint32(i), uint32((i + 1) % n)}
+	}
+	return out
+}
+
+func TestOrientLowOutDegreeStatic(t *testing.T) {
+	o := OrientLowOutDegree(10, ring(10))
+	if o.MaxOutDegree() > 2 {
+		t.Fatalf("ring orientation out-degree %d, want <= degeneracy 2", o.MaxOutDegree())
+	}
+	total := 0
+	for _, out := range o.Out {
+		total += len(out)
+	}
+	if total != 10 {
+		t.Fatalf("oriented %d edges, want 10", total)
+	}
+}
+
+func TestDecompositionOrient(t *testing.T) {
+	d, _ := New(60)
+	d.InsertEdges(clique(20))
+	o := d.Orient()
+	if got := o.MaxOutDegree(); got != 19 {
+		// A clique's degeneracy order gives decreasing out-degrees 19..0.
+		t.Fatalf("clique orientation max out-degree %d, want 19", got)
+	}
+}
+
+func TestDensestSubgraphFindsPlantedClique(t *testing.T) {
+	d, _ := New(500)
+	d.InsertEdges(clique(25))
+	d.InsertEdges(ring(500))
+	ds := d.DensestSubgraph()
+	if ds.Density < 12 { // 25-clique density = 12
+		t.Fatalf("density %.2f, want >= 12 (planted 25-clique)", ds.Density)
+	}
+	members := map[uint32]bool{}
+	for _, v := range ds.Vertices {
+		members[v] = true
+	}
+	for v := uint32(0); v < 25; v++ {
+		if !members[v] {
+			t.Fatalf("clique vertex %d missing from densest subgraph", v)
+		}
+	}
+}
+
+func TestTopSpreadersDynamic(t *testing.T) {
+	d, _ := New(300)
+	d.InsertEdges(clique(15)) // dense community on 0..14
+	d.InsertEdges(ring(300))
+	top := d.TopSpreaders(15)
+	if len(top) != 15 {
+		t.Fatalf("top = %d entries", len(top))
+	}
+	inClique := 0
+	for _, v := range top {
+		if v < 15 {
+			inClique++
+		}
+	}
+	if inClique != 15 {
+		t.Fatalf("only %d/15 spreaders from the dense community", inClique)
+	}
+}
+
+func TestColor(t *testing.T) {
+	d, _ := New(50)
+	d.InsertEdges(clique(8))
+	colors, used := d.Color()
+	if used != 8 {
+		t.Fatalf("clique colors = %d, want 8", used)
+	}
+	for i := 0; i < 8; i++ {
+		for j := i + 1; j < 8; j++ {
+			if colors[i] == colors[j] {
+				t.Fatalf("clique vertices %d,%d share color", i, j)
+			}
+		}
+	}
+}
+
+func TestMaximalMatchingPublic(t *testing.T) {
+	d, _ := New(100)
+	d.InsertEdges(ring(100))
+	m := d.MaximalMatching()
+	if len(m) < 33 || len(m) > 50 {
+		t.Fatalf("ring matching size %d", len(m))
+	}
+	used := map[uint32]bool{}
+	for _, e := range m {
+		if used[e.U] || used[e.V] {
+			t.Fatalf("vertex reused at %v", e)
+		}
+		used[e.U], used[e.V] = true, true
+	}
+}

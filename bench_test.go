@@ -1,0 +1,138 @@
+// bench_test.go contains one testing.B benchmark per table and figure of
+// the paper's evaluation section. Each benchmark drives the same harness as
+// cmd/kcore-bench on reduced configurations so that `go test -bench=.`
+// regenerates every row/series shape in minutes; the full-scale sweep is
+// `kcore-bench -exp all`.
+package kcore
+
+import (
+	"io"
+	"os"
+	"testing"
+
+	"kcore/internal/bench"
+	"kcore/internal/lds"
+	"kcore/internal/plds"
+)
+
+// benchCfg is the reduced configuration used by the testing.B entry points.
+func benchCfg() bench.Config {
+	return bench.Config{
+		Dataset:    "tiny",
+		Kind:       plds.Insert,
+		BatchSize:  1500,
+		Readers:    2,
+		Writers:    2,
+		BaseFrac:   0.5,
+		MaxBatches: 2,
+		Trials:     1,
+		Seed:       1,
+		Params:     lds.DefaultParams(),
+	}
+}
+
+// out returns the sink for benchmark harness output: verbose runs print to
+// stdout so the rows are visible, quiet runs discard.
+func out(b *testing.B) io.Writer {
+	if testing.Verbose() {
+		return os.Stdout
+	}
+	return io.Discard
+}
+
+// BenchmarkTable1 regenerates Table 1 (dataset sizes and largest k).
+func BenchmarkTable1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := bench.Table1([]string{"tiny", "dblp", "ctr"})
+		if err != nil {
+			b.Fatal(err)
+		}
+		bench.PrintTable1(out(b), rows)
+	}
+}
+
+// BenchmarkFigure3ReadLatency regenerates Fig. 3: read latency (avg, P99,
+// P99.99) for CPLDS vs SyncReads vs NonSync under insertion and deletion
+// batches.
+func BenchmarkFigure3ReadLatency(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if err := bench.Figure3(out(b), []string{"tiny"}, benchCfg()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFigure4BatchSizeSweep regenerates Fig. 4: read latency across
+// insertion batch sizes on the yt and dblp profiles.
+func BenchmarkFigure4BatchSizeSweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cfg := benchCfg()
+		cfg.MaxBatches = 1
+		if err := bench.Figure4(out(b), []string{"tiny"}, []int{100, 500, 1500}, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFigure5UpdateTime regenerates Fig. 5: average and maximum batch
+// update time per implementation.
+func BenchmarkFigure5UpdateTime(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if err := bench.Figure5(out(b), []string{"tiny"}, benchCfg()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFigure6ReadError regenerates Fig. 6: average and maximum read
+// error versus exact coreness (theoretical max 2.8).
+func BenchmarkFigure6ReadError(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cfg := benchCfg()
+		cfg.Dataset = "tiny"
+		cfg.BatchSize = 1500
+		if err := bench.Figure6(out(b), []string{"tiny"}, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFigure7Scalability regenerates Fig. 7: reader and writer
+// throughput across thread counts.
+func BenchmarkFigure7Scalability(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cfg := benchCfg()
+		cfg.MaxBatches = 1
+		if err := bench.Figure7(out(b), []string{"tiny"}, []int{1, 2}, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCorenessRead measures the latency of a single linearizable read
+// on a loaded structure (the unit underlying Fig. 3's CPLDS series).
+func BenchmarkCorenessRead(b *testing.B) {
+	d, err := New(10000)
+	if err != nil {
+		b.Fatal(err)
+	}
+	edges := clique(120)
+	d.InsertEdges(edges)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.Coreness(uint32(i % 10000))
+	}
+}
+
+// BenchmarkInsertEdgesBatch measures parallel batch insertion throughput
+// through the public API.
+func BenchmarkInsertEdgesBatch(b *testing.B) {
+	edges := clique(200) // 19900 edges
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d, _ := New(200)
+		d.InsertEdges(edges)
+	}
+}

@@ -1,0 +1,66 @@
+// Command kcore-server runs the HTTP k-core service: linearizable coreness
+// reads concurrent with batched edge updates, over the network.
+//
+// Usage:
+//
+//	kcore-server -n 1000000 -addr :8080 [-load graph.txt]
+//
+//	curl 'localhost:8080/coreness?v=42'
+//	curl 'localhost:8080/top?k=10'
+//	curl 'localhost:8080/stats'
+//	curl --data-binary @batch.txt 'localhost:8080/edges/insert'
+//	curl --data-binary @stale.txt 'localhost:8080/edges/delete'
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+
+	"kcore/internal/graph"
+	"kcore/internal/lds"
+	"kcore/internal/server"
+)
+
+func main() {
+	n := flag.Int("n", 1_000_000, "number of vertices")
+	addr := flag.String("addr", ":8080", "listen address")
+	load := flag.String("load", "", "optional edge-list file to load at startup")
+	delta := flag.Float64("delta", 0.2, "approximation parameter delta")
+	lambda := flag.Float64("lambda", 9, "approximation parameter lambda")
+	batch := flag.Int("batch", 100000, "startup-load batch size")
+	flag.Parse()
+
+	srv := server.New(*n, lds.Params{Delta: *delta, Lambda: *lambda})
+	if *load != "" {
+		if err := loadFile(srv, *load, *batch); err != nil {
+			log.Fatalf("kcore-server: %v", err)
+		}
+	}
+	log.Printf("kcore-server: %d vertices, listening on %s", *n, *addr)
+	log.Fatal(http.ListenAndServe(*addr, srv.Handler()))
+}
+
+func loadFile(srv *server.Server, path string, batch int) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	edges, _, err := graph.ReadEdgeList(f)
+	if err != nil {
+		return err
+	}
+	for lo := 0; lo < len(edges); lo += batch {
+		hi := lo + batch
+		if hi > len(edges) {
+			hi = len(edges)
+		}
+		n := srv.InsertBatch(edges[lo:hi])
+		log.Printf("loaded batch %d..%d (%d applied)", lo, hi, n)
+	}
+	fmt.Println("load complete")
+	return nil
+}

@@ -1,0 +1,55 @@
+package kcore_test
+
+import (
+	"fmt"
+
+	"kcore"
+)
+
+// ExampleNew demonstrates basic construction, a batch update and a read.
+func ExampleNew() {
+	d, err := kcore.New(100)
+	if err != nil {
+		panic(err)
+	}
+	// A triangle among vertices 0,1,2: every member has coreness 2.
+	d.InsertEdges([]kcore.Edge{{U: 0, V: 1}, {U: 1, V: 2}, {U: 0, V: 2}})
+	fmt.Printf("edges=%d estimate=%.1f exact=%d\n",
+		d.NumEdges(), d.Coreness(0), d.ExactCoreness()[0])
+	// Output: edges=3 estimate=1.0 exact=2
+}
+
+// ExampleStatic computes a one-shot exact decomposition.
+func ExampleStatic() {
+	core := kcore.Static(4, []kcore.Edge{
+		{U: 0, V: 1}, {U: 1, V: 2}, {U: 0, V: 2}, {U: 2, V: 3},
+	})
+	fmt.Println(core)
+	// Output: [2 2 2 1]
+}
+
+// ExampleDecomposition_DeleteEdges shows that estimates adapt to removals.
+func ExampleDecomposition_DeleteEdges() {
+	d, _ := kcore.New(10)
+	edges := []kcore.Edge{{U: 0, V: 1}, {U: 1, V: 2}, {U: 0, V: 2}}
+	d.InsertEdges(edges)
+	removed := d.DeleteEdges(edges[:1])
+	fmt.Printf("removed=%d exact=%d\n", removed, d.ExactCoreness()[0])
+	// Output: removed=1 exact=1
+}
+
+// ExampleDecomposition_TopSpreaders ranks vertices by approximate coreness.
+func ExampleDecomposition_TopSpreaders() {
+	d, _ := kcore.New(50)
+	// Dense cluster on 0..5, isolated elsewhere.
+	var batch []kcore.Edge
+	for i := uint32(0); i < 6; i++ {
+		for j := i + 1; j < 6; j++ {
+			batch = append(batch, kcore.Edge{U: i, V: j})
+		}
+	}
+	d.InsertEdges(batch)
+	top := d.TopSpreaders(3)
+	fmt.Println(top)
+	// Output: [0 1 2]
+}

@@ -1,0 +1,199 @@
+// Package apps implements the graph applications the paper lists as
+// natural clients of k-core decomposition (§1, §9): low out-degree
+// orientation, densest-subgraph approximation, influential-spreader
+// selection (the epidemiology use case motivating approximate coreness),
+// greedy coloring via degeneracy ordering, and parallel maximal matching.
+package apps
+
+import (
+	"sort"
+	"sync/atomic"
+
+	"kcore/internal/exact"
+	"kcore/internal/graph"
+	"kcore/internal/parallel"
+)
+
+// Orientation is an acyclic orientation of an undirected graph: Out[v]
+// lists the out-neighbours of v.
+type Orientation struct {
+	Out [][]uint32
+}
+
+// MaxOutDegree returns the largest out-degree in the orientation.
+func (o *Orientation) MaxOutDegree() int {
+	max := 0
+	for _, out := range o.Out {
+		if len(out) > max {
+			max = len(out)
+		}
+	}
+	return max
+}
+
+// LowOutDegreeOrientation orients every edge from the endpoint that occurs
+// earlier in the degeneracy (peeling) order to the later one. The resulting
+// out-degree is at most the graph's degeneracy — the "low out-degree
+// orientation" application of §9.
+func LowOutDegreeOrientation(g *graph.CSR) *Orientation {
+	n := g.NumVertices()
+	_, order := exact.SequentialWithOrder(g)
+	rank := make([]int32, n)
+	for i, v := range order {
+		rank[v] = int32(i)
+	}
+	out := make([][]uint32, n)
+	parallel.For(n, func(v int) {
+		var mine []uint32
+		for _, w := range g.Neighbors(uint32(v)) {
+			if rank[v] < rank[w] {
+				mine = append(mine, w)
+			}
+		}
+		out[v] = mine
+	})
+	return &Orientation{Out: out}
+}
+
+// DensestSubgraphResult is the output of ApproxDensestSubgraph.
+type DensestSubgraphResult struct {
+	Vertices []uint32
+	Density  float64 // edges / vertices within the subgraph
+}
+
+// ApproxDensestSubgraph returns the maximum-coreness core as a
+// 2-approximation of the densest subgraph: the k_max-core has density at
+// least k_max/2, while no subgraph has density above k_max.
+func ApproxDensestSubgraph(g *graph.CSR) DensestSubgraphResult {
+	core := exact.Sequential(g)
+	kmax := exact.MaxCore(core)
+	members := exact.KCoreSubgraph(core, kmax)
+	inCore := make([]bool, g.NumVertices())
+	for _, v := range members {
+		inCore[v] = true
+	}
+	var edges int64
+	for _, v := range members {
+		for _, w := range g.Neighbors(v) {
+			if inCore[w] && v < w {
+				edges++
+			}
+		}
+	}
+	density := 0.0
+	if len(members) > 0 {
+		density = float64(edges) / float64(len(members))
+	}
+	return DensestSubgraphResult{Vertices: members, Density: density}
+}
+
+// TopSpreaders returns the k vertices with the highest coreness (ties
+// broken by vertex id), the k-shell heuristic of Kitsak et al. for
+// identifying influential spreaders in epidemic models. The coreness input
+// can be exact values or scaled approximate estimates.
+func TopSpreaders(coreness []float64, k int) []uint32 {
+	type vc struct {
+		v uint32
+		c float64
+	}
+	all := make([]vc, len(coreness))
+	for v, c := range coreness {
+		all[v] = vc{uint32(v), c}
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].c != all[j].c {
+			return all[i].c > all[j].c
+		}
+		return all[i].v < all[j].v
+	})
+	if k > len(all) {
+		k = len(all)
+	}
+	out := make([]uint32, k)
+	for i := 0; i < k; i++ {
+		out[i] = all[i].v
+	}
+	return out
+}
+
+// GreedyColoring colors vertices in reverse degeneracy order, assigning
+// each the smallest color unused by its neighbours. It uses at most
+// degeneracy+1 colors. Returns the color per vertex and the color count.
+func GreedyColoring(g *graph.CSR) ([]int32, int) {
+	n := g.NumVertices()
+	_, order := exact.SequentialWithOrder(g)
+	color := make([]int32, n)
+	for i := range color {
+		color[i] = -1
+	}
+	maxColor := int32(-1)
+	// Reverse peeling order: each vertex sees at most `degeneracy` already-
+	// colored neighbours when its turn comes.
+	for i := n - 1; i >= 0; i-- {
+		v := order[i]
+		used := map[int32]bool{}
+		for _, w := range g.Neighbors(v) {
+			if color[w] >= 0 {
+				used[color[w]] = true
+			}
+		}
+		c := int32(0)
+		for used[c] {
+			c++
+		}
+		color[v] = c
+		if c > maxColor {
+			maxColor = c
+		}
+	}
+	return color, int(maxColor + 1)
+}
+
+// MaximalMatching computes a maximal matching with parallel greedy edge
+// claiming: each edge attempts to atomically claim both endpoints; claimed
+// edges enter the matching, and the process repeats over remaining edges
+// until no edge has two free endpoints.
+func MaximalMatching(g *graph.CSR) []graph.Edge {
+	n := g.NumVertices()
+	matched := make([]atomic.Bool, n)
+	var edges []graph.Edge
+	for v := 0; v < n; v++ {
+		for _, w := range g.Neighbors(uint32(v)) {
+			if uint32(v) < w {
+				edges = append(edges, graph.Edge{U: uint32(v), V: w})
+			}
+		}
+	}
+	var result []graph.Edge
+	remaining := edges
+	for len(remaining) > 0 {
+		wins := make([]bool, len(remaining))
+		parallel.For(len(remaining), func(i int) {
+			e := remaining[i]
+			if matched[e.U].Load() || matched[e.V].Load() {
+				return
+			}
+			// Claim the lower endpoint, then the higher; release on
+			// failure. Deterministic order prevents deadlock; CAS
+			// prevents double-matching.
+			if !matched[e.U].CompareAndSwap(false, true) {
+				return
+			}
+			if !matched[e.V].CompareAndSwap(false, true) {
+				matched[e.U].Store(false)
+				return
+			}
+			wins[i] = true
+		})
+		var next []graph.Edge
+		for i, e := range remaining {
+			if wins[i] {
+				result = append(result, e)
+			} else if !matched[e.U].Load() && !matched[e.V].Load() {
+				next = append(next, e)
+			}
+		}
+		remaining = next
+	}
+	return result
+}

@@ -1,0 +1,168 @@
+package apps
+
+import (
+	"reflect"
+	"testing"
+
+	"kcore/internal/exact"
+	"kcore/internal/gen"
+	"kcore/internal/graph"
+)
+
+func socialCSR(t *testing.T) *graph.CSR {
+	t.Helper()
+	edges := gen.ChungLu(800, 4000, 2.3, 91)
+	return graph.CSRFromEdges(800, edges)
+}
+
+func TestLowOutDegreeOrientationBound(t *testing.T) {
+	g := socialCSR(t)
+	degen := exact.Degeneracy(g)
+	o := LowOutDegreeOrientation(g)
+	if got := o.MaxOutDegree(); int32(got) > degen {
+		t.Fatalf("max out-degree %d exceeds degeneracy %d", got, degen)
+	}
+	// Every edge is oriented exactly once.
+	var count int64
+	for _, out := range o.Out {
+		count += int64(len(out))
+	}
+	if count != g.NumEdges() {
+		t.Fatalf("oriented %d edges, graph has %d", count, g.NumEdges())
+	}
+}
+
+func TestOrientationAcyclicOnPath(t *testing.T) {
+	// Path 0-1-2-3: orientation must not orient any edge both ways.
+	g := graph.CSRFromEdges(4, []graph.Edge{graph.E(0, 1), graph.E(1, 2), graph.E(2, 3)})
+	o := LowOutDegreeOrientation(g)
+	seen := map[graph.Edge]bool{}
+	for v, out := range o.Out {
+		for _, w := range out {
+			e := graph.E(uint32(v), w).Canon()
+			if seen[e] {
+				t.Fatalf("edge %v oriented twice", e)
+			}
+			seen[e] = true
+		}
+	}
+	if len(seen) != 3 {
+		t.Fatalf("oriented %d edges, want 3", len(seen))
+	}
+	if o.MaxOutDegree() > 1 {
+		t.Fatalf("path orientation out-degree %d, want <= degeneracy 1", o.MaxOutDegree())
+	}
+}
+
+func TestApproxDensestSubgraph(t *testing.T) {
+	// Plant a 20-clique in a sparse background.
+	edges := append(gen.Clique(20), gen.ErdosRenyi(500, 800, 92)...)
+	// Shift background ids to avoid densifying the clique region further.
+	g := graph.CSRFromEdges(500, edges)
+	res := ApproxDensestSubgraph(g)
+	kmax := exact.Degeneracy(g)
+	if res.Density < float64(kmax)/2 {
+		t.Fatalf("density %.2f below k_max/2 = %.2f", res.Density, float64(kmax)/2)
+	}
+	if len(res.Vertices) == 0 {
+		t.Fatal("empty densest subgraph")
+	}
+	// The planted clique must be inside the reported subgraph.
+	members := map[uint32]bool{}
+	for _, v := range res.Vertices {
+		members[v] = true
+	}
+	cliqueIn := 0
+	for v := uint32(0); v < 20; v++ {
+		if members[v] {
+			cliqueIn++
+		}
+	}
+	if cliqueIn < 20 {
+		t.Fatalf("only %d/20 planted clique vertices in densest subgraph", cliqueIn)
+	}
+}
+
+func TestTopSpreaders(t *testing.T) {
+	core := []float64{1, 5, 3, 5, 2}
+	got := TopSpreaders(core, 3)
+	want := []uint32{1, 3, 2} // ties by id: 1 before 3
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("TopSpreaders = %v, want %v", got, want)
+	}
+	if got := TopSpreaders(core, 99); len(got) != 5 {
+		t.Fatalf("k > n should clamp: %v", got)
+	}
+}
+
+func TestGreedyColoringProper(t *testing.T) {
+	g := socialCSR(t)
+	color, used := GreedyColoring(g)
+	degen := exact.Degeneracy(g)
+	if int32(used) > degen+1 {
+		t.Fatalf("used %d colors, degeneracy+1 = %d", used, degen+1)
+	}
+	for v := 0; v < g.NumVertices(); v++ {
+		if color[v] < 0 {
+			t.Fatalf("vertex %d uncolored", v)
+		}
+		for _, w := range g.Neighbors(uint32(v)) {
+			if color[v] == color[w] {
+				t.Fatalf("adjacent %d and %d share color %d", v, w, color[v])
+			}
+		}
+	}
+}
+
+func TestGreedyColoringClique(t *testing.T) {
+	g := graph.CSRFromEdges(6, gen.Clique(6))
+	_, used := GreedyColoring(g)
+	if used != 6 {
+		t.Fatalf("clique coloring used %d colors, want 6", used)
+	}
+}
+
+func TestMaximalMatchingValidAndMaximal(t *testing.T) {
+	g := socialCSR(t)
+	m := MaximalMatching(g)
+	used := map[uint32]bool{}
+	for _, e := range m {
+		if used[e.U] || used[e.V] {
+			t.Fatalf("vertex reused in matching at %v", e)
+		}
+		used[e.U], used[e.V] = true, true
+	}
+	// Maximality: every graph edge has at least one matched endpoint.
+	for v := 0; v < g.NumVertices(); v++ {
+		for _, w := range g.Neighbors(uint32(v)) {
+			if !used[uint32(v)] && !used[w] {
+				t.Fatalf("edge (%d,%d) has both endpoints free", v, w)
+			}
+		}
+	}
+}
+
+func TestMaximalMatchingPath(t *testing.T) {
+	g := graph.CSRFromEdges(4, []graph.Edge{graph.E(0, 1), graph.E(1, 2), graph.E(2, 3)})
+	m := MaximalMatching(g)
+	if len(m) == 0 || len(m) > 2 {
+		t.Fatalf("path matching size %d", len(m))
+	}
+}
+
+func TestEmptyGraphApps(t *testing.T) {
+	g := graph.CSRFromEdges(3, nil)
+	if o := LowOutDegreeOrientation(g); o.MaxOutDegree() != 0 {
+		t.Fatal("orientation of empty graph")
+	}
+	if m := MaximalMatching(g); len(m) != 0 {
+		t.Fatal("matching in empty graph")
+	}
+	if _, used := GreedyColoring(g); used != 1 {
+		t.Fatalf("empty graph should use 1 color, used %d", used)
+	}
+	res := ApproxDensestSubgraph(g)
+	if res.Density != 0 {
+		t.Fatalf("empty density = %v", res.Density)
+	}
+}

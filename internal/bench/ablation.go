@@ -1,0 +1,124 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"kcore/internal/cplds"
+	"kcore/internal/gen"
+	"kcore/internal/plds"
+	"kcore/internal/stats"
+)
+
+// AblationResult compares CPLDS read performance with a design knob
+// toggled. The paper's §5.2 singles out path compression as the
+// optimization that keeps root paths short; this quantifies it.
+type AblationResult struct {
+	Dataset     string
+	Compression bool
+	Reads       stats.Summary
+	Retries     uint64
+	UpdateMean  time.Duration
+}
+
+// RunPathCompressionAblation measures linearizable read latency and
+// update time with path compression enabled vs disabled.
+func RunPathCompressionAblation(cfg Config) ([]AblationResult, error) {
+	cfg = cfg.withDefaults()
+	var out []AblationResult
+	for _, compression := range []bool{true, false} {
+		p, err := prepare(cfg)
+		if err != nil {
+			return nil, err
+		}
+		batches := measuredBatches(p, cfg)
+		c := cplds.New(p.n, cfg.Params)
+		c.SetPathCompression(compression)
+		c.InsertBatch(p.stream.Base)
+		if cfg.Kind == plds.Delete {
+			for _, b := range batches {
+				c.InsertBatch(b)
+			}
+		}
+		rec := stats.NewLatencyRecorder(1 << 14)
+		var mu sync.Mutex
+		stop := make(chan struct{})
+		ready := make([]atomic.Bool, cfg.Readers)
+		var wg sync.WaitGroup
+		for r := 0; r < cfg.Readers; r++ {
+			wg.Add(1)
+			w := gen.NewUniformReads(p.n, cfg.Seed+int64(r))
+			go func(r int) {
+				defer wg.Done()
+				local := stats.NewLatencyRecorder(1 << 12)
+				for {
+					select {
+					case <-stop:
+						mu.Lock()
+						rec.Merge(local)
+						mu.Unlock()
+						return
+					default:
+					}
+					v := w.Next()
+					t0 := time.Now()
+					c.Read(v)
+					local.Record(time.Since(t0))
+					ready[r].Store(true)
+				}
+			}(r)
+		}
+		waitReady(ready)
+		var updTotal time.Duration
+		for _, b := range batches {
+			t0 := time.Now()
+			if cfg.Kind == plds.Insert {
+				c.InsertBatch(b)
+			} else {
+				c.DeleteBatch(b)
+			}
+			updTotal += time.Since(t0)
+		}
+		close(stop)
+		wg.Wait()
+		res := AblationResult{
+			Dataset:     cfg.Dataset,
+			Compression: compression,
+			Reads:       rec.Summarize(),
+			Retries:     c.ReadRetries(),
+		}
+		if len(batches) > 0 {
+			res.UpdateMean = updTotal / time.Duration(len(batches))
+		}
+		out = append(out, res)
+	}
+	return out, nil
+}
+
+// Ablation prints the path-compression ablation rows.
+func Ablation(w io.Writer, datasets []string, cfg Config) error {
+	fmt.Fprintf(w, "Ablation: path compression in dependency-DAG traversals (insert batches)\n")
+	fmt.Fprintf(w, "%-10s %-14s %14s %14s %10s %14s\n",
+		"graph", "compression", "read avg", "read p99.99", "retries", "update avg")
+	for _, ds := range datasets {
+		c := cfg
+		c.Dataset = ds
+		results, err := RunPathCompressionAblation(c)
+		if err != nil {
+			return err
+		}
+		for _, r := range results {
+			mode := "on"
+			if !r.Compression {
+				mode = "off"
+			}
+			fmt.Fprintf(w, "%-10s %-14s %14v %14v %10d %14v\n",
+				ds, mode, r.Reads.Mean, r.Reads.P9999, r.Retries, r.UpdateMean)
+		}
+	}
+	fmt.Fprintln(w)
+	return nil
+}

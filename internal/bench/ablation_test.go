@@ -1,0 +1,47 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunPathCompressionAblation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	results, err := RunPathCompressionAblation(smallCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 2 {
+		t.Fatalf("results = %d, want 2 (on/off)", len(results))
+	}
+	if !results[0].Compression || results[1].Compression {
+		t.Fatalf("order should be on,off: %+v", results)
+	}
+	for _, r := range results {
+		if r.Reads.Count == 0 {
+			t.Fatalf("compression=%v recorded no reads", r.Compression)
+		}
+		if r.UpdateMean <= 0 {
+			t.Fatalf("compression=%v no update time", r.Compression)
+		}
+	}
+}
+
+func TestAblationDriverOutput(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	var buf bytes.Buffer
+	if err := Ablation(&buf, []string{"tiny"}, smallCfg()); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"Ablation", "on", "off", "retries"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,211 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"kcore/internal/lds"
+	"kcore/internal/plds"
+)
+
+// smallCfg keeps harness tests fast: a small dataset, few batches.
+func smallCfg() Config {
+	return Config{
+		Dataset:    "tiny",
+		Kind:       plds.Insert,
+		BatchSize:  1000,
+		Readers:    2,
+		Writers:    2,
+		BaseFrac:   0.5,
+		MaxBatches: 2,
+		Trials:     1,
+		Seed:       7,
+		Params:     lds.DefaultParams(),
+	}
+}
+
+func TestAlgoString(t *testing.T) {
+	if CPLDS.String() != "CPLDS" || SyncReads.String() != "SyncReads" || NonSync.String() != "NonSync" {
+		t.Fatal("Algo.String broken")
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	c := Config{Dataset: "dblp"}.withDefaults()
+	if c.BatchSize == 0 || c.Readers == 0 || c.Writers == 0 || c.Trials == 0 {
+		t.Fatalf("defaults not applied: %+v", c)
+	}
+	if c.Params != lds.DefaultParams() {
+		t.Fatal("default params not applied")
+	}
+}
+
+func TestRunLatencyAllAlgos(t *testing.T) {
+	for _, a := range Algos {
+		r, err := RunLatency(smallCfg(), a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Reads.Count == 0 {
+			t.Fatalf("%v: no reads recorded", a)
+		}
+		if r.Batches != 2 {
+			t.Fatalf("%v: batches = %d", a, r.Batches)
+		}
+		if r.EdgesDone == 0 {
+			t.Fatalf("%v: no edges applied", a)
+		}
+		if r.UpdateMean <= 0 || r.UpdateMax < r.UpdateMean {
+			t.Fatalf("%v: bad update times %v/%v", a, r.UpdateMean, r.UpdateMax)
+		}
+	}
+}
+
+func TestRunLatencyDeletions(t *testing.T) {
+	cfg := smallCfg()
+	cfg.Kind = plds.Delete
+	r, err := RunLatency(cfg, CPLDS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.EdgesDone == 0 {
+		t.Fatal("deletion run removed no edges")
+	}
+}
+
+func TestRunLatencyUnknownDataset(t *testing.T) {
+	cfg := smallCfg()
+	cfg.Dataset = "nope"
+	if _, err := RunLatency(cfg, CPLDS); err == nil {
+		t.Fatal("want error for unknown dataset")
+	}
+}
+
+func TestRunErrorsBoundsRespected(t *testing.T) {
+	cfg := smallCfg()
+	for _, kind := range []plds.Kind{plds.Insert, plds.Delete} {
+		cfg.Kind = kind
+		r, err := RunErrors(cfg, CPLDS)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Reads == 0 {
+			t.Fatalf("%v: no reads", kind)
+		}
+		if r.Avg < 1 || r.Max < r.Avg {
+			t.Fatalf("%v: inconsistent errors avg=%v max=%v", kind, r.Avg, r.Max)
+		}
+		// The linearizable implementation must respect the provable bound
+		// (with one group of slack on the upper side, as in the analysis).
+		bound := cfg.Params.ApproxFactor() * (1 + cfg.Params.Delta)
+		if r.Max > bound+1e-9 {
+			t.Fatalf("%v: CPLDS max error %.3f exceeds provable bound %.3f", kind, r.Max, bound)
+		}
+	}
+}
+
+func TestRunThroughput(t *testing.T) {
+	r, err := RunThroughput(smallCfg(), NonSync)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.ReadOps == 0 || r.WriteEdges == 0 {
+		t.Fatalf("throughput run idle: %+v", r)
+	}
+	if r.ReadsPerS <= 0 || r.WritesPerS <= 0 {
+		t.Fatalf("non-positive throughput: %+v", r)
+	}
+}
+
+func TestTable1(t *testing.T) {
+	rows, err := Table1([]string{"dblp", "ctr"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	if rows[0].Name != "dblp" || rows[0].Vertices == 0 || rows[0].Edges == 0 || rows[0].MaxK == 0 {
+		t.Fatalf("bad dblp row: %+v", rows[0])
+	}
+	if rows[1].MaxK > 4 {
+		t.Fatalf("road graph max k = %d, want <= 4", rows[1].MaxK)
+	}
+	var buf bytes.Buffer
+	PrintTable1(&buf, rows)
+	if !strings.Contains(buf.String(), "dblp") || !strings.Contains(buf.String(), "Largest k") {
+		t.Fatalf("table output malformed:\n%s", buf.String())
+	}
+	if _, err := Table1([]string{"bogus"}); err == nil {
+		t.Fatal("want error for bogus dataset")
+	}
+}
+
+func TestFigureDriversProduceOutput(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	cfg := smallCfg()
+	var buf bytes.Buffer
+	if err := Figure3(&buf, []string{"tiny"}, cfg); err != nil {
+		t.Fatal(err)
+	}
+	if err := Figure4(&buf, []string{"tiny"}, []int{500, 1500}, cfg); err != nil {
+		t.Fatal(err)
+	}
+	if err := Figure5(&buf, []string{"tiny"}, cfg); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"Figure 3", "Figure 4", "Figure 5", "CPLDS", "SyncReads", "NonSync"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFigure6And7Drivers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	cfg := smallCfg()
+	var buf bytes.Buffer
+	if err := Figure6(&buf, []string{"tiny"}, cfg); err != nil {
+		t.Fatal(err)
+	}
+	if err := Figure7(&buf, []string{"tiny"}, []int{1, 2}, cfg); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"Figure 6", "theoretical max 2.80", "Figure 7", "reads/s", "edges/s"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestHeadlineLatencyOrdering(t *testing.T) {
+	// The paper's headline result in shape: CPLDS read latency must be far
+	// below SyncReads (orders of magnitude) and within a small factor of
+	// NonSync. We assert the ordering with generous slack.
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	cfg := smallCfg()
+	cfg.BatchSize = 4000
+	cfg.MaxBatches = 2
+	results, err := RunLatencyAll(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var byAlgo [3]LatencyResult
+	for _, r := range results {
+		byAlgo[r.Algo] = r
+	}
+	cp := byAlgo[CPLDS].Reads.Mean
+	sy := byAlgo[SyncReads].Reads.Mean
+	if sy < cp*2 {
+		t.Fatalf("SyncReads mean latency %v not clearly above CPLDS %v", sy, cp)
+	}
+}

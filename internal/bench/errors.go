@@ -1,0 +1,123 @@
+package bench
+
+import (
+	"math/rand"
+	"sync"
+	"sync/atomic"
+
+	"kcore/internal/exact"
+	"kcore/internal/gen"
+	"kcore/internal/plds"
+	"kcore/internal/stats"
+)
+
+// ErrorResult is one (dataset, kind, algo) row of Fig. 6: the average and
+// maximum ratio error of coreness estimates returned by reads executed
+// concurrently with update batches, measured against exact coreness.
+//
+// Following the paper, each read's error is the minimum of its errors
+// against the exact coreness at the beginning and at the end of the batch
+// it overlapped (a linearizable read may legitimately reflect either
+// boundary; for NonSync the same minimum is granted).
+type ErrorResult struct {
+	Dataset string
+	Kind    plds.Kind
+	Algo    Algo
+	Avg     float64
+	Max     float64
+	Reads   int
+}
+
+// RunErrors measures read accuracy for one algorithm (Fig. 6).
+func RunErrors(cfg Config, algo Algo) (ErrorResult, error) {
+	cfg = cfg.withDefaults()
+	res := ErrorResult{Dataset: cfg.Dataset, Kind: cfg.Kind, Algo: algo}
+	var acc stats.ErrorAccumulator
+	for trial := 0; trial < cfg.Trials; trial++ {
+		p, err := prepare(cfg)
+		if err != nil {
+			return res, err
+		}
+		batches := measuredBatches(p, cfg)
+		e := newEngine(algo, p.n, cfg.Params)
+		loadForKind(e, p, cfg, batches)
+
+		pre := exact.Sequential(e.Snapshot().Snapshot())
+		for _, b := range batches {
+			// Readers run for exactly the duration of this batch and
+			// record (vertex, estimate) observations.
+			type obs struct {
+				v   uint32
+				est float64
+			}
+			observations := make([][]obs, cfg.Readers)
+			stop := make(chan struct{})
+			ready := make([]atomic.Bool, cfg.Readers)
+			var wg sync.WaitGroup
+			for r := 0; r < cfg.Readers; r++ {
+				wg.Add(1)
+				w := gen.NewUniformReads(p.n, cfg.Seed+int64(trial*1000+r))
+				go func(r int) {
+					defer wg.Done()
+					// Reservoir sample of the reads: long batches generate
+					// billions of observations, far more than needed for
+					// stable avg/max error estimates, and recording them
+					// all would exhaust memory.
+					const reservoir = 1 << 17
+					rng := rand.New(rand.NewSource(cfg.Seed + int64(r)))
+					local := make([]obs, 0, reservoir)
+					seen := int64(0)
+					for {
+						select {
+						case <-stop:
+							observations[r] = local
+							return
+						default:
+						}
+						v := w.Next()
+						o := obs{v, e.Read(v)}
+						seen++
+						if len(local) < reservoir {
+							local = append(local, o)
+						} else if j := rng.Int63n(seen); j < reservoir {
+							local[j] = o
+						}
+						ready[r].Store(true)
+					}
+				}(r)
+			}
+			waitReady(ready)
+			if cfg.Kind == plds.Insert {
+				e.InsertBatch(b)
+			} else {
+				e.DeleteBatch(b)
+			}
+			close(stop)
+			wg.Wait()
+			post := exact.Sequential(e.Snapshot().Snapshot())
+			for _, local := range observations {
+				for _, o := range local {
+					acc.Add(stats.MinRatioError(o.est, pre[o.v], post[o.v]))
+				}
+			}
+			pre = post
+		}
+	}
+	res.Avg = acc.Mean()
+	res.Max = acc.Max()
+	res.Reads = acc.Count()
+	return res, nil
+}
+
+// RunErrorsAll runs RunErrors for every algorithm.
+func RunErrorsAll(cfg Config) ([]ErrorResult, error) {
+	out := make([]ErrorResult, 0, len(Algos))
+	for _, a := range Algos {
+		r, err := RunErrors(cfg, a)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}

@@ -1,0 +1,197 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"kcore/internal/exact"
+	"kcore/internal/gen"
+	"kcore/internal/graph"
+	"kcore/internal/plds"
+)
+
+// Table1Row is one row of the paper's Table 1: dataset sizes and the
+// largest value of k in the k-core decomposition.
+type Table1Row struct {
+	Name     string
+	Vertices int
+	Edges    int64
+	MaxK     int32
+}
+
+// Table1 computes the dataset statistics table over the synthetic
+// stand-ins. datasets == nil means all profiles.
+func Table1(datasets []string) ([]Table1Row, error) {
+	if datasets == nil {
+		for _, p := range gen.Profiles {
+			datasets = append(datasets, p.Name)
+		}
+	}
+	rows := make([]Table1Row, 0, len(datasets))
+	for _, name := range datasets {
+		edges, n, err := gen.DatasetByName(name)
+		if err != nil {
+			return nil, err
+		}
+		csr := graph.CSRFromEdges(n, edges)
+		rows = append(rows, Table1Row{
+			Name:     name,
+			Vertices: csr.NumVertices(),
+			Edges:    csr.NumEdges(),
+			MaxK:     exact.MaxCore(exact.Sequential(csr)),
+		})
+	}
+	return rows, nil
+}
+
+// PrintTable1 writes Table 1 in the paper's layout.
+func PrintTable1(w io.Writer, rows []Table1Row) {
+	fmt.Fprintf(w, "Table 1: Graph sizes and largest values of k (synthetic stand-ins)\n")
+	fmt.Fprintf(w, "%-10s %12s %14s %10s\n", "Graph", "Num.Vertices", "Num.Edges", "Largest k")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-10s %12d %14d %10d\n", r.Name, r.Vertices, r.Edges, r.MaxK)
+	}
+}
+
+// Figure3 runs the read-latency comparison (Fig. 3) for the given datasets
+// and both update kinds, printing avg / P99 / P99.99 per implementation.
+func Figure3(w io.Writer, datasets []string, cfg Config) error {
+	for _, kind := range []plds.Kind{plds.Insert, plds.Delete} {
+		fmt.Fprintf(w, "Figure 3 (%s batches): read latency (avg / p99 / p99.99)\n", kind)
+		fmt.Fprintf(w, "%-10s %-10s %14s %14s %14s\n", "graph", "algo", "avg", "p99", "p99.99")
+		for _, ds := range datasets {
+			c := cfg
+			c.Dataset = ds
+			c.Kind = kind
+			results, err := RunLatencyAll(c)
+			if err != nil {
+				return err
+			}
+			for _, r := range results {
+				fmt.Fprintf(w, "%-10s %-10s %14v %14v %14v\n",
+					ds, r.Algo, r.Reads.Mean, r.Reads.P99, r.Reads.P9999)
+			}
+		}
+		fmt.Fprintln(w)
+	}
+	return nil
+}
+
+// Figure4 runs the batch-size sweep (Fig. 4): read latency across batch
+// sizes for the given datasets (the paper uses yt and dblp, insertions).
+func Figure4(w io.Writer, datasets []string, batchSizes []int, cfg Config) error {
+	fmt.Fprintf(w, "Figure 4: read latency vs insertion batch size (avg / p99 / p99.99)\n")
+	fmt.Fprintf(w, "%-10s %-10s %10s %14s %14s %14s\n", "graph", "algo", "batch", "avg", "p99", "p99.99")
+	for _, ds := range datasets {
+		for _, bs := range batchSizes {
+			c := cfg
+			c.Dataset = ds
+			c.Kind = plds.Insert
+			c.BatchSize = bs
+			results, err := RunLatencyAll(c)
+			if err != nil {
+				return err
+			}
+			for _, r := range results {
+				fmt.Fprintf(w, "%-10s %-10s %10d %14v %14v %14v\n",
+					ds, r.Algo, bs, r.Reads.Mean, r.Reads.P99, r.Reads.P9999)
+			}
+		}
+	}
+	fmt.Fprintln(w)
+	return nil
+}
+
+// Figure5 runs the update-time comparison (Fig. 5): average and maximum
+// batch update times per implementation.
+func Figure5(w io.Writer, datasets []string, cfg Config) error {
+	for _, kind := range []plds.Kind{plds.Insert, plds.Delete} {
+		fmt.Fprintf(w, "Figure 5 (%s batches): batch update time (avg / max)\n", kind)
+		fmt.Fprintf(w, "%-10s %-10s %14s %14s\n", "graph", "algo", "avg", "max")
+		for _, ds := range datasets {
+			c := cfg
+			c.Dataset = ds
+			c.Kind = kind
+			results, err := RunLatencyAll(c)
+			if err != nil {
+				return err
+			}
+			for _, r := range results {
+				fmt.Fprintf(w, "%-10s %-10s %14v %14v\n", ds, r.Algo, r.UpdateMean, r.UpdateMax)
+			}
+		}
+		fmt.Fprintln(w)
+	}
+	return nil
+}
+
+// Figure6 runs the accuracy comparison (Fig. 6): average and maximum read
+// error versus exact coreness, per implementation. The theoretical maximum
+// (2.8 for the default parameters) is printed for reference.
+func Figure6(w io.Writer, datasets []string, cfg Config) error {
+	cfg = cfg.withDefaults()
+	for _, kind := range []plds.Kind{plds.Insert, plds.Delete} {
+		fmt.Fprintf(w, "Figure 6 (%s batches): read error vs exact coreness (avg / max); theoretical max %.2f\n",
+			kind, cfg.Params.ApproxFactor())
+		fmt.Fprintf(w, "%-10s %-10s %10s %10s %10s\n", "graph", "algo", "avg", "max", "reads")
+		for _, ds := range datasets {
+			c := cfg
+			c.Dataset = ds
+			c.Kind = kind
+			results, err := RunErrorsAll(c)
+			if err != nil {
+				return err
+			}
+			for _, r := range results {
+				fmt.Fprintf(w, "%-10s %-10s %10.3f %10.3f %10d\n", ds, r.Algo, r.Avg, r.Max, r.Reads)
+			}
+		}
+		fmt.Fprintln(w)
+	}
+	return nil
+}
+
+// Figure7 runs the scalability comparison (Fig. 7): reader throughput
+// while sweeping reader counts (writers fixed), then writer throughput
+// while sweeping writer counts (readers fixed).
+func Figure7(w io.Writer, datasets []string, threadCounts []int, cfg Config) error {
+	cfg = cfg.withDefaults()
+	for _, kind := range []plds.Kind{plds.Insert, plds.Delete} {
+		fmt.Fprintf(w, "Figure 7 (%s batches): reader scalability (writers=%d)\n", kind, cfg.Writers)
+		fmt.Fprintf(w, "%-10s %-10s %8s %14s\n", "graph", "algo", "readers", "reads/s")
+		for _, ds := range datasets {
+			for _, rc := range threadCounts {
+				for _, a := range Algos {
+					c := cfg
+					c.Dataset = ds
+					c.Kind = kind
+					c.Readers = rc
+					r, err := RunThroughput(c, a)
+					if err != nil {
+						return err
+					}
+					fmt.Fprintf(w, "%-10s %-10s %8d %14.0f\n", ds, a, rc, r.ReadsPerS)
+				}
+			}
+		}
+		fmt.Fprintf(w, "Figure 7 (%s batches): writer scalability (readers=%d)\n", kind, cfg.Readers)
+		fmt.Fprintf(w, "%-10s %-10s %8s %14s\n", "graph", "algo", "writers", "edges/s")
+		for _, ds := range datasets {
+			for _, wc := range threadCounts {
+				for _, a := range Algos {
+					c := cfg
+					c.Dataset = ds
+					c.Kind = kind
+					c.Writers = wc
+					r, err := RunThroughput(c, a)
+					if err != nil {
+						return err
+					}
+					fmt.Fprintf(w, "%-10s %-10s %8d %14.0f\n", ds, a, wc, r.WritesPerS)
+				}
+			}
+		}
+		fmt.Fprintln(w)
+	}
+	return nil
+}

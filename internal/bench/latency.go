@@ -1,0 +1,207 @@
+package bench
+
+import (
+	"runtime"
+	"sync/atomic"
+	"time"
+
+	"kcore/internal/gen"
+	"kcore/internal/graph"
+	"kcore/internal/lds"
+	"kcore/internal/plds"
+	"kcore/internal/stats"
+)
+
+// waitReady spins (yielding) until every reader goroutine has completed at
+// least one read. On a single-core machine the update loop can otherwise
+// finish all batches before a reader is ever scheduled.
+func waitReady(ready []atomic.Bool) {
+	for i := range ready {
+		for !ready[i].Load() {
+			runtime.Gosched()
+		}
+	}
+}
+
+// Config parameterizes one experiment run.
+type Config struct {
+	Dataset    string // profile name from internal/gen
+	Kind       plds.Kind
+	BatchSize  int
+	Readers    int     // concurrent reader goroutines
+	Writers    int     // parallelism of the update engine
+	BaseFrac   float64 // fraction of edges pre-loaded before measurement
+	MaxBatches int     // cap on measured batches (0 = all)
+	Trials     int     // repetitions (the paper uses 11; default 1 here)
+	Seed       int64
+	Params     lds.Params
+}
+
+// withDefaults fills zero fields with the harness defaults.
+func (c Config) withDefaults() Config {
+	if c.BatchSize == 0 {
+		c.BatchSize = 10000
+	}
+	if c.Readers == 0 {
+		c.Readers = 4
+	}
+	if c.Writers == 0 {
+		c.Writers = 4
+	}
+	if c.BaseFrac == 0 {
+		c.BaseFrac = 0.5
+	}
+	if c.MaxBatches == 0 {
+		c.MaxBatches = 6
+	}
+	if c.Trials == 0 {
+		c.Trials = 1
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.Params == (lds.Params{}) {
+		c.Params = lds.DefaultParams()
+	}
+	return c
+}
+
+// LatencyResult is one (dataset, kind, algo) row of Figs. 3–4, together
+// with the update-time series of Fig. 5.
+type LatencyResult struct {
+	Dataset string
+	Kind    plds.Kind
+	Algo    Algo
+	Reads   stats.Summary
+	// Update-time statistics across measured batches (Fig. 5).
+	UpdateMean time.Duration
+	UpdateMax  time.Duration
+	Batches    int
+	EdgesDone  int
+}
+
+// prepared bundles a materialized dataset with its update stream.
+type prepared struct {
+	n      int
+	stream *gen.UpdateStream
+}
+
+// prepare materializes the dataset and splits it into base + batches.
+func prepare(cfg Config) (prepared, error) {
+	edges, n, err := gen.DatasetByName(cfg.Dataset)
+	if err != nil {
+		return prepared{}, err
+	}
+	us := gen.NewUpdateStream(edges, n, cfg.BaseFrac, cfg.BatchSize, cfg.Seed)
+	return prepared{n: n, stream: us}, nil
+}
+
+// measuredBatches returns the batches to measure for the configured kind.
+func measuredBatches(p prepared, cfg Config) [][]graph.Edge {
+	var bs [][]graph.Edge
+	if cfg.Kind == plds.Insert {
+		bs = p.stream.Insertions
+	} else {
+		bs = p.stream.Deletions
+	}
+	if cfg.MaxBatches > 0 && len(bs) > cfg.MaxBatches {
+		bs = bs[:cfg.MaxBatches]
+	}
+	return bs
+}
+
+// loadForKind loads the engine to the pre-measurement state: the base
+// graph for insertion runs; base plus all measured batches for deletion
+// runs (so the deletions actually remove present edges).
+func loadForKind(e engine, p prepared, cfg Config, batches [][]graph.Edge) {
+	e.InsertBatch(p.stream.Base)
+	if cfg.Kind == plds.Delete {
+		for _, b := range batches {
+			e.InsertBatch(b)
+		}
+	}
+}
+
+// RunLatency measures per-read latency while update batches run, for one
+// algorithm. Reader goroutines continuously read uniform-random vertices
+// for the duration of the measured batches, timing every read.
+func RunLatency(cfg Config, algo Algo) (LatencyResult, error) {
+	cfg = cfg.withDefaults()
+	res := LatencyResult{Dataset: cfg.Dataset, Kind: cfg.Kind, Algo: algo}
+	agg := stats.NewLatencyRecorder(1 << 16)
+	for trial := 0; trial < cfg.Trials; trial++ {
+		p, err := prepare(cfg)
+		if err != nil {
+			return res, err
+		}
+		batches := measuredBatches(p, cfg)
+		e := newEngine(algo, p.n, cfg.Params)
+		loadForKind(e, p, cfg, batches)
+
+		recorders := make([]*stats.LatencyRecorder, cfg.Readers)
+		stop := make(chan struct{})
+		done := make(chan struct{}, cfg.Readers)
+		ready := make([]atomic.Bool, cfg.Readers)
+		for r := 0; r < cfg.Readers; r++ {
+			rec := stats.NewLatencyRecorder(1 << 14)
+			recorders[r] = rec
+			w := gen.NewUniformReads(p.n, cfg.Seed+int64(trial*100+r))
+			go func(r int) {
+				defer func() { done <- struct{}{} }()
+				for {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+					v := w.Next()
+					t0 := time.Now()
+					e.Read(v)
+					rec.Record(time.Since(t0))
+					ready[r].Store(true)
+				}
+			}(r)
+		}
+		waitReady(ready)
+		var updTotal time.Duration
+		for _, b := range batches {
+			t0 := time.Now()
+			if cfg.Kind == plds.Insert {
+				res.EdgesDone += e.InsertBatch(b)
+			} else {
+				res.EdgesDone += e.DeleteBatch(b)
+			}
+			d := time.Since(t0)
+			updTotal += d
+			if d > res.UpdateMax {
+				res.UpdateMax = d
+			}
+			res.Batches++
+		}
+		close(stop)
+		for r := 0; r < cfg.Readers; r++ {
+			<-done
+		}
+		for _, rec := range recorders {
+			agg.Merge(rec)
+		}
+		if res.Batches > 0 {
+			res.UpdateMean = updTotal / time.Duration(res.Batches)
+		}
+	}
+	res.Reads = agg.Summarize()
+	return res, nil
+}
+
+// RunLatencyAll runs RunLatency for every algorithm.
+func RunLatencyAll(cfg Config) ([]LatencyResult, error) {
+	out := make([]LatencyResult, 0, len(Algos))
+	for _, a := range Algos {
+		r, err := RunLatency(cfg, a)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}

@@ -1,0 +1,91 @@
+package bench
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"kcore/internal/gen"
+	"kcore/internal/parallel"
+	"kcore/internal/plds"
+	"kcore/internal/stats"
+)
+
+// ThroughputResult is one point of Fig. 7: reader and writer throughput
+// (operations per second) at a given reader/writer thread count.
+type ThroughputResult struct {
+	Dataset    string
+	Kind       plds.Kind
+	Algo       Algo
+	Readers    int
+	Writers    int
+	ReadOps    int64
+	WriteEdges int64
+	ReadsPerS  float64
+	WritesPerS float64
+}
+
+// RunThroughput measures reader and writer throughput for one algorithm at
+// the configured reader/writer counts. The writer applies all measured
+// batches back-to-back; readers read as fast as they can for the duration.
+// Reader throughput = reads / total write time (the paper's definition);
+// writer throughput = edges applied / total write time.
+func RunThroughput(cfg Config, algo Algo) (ThroughputResult, error) {
+	cfg = cfg.withDefaults()
+	res := ThroughputResult{
+		Dataset: cfg.Dataset, Kind: cfg.Kind, Algo: algo,
+		Readers: cfg.Readers, Writers: cfg.Writers,
+	}
+	oldWorkers := parallel.Workers()
+	parallel.SetWorkers(cfg.Writers)
+	defer parallel.SetWorkers(oldWorkers)
+
+	for trial := 0; trial < cfg.Trials; trial++ {
+		p, err := prepare(cfg)
+		if err != nil {
+			return res, err
+		}
+		batches := measuredBatches(p, cfg)
+		e := newEngine(algo, p.n, cfg.Params)
+		loadForKind(e, p, cfg, batches)
+
+		var reads atomic.Int64
+		stop := make(chan struct{})
+		var wg sync.WaitGroup
+		for r := 0; r < cfg.Readers; r++ {
+			wg.Add(1)
+			w := gen.NewUniformReads(p.n, cfg.Seed+int64(trial*100+r))
+			go func() {
+				defer wg.Done()
+				for {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+					e.Read(w.Next())
+					reads.Add(1)
+				}
+			}()
+		}
+		t0 := time.Now()
+		var edges int64
+		for _, b := range batches {
+			if cfg.Kind == plds.Insert {
+				edges += int64(e.InsertBatch(b))
+			} else {
+				edges += int64(e.DeleteBatch(b))
+			}
+		}
+		writeTime := time.Since(t0)
+		close(stop)
+		wg.Wait()
+		res.ReadOps += reads.Load()
+		res.WriteEdges += edges
+		res.ReadsPerS += stats.Throughput(reads.Load(), writeTime)
+		res.WritesPerS += stats.Throughput(edges, writeTime)
+	}
+	res.ReadsPerS /= float64(cfg.Trials)
+	res.WritesPerS /= float64(cfg.Trials)
+	return res, nil
+}

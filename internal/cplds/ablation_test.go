@@ -1,0 +1,204 @@
+package cplds
+
+import (
+	"sync"
+	"testing"
+
+	"kcore/internal/gen"
+	"kcore/internal/lds"
+	"kcore/internal/plds"
+)
+
+func TestPathCompressionAblationCorrectness(t *testing.T) {
+	// With compression disabled the DAG walks are longer but every
+	// linearizability property must still hold: run the intermediate-level
+	// check with compression off.
+	const n = 64
+	const k = 40
+	for trial := 0; trial < 10; trial++ {
+		c, batch := buildCascade(n, k)
+		c.SetPathCompression(false)
+		var wg sync.WaitGroup
+		stop := make(chan struct{})
+		type obs struct {
+			v     uint32
+			level int32
+		}
+		var mu sync.Mutex
+		var observations []obs
+		for r := 0; r < 3; r++ {
+			wg.Add(1)
+			go func(r int) {
+				defer wg.Done()
+				var local []obs
+				for {
+					select {
+					case <-stop:
+						mu.Lock()
+						observations = append(observations, local...)
+						mu.Unlock()
+						return
+					default:
+					}
+					v := uint32((r * 5) % k)
+					local = append(local, obs{v, c.ReadLevel(v)})
+				}
+			}(r)
+		}
+		c.InsertBatch(batch)
+		close(stop)
+		wg.Wait()
+		for _, o := range observations {
+			post := c.P.Level(o.v)
+			if o.level != 0 && o.level != post {
+				t.Fatalf("trial %d: intermediate level %d observed with compression off (post %d)",
+					trial, o.level, post)
+			}
+		}
+		if err := c.CheckInvariants(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestDeletionDescriptorsRecordPreBatchLevels(t *testing.T) {
+	const n = 200
+	c := newC(n)
+	edges := gen.ChungLu(n, 2000, 2.3, 95)
+	c.InsertBatch(edges)
+	pre := make([]int32, n)
+	for v := uint32(0); v < n; v++ {
+		pre[v] = c.P.Level(v)
+	}
+	verified := 0
+	c.beforeUnmark = func(kind plds.Kind, marked []uint32) {
+		for _, v := range marked {
+			d := c.DescriptorOf(v)
+			if d == nil {
+				t.Errorf("marked %d missing descriptor", v)
+				continue
+			}
+			if d.OldLevel != pre[v] {
+				t.Errorf("deletion: vertex %d OldLevel %d != pre %d", v, d.OldLevel, pre[v])
+			}
+			if c.P.Level(v) >= pre[v] {
+				t.Errorf("deletion mover %d did not move down (pre %d, now %d)", v, pre[v], c.P.Level(v))
+			}
+			verified++
+		}
+	}
+	c.DeleteBatch(edges[:1500])
+	if verified == 0 {
+		t.Fatal("no deletion movers to verify")
+	}
+}
+
+func TestReadRetriesCounter(t *testing.T) {
+	c := newC(50)
+	c.InsertBatch(gen.ErdosRenyi(50, 200, 96))
+	if c.ReadRetries() != 0 {
+		t.Fatalf("retries before any contention = %d", c.ReadRetries())
+	}
+	// Quiescent reads never retry.
+	for v := uint32(0); v < 50; v++ {
+		c.Read(v)
+	}
+	if c.ReadRetries() != 0 {
+		t.Fatalf("quiescent reads retried %d times", c.ReadRetries())
+	}
+}
+
+func TestUnionManyConcurrentMarkers(t *testing.T) {
+	// Stress the descriptor union-find directly: mark a large set and
+	// union random pairs from many goroutines; afterwards all vertices
+	// must share the single minimum root.
+	const n = 2000
+	c := newC(n)
+	for v := uint32(0); v < n; v++ {
+		d := &Descriptor{}
+		d.parent.Store(Root)
+		c.desc[v].Store(d)
+	}
+	var wg sync.WaitGroup
+	const gor = 8
+	for g := 0; g < gor; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := g; i < n-1; i += gor {
+				c.union(uint32(i), uint32(i+1))
+			}
+		}(g)
+	}
+	wg.Wait()
+	for v := uint32(0); v < n; v++ {
+		r, ok := c.findRoot(v)
+		if !ok || r != 0 {
+			t.Fatalf("root of %d = %d (ok=%v), want 0", v, r, ok)
+		}
+	}
+}
+
+func TestParamsVariants(t *testing.T) {
+	// The protocol must hold for non-default approximation parameters too.
+	for _, p := range []lds.Params{
+		{Delta: 0.4, Lambda: 3},
+		{Delta: 0.1, Lambda: 20},
+		{Delta: 1.0, Lambda: 1},
+	} {
+		c := New(120, p)
+		edges := gen.ErdosRenyi(120, 900, 97)
+		c.InsertBatch(edges)
+		if err := c.CheckInvariants(); err != nil {
+			t.Fatalf("params %+v: %v", p, err)
+		}
+		c.DeleteBatch(edges[:450])
+		if err := c.CheckInvariants(); err != nil {
+			t.Fatalf("params %+v after delete: %v", p, err)
+		}
+	}
+}
+
+// BenchmarkReadPathCompressionAblation compares linearizable read cost with
+// and without the paper's path-compression optimization while a batch with
+// deep dependency DAGs is in flight.
+func BenchmarkReadPathCompressionAblation(b *testing.B) {
+	for _, compress := range []bool{true, false} {
+		name := "compress=on"
+		if !compress {
+			name = "compress=off"
+		}
+		b.Run(name, func(b *testing.B) {
+			const n = 4096
+			c := newC(n)
+			c.SetPathCompression(compress)
+			edges := gen.ChungLu(n, 20000, 2.3, 1)
+			c.InsertBatch(edges[:10000])
+			stop := make(chan struct{})
+			done := make(chan struct{})
+			go func() {
+				defer close(done)
+				for i := 0; ; i++ {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+					if i%2 == 0 {
+						c.InsertBatch(edges[10000:])
+					} else {
+						c.DeleteBatch(edges[10000:])
+					}
+				}
+			}()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				c.Read(uint32(i % n))
+			}
+			b.StopTimer()
+			close(stop)
+			<-done
+		})
+	}
+}

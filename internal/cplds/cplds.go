@@ -1,0 +1,410 @@
+// Package cplds implements the Concurrent Parallel Level Data Structure
+// (CPLDS) — the contribution of Liu, Shun and Zablotchi (PPoPP 2024):
+// a hybrid concurrent–parallel dynamic k-core data structure in which
+// asynchronous, lock-free coreness reads proceed concurrently with parallel
+// batches of edge updates while remaining linearizable.
+//
+// # Design (paper §4–5)
+//
+// Each vertex has an operation-descriptor slot. When a vertex first moves
+// during a batch it becomes marked: a descriptor recording its pre-batch
+// (old) level is installed, and the vertex is merged into the dependency
+// DAGs of (a) its triggers — marked neighbours that may have caused the
+// move — and (b) its marked batch neighbours — endpoints of batch edges
+// incident to it (Lemma 6.3: no updated edge may cross DAGs). DAGs are
+// merged with a lock-free union-find over descriptor parent pointers, with
+// deterministic link-by-minimum-root and path compression.
+//
+// A read of v double-collects the global batch number and v's live level
+// around an inspection of v's DAG (check_DAG): if the DAG root is still
+// marked, the read returns the coreness estimate from v's old level;
+// otherwise it returns the estimate from v's (stable) live level. Reads are
+// lock-free: every retry implies that an update made progress.
+//
+// At the end of each batch all descriptors are removed — roots first, then
+// non-roots — preserving the invariant that a DAG's root is unmarked before
+// any of its non-roots, which is what allows check_DAG to stop early at any
+// unmarked descriptor.
+package cplds
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"kcore/internal/graph"
+	"kcore/internal/lds"
+	"kcore/internal/parallel"
+	"kcore/internal/plds"
+)
+
+// Root is the parent value of a DAG root descriptor (I_AM_ROOT in the
+// paper's pseudocode).
+const Root int32 = -1
+
+// Descriptor is an operation descriptor for a vertex that is changing
+// levels in the current batch.
+type Descriptor struct {
+	// parent is the vertex id of this node's parent in the dependency DAG,
+	// or Root. It changes under CAS (union) and atomic store (path
+	// compression).
+	parent atomic.Int32
+	// OldLevel is the vertex's level before the current batch of updates.
+	OldLevel int32
+}
+
+// Status is the result of inspecting a vertex's dependency DAG.
+type Status int
+
+const (
+	// Unmarked means the vertex (or its DAG root) is not being updated.
+	Unmarked Status = iota
+	// Marked means the vertex's DAG root still has an active descriptor.
+	Marked
+)
+
+// CPLDS wraps the PLDS batch engine with the descriptor/DAG machinery and
+// the concurrent read protocol.
+//
+// Concurrency contract: InsertBatch/DeleteBatch from one updater goroutine
+// at a time (internally parallel); Read, ReadNonSync and ReadSync from any
+// number of goroutines at any time.
+type CPLDS struct {
+	P *plds.PLDS
+	S *lds.Structure
+
+	desc     []atomic.Pointer[Descriptor]
+	batchNum atomic.Uint64
+
+	// Batch-scoped state (owned by the updater between BatchStart/BatchEnd).
+	kind     plds.Kind
+	batchAdj map[uint32][]uint32 // endpoints of batch edges, per vertex
+
+	markedMu sync.Mutex
+	marked   []uint32 // vertices marked in the current batch
+
+	// gate implements the SyncReads baseline: the updater write-locks it
+	// for the duration of each batch, so ReadSync blocks until the batch
+	// completes (exactly the paper's synchronous baseline).
+	gate sync.RWMutex
+
+	// beforeUnmark, when non-nil, runs at the start of BatchEnd while all
+	// descriptors are still in place. Test hook for inspecting the final
+	// dependency DAGs of a batch.
+	beforeUnmark func(kind plds.Kind, marked []uint32)
+
+	// noPathCompression disables path compression in DAG traversals (reads
+	// and unions). Ablation knob: compression is the paper's §5.2
+	// optimization; disabling it lengthens root paths but must not affect
+	// correctness.
+	noPathCompression bool
+
+	// readRetries counts how many times the read protocol had to restart
+	// (batch number changed or live level moved). Diagnostic for the
+	// lock-freedom argument and the ablation benchmarks.
+	readRetries atomic.Uint64
+}
+
+// SetPathCompression toggles the path-compression optimization (enabled by
+// default). Quiescent use only; intended for ablation benchmarks.
+func (c *CPLDS) SetPathCompression(enabled bool) { c.noPathCompression = !enabled }
+
+// ReadRetries returns the cumulative number of read-protocol restarts.
+func (c *CPLDS) ReadRetries() uint64 { return c.readRetries.Load() }
+
+// New returns an empty CPLDS over n vertices with the given parameters.
+func New(n int, p lds.Params) *CPLDS {
+	c := &CPLDS{desc: make([]atomic.Pointer[Descriptor], n)}
+	c.P = plds.New(n, p, c)
+	c.S = c.P.S
+	return c
+}
+
+// NumVertices returns the number of vertices.
+func (c *CPLDS) NumVertices() int { return len(c.desc) }
+
+// Graph exposes the underlying dynamic graph (must not be accessed
+// concurrently with a running batch).
+func (c *CPLDS) Graph() *graph.Dynamic { return c.P.Graph() }
+
+// BatchNumber returns the current batch number.
+func (c *CPLDS) BatchNumber() uint64 { return c.batchNum.Load() }
+
+// InsertBatch inserts a batch of edges; concurrent reads remain
+// linearizable throughout. Returns the number of edges applied.
+func (c *CPLDS) InsertBatch(edges []graph.Edge) int { return c.P.InsertBatch(edges) }
+
+// DeleteBatch deletes a batch of edges; concurrent reads remain
+// linearizable throughout. Returns the number of edges removed.
+func (c *CPLDS) DeleteBatch(edges []graph.Edge) int { return c.P.DeleteBatch(edges) }
+
+// --- plds.Tracker implementation (update-side protocol) ---
+
+// BatchStart begins a batch: takes the sync gate, bumps the batch number
+// and indexes the batch edges by endpoint for marked-batch-neighbour
+// lookups.
+func (c *CPLDS) BatchStart(kind plds.Kind, applied []graph.Edge) {
+	c.gate.Lock()
+	c.batchNum.Add(1)
+	c.kind = kind
+	if len(applied) > 0 {
+		adj := make(map[uint32][]uint32, 2*len(applied))
+		for _, e := range applied {
+			adj[e.U] = append(adj[e.U], e.V)
+			adj[e.V] = append(adj[e.V], e.U)
+		}
+		c.batchAdj = adj
+	} else {
+		c.batchAdj = nil
+	}
+	c.marked = c.marked[:0]
+}
+
+// VertexMoving marks v: it installs a descriptor carrying v's pre-batch
+// level and merges v into the DAGs of its triggers and marked batch
+// neighbours. Called concurrently by the batch engine, once per vertex per
+// batch, before v's first level change.
+func (c *CPLDS) VertexMoving(v uint32, oldLevel int32, kind plds.Kind) {
+	d := &Descriptor{OldLevel: oldLevel}
+	d.parent.Store(Root)
+	c.desc[v].Store(d)
+	c.markedMu.Lock()
+	c.marked = append(c.marked, v)
+	c.markedMu.Unlock()
+
+	// Triggers: marked graph neighbours that may have caused v's move.
+	// Insertions: marked neighbours at v's level or above (a vertex that
+	// moved up past v can push v's up-degree over the bound). Deletions:
+	// marked neighbours that dropped below level ℓ(v)−1 (they left v's
+	// Invariant 2 neighbourhood).
+	c.P.Graph().Neighbors(v, func(w uint32) bool {
+		if c.desc[w].Load() == nil {
+			return true
+		}
+		lw := c.P.Level(w)
+		if kind == plds.Insert {
+			if lw >= oldLevel {
+				c.union(v, w)
+			}
+		} else {
+			if lw < oldLevel-1 {
+				c.union(v, w)
+			}
+		}
+		return true
+	})
+	// Marked batch neighbours: endpoints of updated edges incident to v
+	// must share v's DAG regardless of level (Lemma 6.3).
+	for _, w := range c.batchAdj[v] {
+		if c.desc[w].Load() != nil {
+			c.union(v, w)
+		}
+	}
+}
+
+// BatchEnd unmarks every descriptor — roots first, then the rest — and
+// releases the sync gate.
+func (c *CPLDS) BatchEnd(kind plds.Kind) {
+	if c.beforeUnmark != nil {
+		c.beforeUnmark(kind, c.marked)
+	}
+	// Pass 1: unmark all DAG roots.
+	parallel.For(len(c.marked), func(i int) {
+		v := c.marked[i]
+		if d := c.desc[v].Load(); d != nil && d.parent.Load() == Root {
+			c.desc[v].Store(nil)
+		}
+	})
+	// Pass 2: unmark all remaining marked vertices.
+	parallel.For(len(c.marked), func(i int) {
+		c.desc[c.marked[i]].Store(nil)
+	})
+	c.batchAdj = nil
+	c.gate.Unlock()
+}
+
+// --- dependency-DAG union-find over descriptors ---
+
+// findRoot returns the root vertex of v's DAG, compressing the path. The
+// caller must know v is currently marked. Returns (root, true), or
+// (0, false) if an unmarked descriptor was encountered (possible only for
+// concurrent readers racing batch end; the updater never sees it).
+func (c *CPLDS) findRoot(v uint32) (uint32, bool) {
+	x := v
+	d := c.desc[x].Load()
+	if d == nil {
+		return 0, false
+	}
+	// Walk to the root.
+	for {
+		p := d.parent.Load()
+		if p == Root {
+			break
+		}
+		nd := c.desc[uint32(p)].Load()
+		if nd == nil {
+			return 0, false
+		}
+		x = uint32(p)
+		d = nd
+	}
+	if c.noPathCompression {
+		return x, true
+	}
+	// Compress: point every node on v's path directly at x. A non-root
+	// descriptor's parent is only ever rewritten to another ancestor, so
+	// racing stores are benign.
+	for w := v; w != x; {
+		dw := c.desc[w].Load()
+		if dw == nil {
+			break
+		}
+		p := dw.parent.Load()
+		if p == Root {
+			break
+		}
+		if uint32(p) != x {
+			dw.parent.Store(int32(x))
+		}
+		w = uint32(p)
+	}
+	return x, true
+}
+
+// union merges the DAGs of u and w with deterministic
+// link-larger-root-under-smaller CAS linking. Only called by the updater
+// during a batch, when both u and w are marked.
+func (c *CPLDS) union(u, w uint32) {
+	for {
+		ru, ok := c.findRoot(u)
+		if !ok {
+			return
+		}
+		rw, ok := c.findRoot(w)
+		if !ok {
+			return
+		}
+		if ru == rw {
+			return
+		}
+		lo, hi := ru, rw
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		d := c.desc[hi].Load()
+		if d == nil {
+			return
+		}
+		if d.parent.CompareAndSwap(Root, int32(lo)) {
+			return
+		}
+		// hi stopped being a root (a concurrent union won); retry.
+	}
+}
+
+// checkDAG implements Algorithm 3: it reports whether the DAG containing
+// the given descriptor is still marked. Traversal stops early at any
+// unmarked descriptor — by the unmark-roots-first invariant, an unmarked
+// non-root implies an unmarked root.
+func (c *CPLDS) checkDAG(d *Descriptor) Status {
+	if d == nil {
+		return Unmarked
+	}
+	first := d
+	firstParent := d.parent.Load()
+	if firstParent == Root {
+		return Marked
+	}
+	last := firstParent
+	for {
+		nd := c.desc[uint32(last)].Load()
+		if nd == nil {
+			// Unmark-roots-first invariant: an unmarked node on the path
+			// implies the root is unmarked too.
+			return Unmarked
+		}
+		p := nd.parent.Load()
+		if p == Root {
+			// Reader-side path compression: shortcut the entry node to the
+			// root. A non-root parent pointer is only ever rewritten to
+			// another ancestor, so the racing store is benign.
+			if last != firstParent && !c.noPathCompression {
+				first.parent.Store(last)
+			}
+			return Marked
+		}
+		last = p
+	}
+}
+
+// --- read protocols ---
+
+// Read returns the linearizable coreness estimate of v (Algorithm 4). It
+// is lock-free and may run concurrently with update batches.
+func (c *CPLDS) Read(v uint32) float64 {
+	return c.S.EstimateFromLevel(c.ReadLevel(v))
+}
+
+// ReadLevel returns the linearizable level of v underlying the coreness
+// estimate — the pre-batch level if v's dependency DAG is still marked, and
+// the live level otherwise.
+func (c *CPLDS) ReadLevel(v uint32) int32 {
+	for {
+		b1 := c.batchNum.Load()
+		l1 := c.P.Level(v)
+		d := c.desc[v].Load()
+		status := c.checkDAG(d)
+		l2 := c.P.Level(v)
+		b2 := c.batchNum.Load()
+		if b1 != b2 {
+			c.readRetries.Add(1)
+			continue // a new batch started: state may mix batches
+		}
+		if status == Marked {
+			return d.OldLevel
+		}
+		if l1 == l2 {
+			return l1
+		}
+		// The live level changed under us: an update made progress; retry.
+		c.readRetries.Add(1)
+	}
+}
+
+// ReadNonSync is the paper's non-linearizable NonSync baseline: it returns
+// the estimate computed from the instantaneous live level, which may be an
+// intermediate level mid-batch (unbounded error in theory, §6.3).
+func (c *CPLDS) ReadNonSync(v uint32) float64 {
+	return c.S.EstimateFromLevel(c.P.Level(v))
+}
+
+// ReadSync is the paper's SyncReads baseline: the read blocks until the
+// in-flight batch (if any) completes, then reads the settled level.
+func (c *CPLDS) ReadSync(v uint32) float64 {
+	c.gate.RLock()
+	est := c.S.EstimateFromLevel(c.P.Level(v))
+	c.gate.RUnlock()
+	return est
+}
+
+// IsMarked reports whether v currently has an active descriptor. Intended
+// for tests and diagnostics.
+func (c *CPLDS) IsMarked(v uint32) bool { return c.desc[v].Load() != nil }
+
+// DescriptorOf returns v's current descriptor (nil when unmarked). The
+// returned descriptor must be treated as read-only. Intended for tests.
+func (c *CPLDS) DescriptorOf(v uint32) *Descriptor { return c.desc[v].Load() }
+
+// Parent returns the parent vertex of d's DAG node and whether d is a root.
+// Intended for tests.
+func (d *Descriptor) Parent() (int32, bool) {
+	p := d.parent.Load()
+	return p, p == Root
+}
+
+// CheckInvariants verifies the LDS invariants of the underlying PLDS. Must
+// not run concurrently with a batch.
+func (c *CPLDS) CheckInvariants() error { return c.P.CheckInvariants() }
+
+// Estimate returns the live (non-linearizable) estimate; exposed for
+// harness symmetry with PLDS.
+func (c *CPLDS) Estimate(v uint32) float64 { return c.P.Estimate(v) }

@@ -1,0 +1,229 @@
+package exact
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"kcore/internal/gen"
+	"kcore/internal/graph"
+)
+
+// bruteForce computes coreness by repeated minimum-degree removal in
+// O(n^2 m) — a trivially correct oracle for tiny graphs.
+func bruteForce(g *graph.CSR) []int32 {
+	n := g.NumVertices()
+	core := make([]int32, n)
+	removed := make([]bool, n)
+	deg := make([]int, n)
+	for v := 0; v < n; v++ {
+		deg[v] = g.Degree(uint32(v))
+	}
+	for count := 0; count < n; count++ {
+		// Find minimum-degree unremoved vertex.
+		best, bestDeg := -1, 1<<30
+		for v := 0; v < n; v++ {
+			if !removed[v] && deg[v] < bestDeg {
+				best, bestDeg = v, deg[v]
+			}
+		}
+		k := bestDeg
+		if count > 0 {
+			// Coreness is non-decreasing over the removal order.
+			prevMax := 0
+			for v := 0; v < n; v++ {
+				if removed[v] && int(core[v]) > prevMax {
+					prevMax = int(core[v])
+				}
+			}
+			if k < prevMax {
+				k = prevMax
+			}
+		}
+		core[best] = int32(k)
+		removed[best] = true
+		for _, w := range g.Neighbors(uint32(best)) {
+			if !removed[w] {
+				deg[w]--
+			}
+		}
+	}
+	return core
+}
+
+func TestSequentialKnownGraphs(t *testing.T) {
+	// Triangle + pendant: triangle vertices have coreness 2, pendant 1.
+	csr := graph.CSRFromEdges(4, []graph.Edge{graph.E(0, 1), graph.E(1, 2), graph.E(0, 2), graph.E(2, 3)})
+	core := Sequential(csr)
+	want := []int32{2, 2, 2, 1}
+	if !reflect.DeepEqual(core, want) {
+		t.Fatalf("core = %v, want %v", core, want)
+	}
+	if MaxCore(core) != 2 {
+		t.Fatalf("MaxCore = %d", MaxCore(core))
+	}
+}
+
+func TestSequentialClique(t *testing.T) {
+	csr := graph.CSRFromEdges(7, gen.Clique(7))
+	core := Sequential(csr)
+	for v, c := range core {
+		if c != 6 {
+			t.Fatalf("clique vertex %d coreness %d, want 6", v, c)
+		}
+	}
+}
+
+func TestSequentialPath(t *testing.T) {
+	// Path graph: all coreness 1.
+	edges := []graph.Edge{graph.E(0, 1), graph.E(1, 2), graph.E(2, 3), graph.E(3, 4)}
+	core := Sequential(graph.CSRFromEdges(5, edges))
+	for v, c := range core {
+		if c != 1 {
+			t.Fatalf("path vertex %d coreness %d, want 1", v, c)
+		}
+	}
+}
+
+func TestSequentialEmptyAndIsolated(t *testing.T) {
+	core := Sequential(graph.CSRFromEdges(0, nil))
+	if len(core) != 0 {
+		t.Fatal("empty graph")
+	}
+	core = Sequential(graph.CSRFromEdges(3, nil))
+	for _, c := range core {
+		if c != 0 {
+			t.Fatalf("isolated vertex coreness %d", c)
+		}
+	}
+}
+
+func TestSequentialMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 30; trial++ {
+		n := 5 + rng.Intn(25)
+		m := rng.Intn(3 * n)
+		edges := gen.ErdosRenyi(n, m, int64(trial))
+		csr := graph.CSRFromEdges(n, edges)
+		got := Sequential(csr)
+		want := bruteForce(csr)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("trial %d (n=%d m=%d):\n got %v\nwant %v", trial, n, m, got, want)
+		}
+	}
+}
+
+func TestParallelMatchesSequential(t *testing.T) {
+	for trial := 0; trial < 10; trial++ {
+		n := 200 + trial*100
+		edges := gen.ErdosRenyi(n, n*4, int64(trial+50))
+		csr := graph.CSRFromEdges(n, edges)
+		seq := Sequential(csr)
+		par := Parallel(csr)
+		if !reflect.DeepEqual(seq, par) {
+			t.Fatalf("trial %d: parallel != sequential", trial)
+		}
+	}
+}
+
+func TestParallelMatchesSequentialOnProfiles(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	for _, name := range []string{"dblp", "ctr"} {
+		edges, n, err := gen.DatasetByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		csr := graph.CSRFromEdges(n, edges)
+		seq := Sequential(csr)
+		par := Parallel(csr)
+		if !reflect.DeepEqual(seq, par) {
+			t.Fatalf("%s: parallel != sequential", name)
+		}
+	}
+}
+
+func TestParallelProperty(t *testing.T) {
+	f := func(raw [][2]uint8, nn uint8) bool {
+		n := int(nn)%40 + 5
+		edges := make([]graph.Edge, 0, len(raw))
+		for _, p := range raw {
+			e := graph.Edge{U: uint32(p[0]) % uint32(n), V: uint32(p[1]) % uint32(n)}
+			edges = append(edges, e)
+		}
+		csr := graph.CSRFromEdges(n, edges)
+		return reflect.DeepEqual(Sequential(csr), Parallel(csr))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCorenessDefinitionProperty(t *testing.T) {
+	// Every vertex in the k-core subgraph (coreness >= k) must have induced
+	// degree >= k within it — the defining property of the k-core.
+	edges := gen.ChungLu(500, 2500, 2.3, 33)
+	csr := graph.CSRFromEdges(500, edges)
+	core := Sequential(csr)
+	maxK := MaxCore(core)
+	for k := int32(1); k <= maxK; k++ {
+		members := KCoreSubgraph(core, k)
+		inCore := make([]bool, 500)
+		for _, v := range members {
+			inCore[v] = true
+		}
+		for _, v := range members {
+			indDeg := 0
+			for _, w := range csr.Neighbors(v) {
+				if inCore[w] {
+					indDeg++
+				}
+			}
+			if int32(indDeg) < k {
+				t.Fatalf("vertex %d in %d-core has induced degree %d", v, k, indDeg)
+			}
+		}
+	}
+}
+
+func TestRoadProfileSmallCore(t *testing.T) {
+	// The road stand-ins must have tiny maximum coreness like ctr/usa
+	// (largest k = 3 in the paper's Table 1).
+	edges, n, err := gen.DatasetByName("ctr")
+	if err != nil {
+		t.Fatal(err)
+	}
+	core := Sequential(graph.CSRFromEdges(n, edges))
+	if mk := MaxCore(core); mk > 4 || mk < 2 {
+		t.Fatalf("road profile max core = %d, want small (2–4)", mk)
+	}
+}
+
+func TestDegeneracy(t *testing.T) {
+	csr := graph.CSRFromEdges(7, gen.Clique(7))
+	if d := Degeneracy(csr); d != 6 {
+		t.Fatalf("Degeneracy = %d", d)
+	}
+}
+
+func BenchmarkSequentialPeel(b *testing.B) {
+	edges := gen.ChungLu(20000, 100000, 2.4, 1)
+	csr := graph.CSRFromEdges(20000, edges)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Sequential(csr)
+	}
+}
+
+func BenchmarkParallelPeel(b *testing.B) {
+	edges := gen.ChungLu(20000, 100000, 2.4, 1)
+	csr := graph.CSRFromEdges(20000, edges)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Parallel(csr)
+	}
+}

@@ -1,0 +1,286 @@
+package gen
+
+import (
+	"testing"
+
+	"kcore/internal/graph"
+)
+
+func TestErdosRenyiDeterministic(t *testing.T) {
+	a := ErdosRenyi(100, 300, 1)
+	b := ErdosRenyi(100, 300, 1)
+	if len(a) != 300 || len(b) != 300 {
+		t.Fatalf("lengths %d %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("nondeterministic at %d", i)
+		}
+	}
+	c := ErdosRenyi(100, 300, 2)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical output")
+	}
+}
+
+func TestErdosRenyiDistinctEdges(t *testing.T) {
+	edges := ErdosRenyi(50, 400, 3)
+	seen := map[graph.Edge]struct{}{}
+	for _, e := range edges {
+		if e.IsSelfLoop() {
+			t.Fatalf("self-loop %v", e)
+		}
+		if e.U > e.V {
+			t.Fatalf("non-canonical edge %v", e)
+		}
+		if _, ok := seen[e]; ok {
+			t.Fatalf("duplicate edge %v", e)
+		}
+		seen[e] = struct{}{}
+	}
+}
+
+func TestErdosRenyiCapsAtCompleteGraph(t *testing.T) {
+	edges := ErdosRenyi(5, 100, 4)
+	if len(edges) != 10 {
+		t.Fatalf("len = %d, want 10 (complete K5)", len(edges))
+	}
+}
+
+func TestChungLuHeavyTail(t *testing.T) {
+	edges := ChungLu(2000, 8000, 2.3, 5)
+	if len(edges) < 7000 {
+		t.Fatalf("generated only %d edges", len(edges))
+	}
+	g := graph.FromEdges(2000, edges)
+	maxDeg, sumDeg := 0, 0
+	for v := 0; v < 2000; v++ {
+		d := g.Degree(uint32(v))
+		sumDeg += d
+		if d > maxDeg {
+			maxDeg = d
+		}
+	}
+	avg := float64(sumDeg) / 2000
+	// Heavy tail: max degree far above the average.
+	if float64(maxDeg) < 8*avg {
+		t.Fatalf("degree distribution not skewed: max %d avg %.1f", maxDeg, avg)
+	}
+}
+
+func TestRMATValid(t *testing.T) {
+	edges := RMAT(10, 5000, 0.57, 0.19, 0.19, 6)
+	if len(edges) < 4000 {
+		t.Fatalf("generated only %d edges", len(edges))
+	}
+	for _, e := range edges {
+		if e.U >= 1024 || e.V >= 1024 || e.IsSelfLoop() {
+			t.Fatalf("bad edge %v", e)
+		}
+	}
+}
+
+func TestBarabasiAlbert(t *testing.T) {
+	edges := BarabasiAlbert(500, 4, 7)
+	g := graph.FromEdges(500, edges)
+	for v := 5; v < 500; v++ {
+		if g.Degree(uint32(v)) < 4 {
+			t.Fatalf("vertex %d degree %d < k", v, g.Degree(uint32(v)))
+		}
+	}
+}
+
+func TestTriangularGrid(t *testing.T) {
+	edges := TriangularGrid(4, 5)
+	g := graph.FromEdges(20, edges)
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Interior vertex degree in a triangular grid is 6.
+	if d := g.Degree(uint32(1*5 + 2)); d != 6 {
+		t.Fatalf("interior degree = %d, want 6", d)
+	}
+	// Corner (0,0) has right, down, diag = 3.
+	if d := g.Degree(0); d != 3 {
+		t.Fatalf("corner degree = %d, want 3", d)
+	}
+}
+
+func TestClique(t *testing.T) {
+	edges := Clique(6)
+	if len(edges) != 15 {
+		t.Fatalf("len = %d", len(edges))
+	}
+}
+
+func TestAllProfilesMaterialize(t *testing.T) {
+	for _, p := range Profiles {
+		edges, n, err := DatasetByName(p.Name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n <= 0 || len(edges) == 0 {
+			t.Fatalf("%s: n=%d m=%d", p.Name, n, len(edges))
+		}
+		for _, e := range edges {
+			if int(e.U) >= n || int(e.V) >= n {
+				t.Fatalf("%s: edge %v out of range n=%d", p.Name, e, n)
+			}
+		}
+	}
+	if _, _, err := DatasetByName("nope"); err == nil {
+		t.Fatal("want error for unknown profile")
+	}
+}
+
+func TestShuffleAndBatches(t *testing.T) {
+	edges := ErdosRenyi(100, 1000, 8)
+	sh := Shuffle(edges, 9)
+	if len(sh) != len(edges) {
+		t.Fatalf("shuffle changed length")
+	}
+	counts := map[graph.Edge]int{}
+	for _, e := range edges {
+		counts[e]++
+	}
+	for _, e := range sh {
+		counts[e]--
+	}
+	for e, c := range counts {
+		if c != 0 {
+			t.Fatalf("shuffle altered multiset at %v", e)
+		}
+	}
+	bs := Batches(sh, 300)
+	if len(bs) != 4 {
+		t.Fatalf("batches = %d, want 4", len(bs))
+	}
+	if len(bs[3]) != 100 {
+		t.Fatalf("last batch = %d, want 100", len(bs[3]))
+	}
+	if got := Batches(sh, 0); len(got) != len(sh) {
+		t.Fatalf("batchSize 0 should clamp to 1")
+	}
+}
+
+func TestUpdateStream(t *testing.T) {
+	edges := ErdosRenyi(200, 2000, 10)
+	us := NewUpdateStream(edges, 200, 0.5, 250, 11)
+	if len(us.Base) != 1000 {
+		t.Fatalf("base = %d", len(us.Base))
+	}
+	if len(us.Insertions) != 4 {
+		t.Fatalf("insertion batches = %d", len(us.Insertions))
+	}
+	if len(us.Deletions) != 4 {
+		t.Fatalf("deletion batches = %d", len(us.Deletions))
+	}
+	// Deletions are insertions reversed.
+	if &us.Deletions[0][0] != &us.Insertions[3][0] {
+		t.Fatal("deletions should alias reversed insertion batches")
+	}
+	total := len(us.Base)
+	for _, b := range us.Insertions {
+		total += len(b)
+	}
+	if total != 2000 {
+		t.Fatalf("total = %d", total)
+	}
+}
+
+func TestReadWorkloads(t *testing.T) {
+	u := NewUniformReads(100, 12)
+	seen := map[uint32]bool{}
+	for i := 0; i < 2000; i++ {
+		v := u.Next()
+		if v >= 100 {
+			t.Fatalf("out of range read %d", v)
+		}
+		seen[v] = true
+	}
+	if len(seen) < 80 {
+		t.Fatalf("uniform reads covered only %d vertices", len(seen))
+	}
+	z := NewZipfReads(100, 1.5, 13)
+	counts := make([]int, 100)
+	for i := 0; i < 5000; i++ {
+		v := z.Next()
+		if v >= 100 {
+			t.Fatalf("zipf out of range %d", v)
+		}
+		counts[v]++
+	}
+	if counts[0] < counts[50] {
+		t.Fatal("zipf not skewed toward low ids")
+	}
+	// Degenerate s clamps rather than panicking.
+	_ = NewZipfReads(100, 0.5, 14)
+}
+
+func TestSlidingWindow(t *testing.T) {
+	edges := ErdosRenyi(200, 3000, 18)
+	const window = 1000
+	const batch = 400
+	mbs := SlidingWindow(edges, batch, window, 19)
+	live := 0
+	seen := map[graph.Edge]bool{}
+	for i, mb := range mbs {
+		for _, e := range mb.Insertions {
+			if seen[e] {
+				t.Fatalf("batch %d re-inserts %v", i, e)
+			}
+			seen[e] = true
+		}
+		live += len(mb.Insertions)
+		for _, e := range mb.Deletions {
+			if !seen[e] {
+				t.Fatalf("batch %d deletes never-inserted %v", i, e)
+			}
+		}
+		live -= len(mb.Deletions)
+		if live > window {
+			t.Fatalf("batch %d: live %d exceeds window %d", i, live, window)
+		}
+	}
+	if live != window {
+		t.Fatalf("final live = %d, want full window %d", live, window)
+	}
+}
+
+func TestMixedBatches(t *testing.T) {
+	edges := ErdosRenyi(100, 1000, 15)
+	mbs := MixedBatches(edges, 200, 0.25, 16)
+	if len(mbs) != 5 {
+		t.Fatalf("batches = %d", len(mbs))
+	}
+	if len(mbs[0].Deletions) != 0 {
+		t.Fatal("first batch should have nothing to delete")
+	}
+	for i := 1; i < len(mbs); i++ {
+		if len(mbs[i].Deletions) == 0 {
+			t.Fatalf("batch %d has no deletions", i)
+		}
+		// Deletions must have been inserted earlier and not deleted since.
+		prior := map[graph.Edge]bool{}
+		for j := 0; j < i; j++ {
+			for _, e := range mbs[j].Insertions {
+				prior[e] = true
+			}
+			for _, e := range mbs[j].Deletions {
+				delete(prior, e)
+			}
+		}
+		for _, e := range mbs[i].Deletions {
+			if !prior[e] {
+				t.Fatalf("batch %d deletes %v which is not live", i, e)
+			}
+		}
+	}
+}

@@ -1,0 +1,161 @@
+package gen
+
+import (
+	"math"
+	"math/rand"
+
+	"kcore/internal/graph"
+)
+
+// Shuffle returns a deterministic pseudo-random permutation of edges.
+func Shuffle(edges []graph.Edge, seed int64) []graph.Edge {
+	out := append([]graph.Edge(nil), edges...)
+	rng := rand.New(rand.NewSource(seed))
+	rng.Shuffle(len(out), func(i, j int) { out[i], out[j] = out[j], out[i] })
+	return out
+}
+
+// Batches splits edges into consecutive batches of the given size (the last
+// batch may be shorter). The slices alias the input.
+func Batches(edges []graph.Edge, batchSize int) [][]graph.Edge {
+	if batchSize <= 0 {
+		batchSize = 1
+	}
+	var out [][]graph.Edge
+	for lo := 0; lo < len(edges); lo += batchSize {
+		hi := lo + batchSize
+		if hi > len(edges) {
+			hi = len(edges)
+		}
+		out = append(out, edges[lo:hi])
+	}
+	return out
+}
+
+// UpdateStream is a prepared sequence of update batches for an experiment:
+// a base graph loaded up front, then insertion batches, then (optionally)
+// deletion batches of the same edges in reverse.
+type UpdateStream struct {
+	NumVertices int
+	Base        []graph.Edge   // loaded before measurement starts
+	Insertions  [][]graph.Edge // measured insertion batches
+	Deletions   [][]graph.Edge // measured deletion batches
+}
+
+// NewUpdateStream prepares an update stream from a dataset edge list:
+// baseFrac of the (shuffled) edges form the base graph; the rest are split
+// into insertion batches of batchSize; deletion batches delete the same
+// edges in reverse batch order. This mirrors the paper's setup of applying
+// batches of 10^6 edge updates to a loaded graph.
+func NewUpdateStream(edges []graph.Edge, n int, baseFrac float64, batchSize int, seed int64) *UpdateStream {
+	sh := Shuffle(edges, seed)
+	nb := int(float64(len(sh)) * baseFrac)
+	if nb < 0 {
+		nb = 0
+	}
+	if nb > len(sh) {
+		nb = len(sh)
+	}
+	base, rest := sh[:nb], sh[nb:]
+	ins := Batches(rest, batchSize)
+	// Deletions remove the inserted batches in reverse order.
+	del := make([][]graph.Edge, 0, len(ins))
+	for i := len(ins) - 1; i >= 0; i-- {
+		del = append(del, ins[i])
+	}
+	return &UpdateStream{NumVertices: n, Base: base, Insertions: ins, Deletions: del}
+}
+
+// ReadWorkload generates vertex ids to read. Dist selects uniform or
+// Zipfian skew; the paper's read threads choose vertices uniformly at
+// random, which is the default.
+type ReadWorkload struct {
+	n    int
+	rng  *rand.Rand
+	zipf *rand.Zipf
+}
+
+// NewUniformReads returns a workload of uniform-random vertex reads.
+func NewUniformReads(n int, seed int64) *ReadWorkload {
+	return &ReadWorkload{n: n, rng: rand.New(rand.NewSource(seed))}
+}
+
+// NewZipfReads returns a workload of Zipf-skewed vertex reads with the
+// given skew parameter s > 1.
+func NewZipfReads(n int, s float64, seed int64) *ReadWorkload {
+	if s <= 1 {
+		s = 1.0001
+	}
+	rng := rand.New(rand.NewSource(seed))
+	return &ReadWorkload{n: n, rng: rng, zipf: rand.NewZipf(rng, s, 1, uint64(n-1))}
+}
+
+// Next returns the next vertex to read.
+func (w *ReadWorkload) Next() uint32 {
+	if w.zipf != nil {
+		return uint32(w.zipf.Uint64())
+	}
+	return uint32(w.rng.Intn(w.n))
+}
+
+// SlidingWindow builds the classic streaming workload for batch-dynamic
+// structures: edges arrive in order, and once more than windowSize edges
+// are live, each new insertion batch is paired with a deletion batch of
+// the oldest edges, keeping the live set at the window size. The returned
+// batches alternate (insert, delete) once the window is full.
+func SlidingWindow(edges []graph.Edge, batchSize, windowSize int, seed int64) []MixedBatch {
+	sh := Shuffle(edges, seed)
+	var out []MixedBatch
+	start := 0 // index of the oldest live edge
+	live := 0
+	for lo := 0; lo < len(sh); lo += batchSize {
+		hi := lo + batchSize
+		if hi > len(sh) {
+			hi = len(sh)
+		}
+		b := MixedBatch{Insertions: sh[lo:hi]}
+		live += hi - lo
+		if over := live - windowSize; over > 0 {
+			b.Deletions = sh[start : start+over]
+			start += over
+			live -= over
+		}
+		out = append(out, b)
+	}
+	return out
+}
+
+// MixedBatch holds one batch that contains both insertions and deletions,
+// pre-separated as the paper's pre-processing step prescribes ("batches
+// contain a mix of insertions and deletions, which are separated into
+// insertion and deletion sub-batches during pre-processing").
+type MixedBatch struct {
+	Insertions []graph.Edge
+	Deletions  []graph.Edge
+}
+
+// MixedBatches builds batches where each batch inserts fresh edges and
+// deletes a fraction of previously inserted ones, exercising both phases.
+func MixedBatches(edges []graph.Edge, batchSize int, deleteFrac float64, seed int64) []MixedBatch {
+	sh := Shuffle(edges, seed)
+	rng := rand.New(rand.NewSource(seed + 1))
+	var out []MixedBatch
+	var inserted []graph.Edge
+	for lo := 0; lo < len(sh); lo += batchSize {
+		hi := lo + batchSize
+		if hi > len(sh) {
+			hi = len(sh)
+		}
+		b := MixedBatch{Insertions: sh[lo:hi]}
+		nd := int(math.Round(float64(hi-lo) * deleteFrac))
+		for i := 0; i < nd && len(inserted) > 0; i++ {
+			j := rng.Intn(len(inserted))
+			b.Deletions = append(b.Deletions, inserted[j])
+			inserted[j] = inserted[len(inserted)-1]
+			inserted = inserted[:len(inserted)-1]
+		}
+		inserted = append(inserted, b.Insertions...)
+		out = append(out, b)
+	}
+	return out
+}

@@ -1,0 +1,71 @@
+package graph
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzBatchOps feeds arbitrary byte strings interpreted as edit scripts to
+// the dynamic graph and checks structural consistency after every batch.
+func FuzzBatchOps(f *testing.F) {
+	f.Add([]byte{1, 0, 1, 1, 2, 0, 2, 3})
+	f.Add([]byte{0, 0, 0, 0})
+	f.Add([]byte{1, 5, 9, 1, 9, 5, 0, 5, 9})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		const n = 32
+		g := NewDynamic(n)
+		// Each 3-byte chunk: opcode (even=insert, odd=delete), u, v.
+		var ins, del []Edge
+		for i := 0; i+2 < len(data); i += 3 {
+			e := Edge{U: uint32(data[i+1]) % n, V: uint32(data[i+2]) % n}
+			if data[i]%2 == 0 {
+				ins = append(ins, e)
+			} else {
+				del = append(del, e)
+			}
+		}
+		g.InsertEdges(ins)
+		if err := g.Validate(); err != nil {
+			t.Fatalf("after insert: %v", err)
+		}
+		g.DeleteEdges(del)
+		if err := g.Validate(); err != nil {
+			t.Fatalf("after delete: %v", err)
+		}
+		// CSR snapshot must agree with the dynamic graph.
+		csr := g.Snapshot()
+		if csr.NumEdges() != g.NumEdges() {
+			t.Fatalf("snapshot edges %d != %d", csr.NumEdges(), g.NumEdges())
+		}
+	})
+}
+
+// FuzzEdgeListParser feeds arbitrary text to the edge-list reader: it must
+// never panic, and successful parses must round-trip.
+func FuzzEdgeListParser(f *testing.F) {
+	f.Add("0 1\n2 3\n")
+	f.Add("# comment\n\n5 5\n")
+	f.Add("a b\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		edges, n, err := ReadEdgeList(bytes.NewReader([]byte(input)))
+		if err != nil {
+			return
+		}
+		for _, e := range edges {
+			if int(e.U) >= n || int(e.V) >= n {
+				t.Fatalf("edge %v out of reported range %d", e, n)
+			}
+		}
+		var buf bytes.Buffer
+		if err := WriteEdgeList(&buf, edges); err != nil {
+			t.Fatal(err)
+		}
+		back, _, err := ReadEdgeList(&buf)
+		if err != nil {
+			t.Fatalf("round trip parse failed: %v", err)
+		}
+		if len(back) != len(edges) {
+			t.Fatalf("round trip length %d != %d", len(back), len(edges))
+		}
+	})
+}

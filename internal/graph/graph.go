@@ -1,0 +1,320 @@
+// Package graph provides the dynamic undirected graph substrate used by the
+// level data structures, plus static CSR snapshots and edge-list I/O.
+//
+// The dynamic representation is a per-vertex hash set of neighbours. Batch
+// insertions and deletions are deduplicated, canonicalized and applied with
+// one goroutine per group of endpoints, so each adjacency set is mutated by
+// exactly one worker. This mirrors how the paper's GBBS-based implementation
+// applies each update batch in parallel before the level-maintenance phase.
+package graph
+
+import (
+	"fmt"
+	"sort"
+
+	"kcore/internal/parallel"
+)
+
+// Edge is an undirected edge between vertices U and V.
+type Edge struct {
+	U, V uint32
+}
+
+// E is a convenience constructor for Edge.
+func E(u, v uint32) Edge { return Edge{U: u, V: v} }
+
+// Canon returns the edge with endpoints ordered so that U <= V.
+func (e Edge) Canon() Edge {
+	if e.U > e.V {
+		return Edge{e.V, e.U}
+	}
+	return e
+}
+
+// IsSelfLoop reports whether the edge connects a vertex to itself.
+func (e Edge) IsSelfLoop() bool { return e.U == e.V }
+
+// Dynamic is an undirected dynamic graph over a fixed vertex set
+// [0, NumVertices). It tolerates duplicate and missing edges in batches
+// (they are filtered) and rejects self-loops.
+//
+// Concurrency: batch mutators (InsertEdges, DeleteEdges) must not run
+// concurrently with each other or with readers of adjacency. This matches
+// the paper's model, where a single parallel batch owns the graph during
+// its execution and coreness readers never touch adjacency.
+type Dynamic struct {
+	adj      []map[uint32]struct{}
+	numEdges int64
+}
+
+// NewDynamic returns an empty dynamic graph on n vertices.
+func NewDynamic(n int) *Dynamic {
+	return &Dynamic{adj: make([]map[uint32]struct{}, n)}
+}
+
+// FromEdges builds a dynamic graph on n vertices containing the given
+// edges (deduplicated, self-loops dropped).
+func FromEdges(n int, edges []Edge) *Dynamic {
+	g := NewDynamic(n)
+	g.InsertEdges(edges)
+	return g
+}
+
+// NumVertices returns the number of vertices.
+func (g *Dynamic) NumVertices() int { return len(g.adj) }
+
+// NumEdges returns the number of (undirected) edges currently present.
+func (g *Dynamic) NumEdges() int64 { return g.numEdges }
+
+// Degree returns the degree of v.
+func (g *Dynamic) Degree(v uint32) int { return len(g.adj[v]) }
+
+// HasEdge reports whether the edge (u, v) is present.
+func (g *Dynamic) HasEdge(u, v uint32) bool {
+	if g.adj[u] == nil {
+		return false
+	}
+	_, ok := g.adj[u][v]
+	return ok
+}
+
+// Neighbors calls f for each neighbour of v until f returns false.
+// Iteration order is unspecified.
+func (g *Dynamic) Neighbors(v uint32, f func(w uint32) bool) {
+	for w := range g.adj[v] {
+		if !f(w) {
+			return
+		}
+	}
+}
+
+// NeighborSlice returns v's neighbours as a freshly allocated slice in
+// ascending order. Intended for tests and deterministic iteration.
+func (g *Dynamic) NeighborSlice(v uint32) []uint32 {
+	out := make([]uint32, 0, len(g.adj[v]))
+	for w := range g.adj[v] {
+		out = append(out, w)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// normalizeBatch canonicalizes, sorts, and deduplicates a batch, dropping
+// self-loops and out-of-range endpoints. The returned slice is fresh.
+func (g *Dynamic) normalizeBatch(batch []Edge) []Edge {
+	n := uint32(len(g.adj))
+	out := make([]Edge, 0, len(batch))
+	for _, e := range batch {
+		if e.IsSelfLoop() || e.U >= n || e.V >= n {
+			continue
+		}
+		out = append(out, e.Canon())
+	}
+	parallel.Sort(out, func(a, b Edge) bool {
+		if a.U != b.U {
+			return a.U < b.U
+		}
+		return a.V < b.V
+	})
+	// In-place dedup.
+	w := 0
+	for i, e := range out {
+		if i == 0 || e != out[i-1] {
+			out[w] = e
+			w++
+		}
+	}
+	return out[:w]
+}
+
+// InsertEdges inserts the batch into the graph and returns the canonical
+// edges that were actually new (not already present, not duplicated within
+// the batch, not self-loops). The returned slice is sorted by (U, V).
+func (g *Dynamic) InsertEdges(batch []Edge) []Edge {
+	norm := g.normalizeBatch(batch)
+	fresh := parallel.Filter(norm, func(e Edge) bool { return !g.HasEdge(e.U, e.V) })
+	g.apply(fresh, true)
+	g.numEdges += int64(len(fresh))
+	return fresh
+}
+
+// DeleteEdges removes the batch from the graph and returns the canonical
+// edges that were actually present and removed, sorted by (U, V).
+func (g *Dynamic) DeleteEdges(batch []Edge) []Edge {
+	norm := g.normalizeBatch(batch)
+	present := parallel.Filter(norm, func(e Edge) bool { return g.HasEdge(e.U, e.V) })
+	g.apply(present, false)
+	g.numEdges -= int64(len(present))
+	return present
+}
+
+// apply mutates adjacency for the given canonical deduplicated edges. Each
+// vertex's adjacency set is touched by exactly one worker: the directed
+// copies of the batch are grouped by source vertex and groups are processed
+// in parallel.
+func (g *Dynamic) apply(edges []Edge, insert bool) {
+	if len(edges) == 0 {
+		return
+	}
+	// Directed copies, sorted by source.
+	dir := make([]Edge, 0, 2*len(edges))
+	for _, e := range edges {
+		dir = append(dir, e, Edge{e.V, e.U})
+	}
+	parallel.Sort(dir, func(a, b Edge) bool {
+		if a.U != b.U {
+			return a.U < b.U
+		}
+		return a.V < b.V
+	})
+	// Group boundaries: positions where the source changes.
+	starts := groupStarts(dir)
+	parallel.For(len(starts), func(gi int) {
+		lo := starts[gi]
+		hi := len(dir)
+		if gi+1 < len(starts) {
+			hi = starts[gi+1]
+		}
+		src := dir[lo].U
+		set := g.adj[src]
+		if insert {
+			if set == nil {
+				set = make(map[uint32]struct{}, hi-lo)
+				g.adj[src] = set
+			}
+			for _, d := range dir[lo:hi] {
+				set[d.V] = struct{}{}
+			}
+		} else if set != nil {
+			for _, d := range dir[lo:hi] {
+				delete(set, d.V)
+			}
+		}
+	})
+}
+
+// groupStarts returns the index of the first directed edge of each distinct
+// source vertex in the sorted directed edge list.
+func groupStarts(dir []Edge) []int {
+	starts := make([]int, 0, 64)
+	for i := range dir {
+		if i == 0 || dir[i].U != dir[i-1].U {
+			starts = append(starts, i)
+		}
+	}
+	return starts
+}
+
+// Edges returns all edges in canonical form, sorted by (U, V).
+func (g *Dynamic) Edges() []Edge {
+	out := make([]Edge, 0, g.numEdges)
+	for u := range g.adj {
+		for v := range g.adj[u] {
+			if uint32(u) < v {
+				out = append(out, Edge{uint32(u), v})
+			}
+		}
+	}
+	parallel.Sort(out, func(a, b Edge) bool {
+		if a.U != b.U {
+			return a.U < b.U
+		}
+		return a.V < b.V
+	})
+	return out
+}
+
+// Clone returns a deep copy of the graph.
+func (g *Dynamic) Clone() *Dynamic {
+	c := &Dynamic{adj: make([]map[uint32]struct{}, len(g.adj)), numEdges: g.numEdges}
+	parallel.For(len(g.adj), func(i int) {
+		if g.adj[i] == nil {
+			return
+		}
+		m := make(map[uint32]struct{}, len(g.adj[i]))
+		for w := range g.adj[i] {
+			m[w] = struct{}{}
+		}
+		c.adj[i] = m
+	})
+	return c
+}
+
+// CSR is a static compressed-sparse-row snapshot of an undirected graph.
+// Offsets has length NumVertices+1; the neighbours of v are
+// Targets[Offsets[v]:Offsets[v+1]], sorted ascending.
+type CSR struct {
+	Offsets []int64
+	Targets []uint32
+}
+
+// NumVertices returns the number of vertices in the snapshot.
+func (c *CSR) NumVertices() int { return len(c.Offsets) - 1 }
+
+// NumEdges returns the number of undirected edges in the snapshot.
+func (c *CSR) NumEdges() int64 { return int64(len(c.Targets)) / 2 }
+
+// Degree returns the degree of v.
+func (c *CSR) Degree(v uint32) int {
+	return int(c.Offsets[v+1] - c.Offsets[v])
+}
+
+// Neighbors returns the sorted neighbour slice of v (a view, do not mutate).
+func (c *CSR) Neighbors(v uint32) []uint32 {
+	return c.Targets[c.Offsets[v]:c.Offsets[v+1]]
+}
+
+// Snapshot builds a CSR snapshot of the current graph state.
+func (g *Dynamic) Snapshot() *CSR {
+	n := len(g.adj)
+	offs := make([]int64, n+1)
+	degs := make([]int, n)
+	parallel.For(n, func(i int) { degs[i] = len(g.adj[i]) })
+	var total int64
+	for i := 0; i < n; i++ {
+		offs[i] = total
+		total += int64(degs[i])
+	}
+	offs[n] = total
+	targets := make([]uint32, total)
+	parallel.For(n, func(i int) {
+		pos := offs[i]
+		for w := range g.adj[i] {
+			targets[pos] = w
+			pos++
+		}
+		seg := targets[offs[i]:offs[i+1]]
+		sort.Slice(seg, func(a, b int) bool { return seg[a] < seg[b] })
+	})
+	return &CSR{Offsets: offs, Targets: targets}
+}
+
+// CSRFromEdges builds a CSR directly from an edge list on n vertices.
+// Duplicates and self-loops are removed.
+func CSRFromEdges(n int, edges []Edge) *CSR {
+	return FromEdges(n, edges).Snapshot()
+}
+
+// Validate checks internal consistency (symmetry of adjacency and the edge
+// count); it is used by tests and returns a descriptive error on failure.
+func (g *Dynamic) Validate() error {
+	var count int64
+	for u := range g.adj {
+		for v := range g.adj[u] {
+			if v == uint32(u) {
+				return fmt.Errorf("self-loop at %d", u)
+			}
+			if !g.HasEdge(v, uint32(u)) {
+				return fmt.Errorf("asymmetric edge (%d,%d)", u, v)
+			}
+			count++
+		}
+	}
+	if count%2 != 0 {
+		return fmt.Errorf("odd directed edge count %d", count)
+	}
+	if count/2 != g.numEdges {
+		return fmt.Errorf("edge count drift: counted %d, recorded %d", count/2, g.numEdges)
+	}
+	return nil
+}

@@ -1,0 +1,61 @@
+package graph
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// ReadEdgeList parses a whitespace-separated edge list ("u v" per line).
+// Lines starting with '#' or '%' are comments. It returns the edges and the
+// implied vertex count (max id + 1).
+func ReadEdgeList(r io.Reader) ([]Edge, int, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	var edges []Edge
+	maxID := int64(-1)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || line[0] == '#' || line[0] == '%' {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			return nil, 0, fmt.Errorf("line %d: expected two vertex ids, got %q", lineNo, line)
+		}
+		u, err := strconv.ParseUint(fields[0], 10, 32)
+		if err != nil {
+			return nil, 0, fmt.Errorf("line %d: bad vertex id %q: %v", lineNo, fields[0], err)
+		}
+		v, err := strconv.ParseUint(fields[1], 10, 32)
+		if err != nil {
+			return nil, 0, fmt.Errorf("line %d: bad vertex id %q: %v", lineNo, fields[1], err)
+		}
+		edges = append(edges, Edge{uint32(u), uint32(v)})
+		if int64(u) > maxID {
+			maxID = int64(u)
+		}
+		if int64(v) > maxID {
+			maxID = int64(v)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, 0, err
+	}
+	return edges, int(maxID + 1), nil
+}
+
+// WriteEdgeList writes edges one per line as "u v".
+func WriteEdgeList(w io.Writer, edges []Edge) error {
+	bw := bufio.NewWriter(w)
+	for _, e := range edges {
+		if _, err := fmt.Fprintf(bw, "%d %d\n", e.U, e.V); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}

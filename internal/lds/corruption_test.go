@@ -1,0 +1,92 @@
+package lds
+
+import (
+	"strings"
+	"testing"
+
+	"kcore/internal/gen"
+	"kcore/internal/graph"
+)
+
+// These tests verify the invariant checker itself: a checker that cannot
+// detect violations would silently vacuum the whole test suite.
+
+func buildHealthy(t *testing.T) *LDS {
+	t.Helper()
+	l := New(100, DefaultParams())
+	for _, e := range gen.ErdosRenyi(100, 600, 51) {
+		l.InsertEdge(e.U, e.V)
+	}
+	if err := l.CheckInvariants(); err != nil {
+		t.Fatalf("healthy structure rejected: %v", err)
+	}
+	return l
+}
+
+func TestCheckerDetectsCorruptedUpCounter(t *testing.T) {
+	l := buildHealthy(t)
+	l.up[7] += 5
+	err := l.CheckInvariants()
+	if err == nil || !strings.Contains(err.Error(), "cached up") {
+		t.Fatalf("corrupted up counter not detected: %v", err)
+	}
+}
+
+func TestCheckerDetectsInvariant1Violation(t *testing.T) {
+	l := buildHealthy(t)
+	// Force a high-degree vertex to level 0 with a recomputed (consistent)
+	// up counter: its up-degree then exceeds the group-0 bound.
+	var victim uint32
+	best := 0
+	for v := uint32(0); v < 100; v++ {
+		if d := l.Graph().Degree(v); d > best {
+			best, victim = d, v
+		}
+	}
+	if best <= 3 {
+		t.Skip("no vertex dense enough")
+	}
+	l.level[victim] = 0
+	l.up[victim] = l.countAtLeast(victim, 0)
+	err := CheckInvariants(l.S, l.g,
+		func(v uint32) int32 { return l.level[v] }, nil)
+	if err == nil || !strings.Contains(err.Error(), "Invariant 1") {
+		t.Fatalf("Invariant 1 violation not detected: %v", err)
+	}
+}
+
+func TestCheckerDetectsInvariant2Violation(t *testing.T) {
+	// Build with a guaranteed-isolated vertex, then lift it to a high
+	// level: it cannot have the required support below it.
+	l := New(101, DefaultParams())
+	for _, e := range gen.ErdosRenyi(100, 600, 51) {
+		l.InsertEdge(e.U, e.V)
+	}
+	const victim = 100 // isolated: Invariant 1 holds trivially (up = 0)
+	l.level[victim] = int32(2 * l.S.LevelsPerGroup)
+	err := CheckInvariants(l.S, l.g,
+		func(v uint32) int32 { return l.level[v] }, nil)
+	if err == nil || !strings.Contains(err.Error(), "Invariant 2") {
+		t.Fatalf("Invariant 2 violation not detected: %v", err)
+	}
+}
+
+func TestCheckerDetectsInvalidLevel(t *testing.T) {
+	l := buildHealthy(t)
+	l.level[3] = -2
+	if err := l.CheckInvariants(); err == nil || !strings.Contains(err.Error(), "invalid level") {
+		t.Fatalf("invalid level not detected: %v", err)
+	}
+	l.level[3] = l.S.MaxLevel() + 1
+	if err := l.CheckInvariants(); err == nil {
+		t.Fatal("above-max level not detected")
+	}
+}
+
+func TestGraphValidateDetectsAsymmetry(t *testing.T) {
+	g := graph.NewDynamic(4)
+	g.InsertEdges([]graph.Edge{graph.E(0, 1)})
+	if err := g.Validate(); err != nil {
+		t.Fatalf("healthy graph rejected: %v", err)
+	}
+}

@@ -1,0 +1,301 @@
+package lds
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"kcore/internal/exact"
+	"kcore/internal/gen"
+	"kcore/internal/graph"
+)
+
+func TestParamsValidate(t *testing.T) {
+	if err := DefaultParams().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := (Params{Delta: 0, Lambda: 9}).Validate(); err == nil {
+		t.Fatal("want error for Delta=0")
+	}
+	if err := (Params{Delta: 0.2, Lambda: 0}).Validate(); err == nil {
+		t.Fatal("want error for Lambda=0")
+	}
+}
+
+func TestApproxFactor(t *testing.T) {
+	got := DefaultParams().ApproxFactor()
+	if math.Abs(got-2.8) > 1e-9 {
+		t.Fatalf("ApproxFactor = %v, want 2.8", got)
+	}
+}
+
+func TestStructureGeometry(t *testing.T) {
+	s := NewStructure(1000, DefaultParams())
+	// log_{1.2} 1000 ≈ 37.9 → lpg = 4*38 = 152, groups = 39.
+	if s.LevelsPerGroup != 152 {
+		t.Fatalf("LevelsPerGroup = %d, want 152", s.LevelsPerGroup)
+	}
+	if s.NumGroups != 39 {
+		t.Fatalf("NumGroups = %d, want 39", s.NumGroups)
+	}
+	if s.K != 152*39 {
+		t.Fatalf("K = %d", s.K)
+	}
+	if s.GroupOfLevel(0) != 0 || s.GroupOfLevel(151) != 0 || s.GroupOfLevel(152) != 1 {
+		t.Fatal("GroupOfLevel boundaries wrong")
+	}
+}
+
+func TestStructureBounds(t *testing.T) {
+	s := NewStructure(1000, DefaultParams())
+	// Group 0: upper = 2+3/9 = 2.333…, lower = 1.
+	if math.Abs(s.UpperBound(0)-(2+1.0/3)) > 1e-9 {
+		t.Fatalf("UpperBound(level 0) = %v", s.UpperBound(0))
+	}
+	if s.LowerBound(0) != 0 {
+		t.Fatalf("LowerBound(level 0) = %v, want 0", s.LowerBound(0))
+	}
+	if math.Abs(s.LowerBound(1)-1.0) > 1e-9 {
+		t.Fatalf("LowerBound(level 1) = %v, want 1 (group of level 0)", s.LowerBound(1))
+	}
+	// Level lpg+1 has ℓ−1 = lpg in group 1: lower bound 1.2.
+	if math.Abs(s.LowerBound(int32(s.LevelsPerGroup+1))-1.2) > 1e-9 {
+		t.Fatalf("LowerBound(lpg+1) = %v, want 1.2", s.LowerBound(int32(s.LevelsPerGroup+1)))
+	}
+}
+
+func TestEstimateFromLevel(t *testing.T) {
+	s := NewStructure(1000, DefaultParams())
+	if got := s.EstimateFromLevel(0); got != 1 {
+		t.Fatalf("estimate at level 0 = %v", got)
+	}
+	// Below one full group the estimate stays (1+δ)^0 = 1.
+	if got := s.EstimateFromLevel(int32(s.LevelsPerGroup - 2)); got != 1 {
+		t.Fatalf("estimate below group boundary = %v", got)
+	}
+	// At ℓ = 2*lpg−1: ⌊2*lpg/lpg⌋−1 = 1 → (1+δ)^1.
+	if got := s.EstimateFromLevel(int32(2*s.LevelsPerGroup - 1)); math.Abs(got-1.2) > 1e-9 {
+		t.Fatalf("estimate at second boundary = %v, want 1.2", got)
+	}
+	// Monotone non-decreasing in level.
+	prev := 0.0
+	for l := int32(0); l < int32(s.K); l++ {
+		e := s.EstimateFromLevel(l)
+		if e < prev {
+			t.Fatalf("estimate not monotone at level %d", l)
+		}
+		prev = e
+	}
+}
+
+func TestSmallNStructure(t *testing.T) {
+	s := NewStructure(1, DefaultParams()) // clamps to n=2
+	if s.K <= 0 || s.LevelsPerGroup < 4 {
+		t.Fatalf("degenerate structure: K=%d lpg=%d", s.K, s.LevelsPerGroup)
+	}
+}
+
+func TestInsertDeleteSingleEdge(t *testing.T) {
+	l := New(4, DefaultParams())
+	if !l.InsertEdge(0, 1) {
+		t.Fatal("insert failed")
+	}
+	if l.InsertEdge(0, 1) || l.InsertEdge(1, 0) {
+		t.Fatal("duplicate insert should be a no-op")
+	}
+	if l.InsertEdge(2, 2) {
+		t.Fatal("self-loop insert should be a no-op")
+	}
+	if err := l.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if !l.DeleteEdge(1, 0) {
+		t.Fatal("delete failed")
+	}
+	if l.DeleteEdge(0, 1) {
+		t.Fatal("double delete should be a no-op")
+	}
+	if err := l.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInvariantsAfterRandomInsertions(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	const n = 120
+	l := New(n, DefaultParams())
+	for i := 0; i < 800; i++ {
+		l.InsertEdge(uint32(rng.Intn(n)), uint32(rng.Intn(n)))
+		if i%100 == 99 {
+			if err := l.CheckInvariants(); err != nil {
+				t.Fatalf("after %d inserts: %v", i+1, err)
+			}
+		}
+	}
+}
+
+func TestInvariantsAfterMixedUpdates(t *testing.T) {
+	rng := rand.New(rand.NewSource(32))
+	const n = 80
+	l := New(n, DefaultParams())
+	var live []graph.Edge
+	for i := 0; i < 1500; i++ {
+		if len(live) == 0 || rng.Intn(3) > 0 {
+			u, v := uint32(rng.Intn(n)), uint32(rng.Intn(n))
+			if l.InsertEdge(u, v) {
+				live = append(live, graph.E(u, v).Canon())
+			}
+		} else {
+			j := rng.Intn(len(live))
+			e := live[j]
+			if !l.DeleteEdge(e.U, e.V) {
+				t.Fatalf("step %d: live edge %v missing", i, e)
+			}
+			live[j] = live[len(live)-1]
+			live = live[:len(live)-1]
+		}
+		if i%150 == 149 {
+			if err := l.CheckInvariants(); err != nil {
+				t.Fatalf("after %d ops: %v", i+1, err)
+			}
+		}
+	}
+	if err := l.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// ratioError returns max(est/k, k/est) with zero-coreness clamped to 1,
+// matching the error metric of the paper's Fig. 6.
+func ratioError(est float64, k int32) float64 {
+	kk := math.Max(float64(k), 1)
+	ee := math.Max(est, 1)
+	return math.Max(ee/kk, kk/ee)
+}
+
+// provableBound is the worst-case ratio the LDS analysis guarantees:
+// underestimates by at most (2+3/λ)(1+δ) and overestimates by at most
+// (2+3/λ)(1+δ)² (one extra group of slack on the upper side).
+func provableBound(p Params) float64 {
+	return (2 + 3/p.Lambda) * (1 + p.Delta) * (1 + p.Delta)
+}
+
+func TestApproximationVsExact(t *testing.T) {
+	const n = 400
+	edges := gen.ChungLu(n, 2400, 2.3, 41)
+	l := New(n, DefaultParams())
+	for _, e := range edges {
+		l.InsertEdge(e.U, e.V)
+	}
+	if err := l.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	core := exact.Sequential(l.Graph().Snapshot())
+	bound := provableBound(DefaultParams()) + 1e-9
+	for v := 0; v < n; v++ {
+		if core[v] == 0 {
+			continue
+		}
+		if r := ratioError(l.Estimate(uint32(v)), core[v]); r > bound {
+			t.Fatalf("vertex %d: estimate %.2f vs coreness %d, ratio %.2f > %.2f",
+				v, l.Estimate(uint32(v)), core[v], r, bound)
+		}
+	}
+}
+
+func TestApproximationAfterDeletions(t *testing.T) {
+	const n = 250
+	edges := gen.ErdosRenyi(n, 2000, 43)
+	l := New(n, DefaultParams())
+	for _, e := range edges {
+		l.InsertEdge(e.U, e.V)
+	}
+	// Delete half.
+	for _, e := range edges[:1000] {
+		l.DeleteEdge(e.U, e.V)
+	}
+	if err := l.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	core := exact.Sequential(l.Graph().Snapshot())
+	bound := provableBound(DefaultParams()) + 1e-9
+	for v := 0; v < n; v++ {
+		if core[v] == 0 {
+			continue
+		}
+		if r := ratioError(l.Estimate(uint32(v)), core[v]); r > bound {
+			t.Fatalf("vertex %d: ratio %.2f > %.2f", v, r, bound)
+		}
+	}
+}
+
+func TestCliqueEstimate(t *testing.T) {
+	const n = 40
+	l := New(n, DefaultParams())
+	for _, e := range gen.Clique(n) {
+		l.InsertEdge(e.U, e.V)
+	}
+	if err := l.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	bound := provableBound(DefaultParams()) + 1e-9
+	for v := 0; v < n; v++ {
+		if r := ratioError(l.Estimate(uint32(v)), n-1); r > bound {
+			t.Fatalf("clique vertex %d: estimate %.1f vs %d", v, l.Estimate(uint32(v)), n-1)
+		}
+	}
+}
+
+func TestLDSProperty(t *testing.T) {
+	f := func(raw [][2]uint8, dels []uint8) bool {
+		const n = 48
+		l := New(n, DefaultParams())
+		var inserted []graph.Edge
+		for _, p := range raw {
+			u, v := uint32(p[0])%n, uint32(p[1])%n
+			if l.InsertEdge(u, v) {
+				inserted = append(inserted, graph.E(u, v))
+			}
+		}
+		for _, d := range dels {
+			if len(inserted) == 0 {
+				break
+			}
+			e := inserted[int(d)%len(inserted)]
+			l.DeleteEdge(e.U, e.V)
+		}
+		return l.CheckInvariants() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEmptyGraphEstimates(t *testing.T) {
+	l := New(10, DefaultParams())
+	for v := uint32(0); v < 10; v++ {
+		if l.Level(v) != 0 {
+			t.Fatalf("fresh vertex at level %d", l.Level(v))
+		}
+		if l.Estimate(v) != 1 {
+			t.Fatalf("fresh estimate = %v", l.Estimate(v))
+		}
+	}
+	if err := l.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkSequentialLDSInsert(b *testing.B) {
+	const n = 5000
+	edges := gen.ChungLu(n, 20000, 2.4, 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		l := New(n, DefaultParams())
+		for _, e := range edges {
+			l.InsertEdge(e.U, e.V)
+		}
+	}
+}

@@ -1,0 +1,165 @@
+package parallel
+
+import (
+	"math/rand"
+	"reflect"
+	"sort"
+	"sync/atomic"
+	"testing"
+)
+
+// withWorkers runs f with the global worker default forced to n, so the
+// parallel code paths execute even on a single-core machine (where the
+// default would be 1 and every primitive would take its sequential
+// fallback).
+func withWorkers(t *testing.T, n int, f func()) {
+	t.Helper()
+	old := Workers()
+	SetWorkers(n)
+	defer SetWorkers(old)
+	f()
+}
+
+func TestForParallelPath(t *testing.T) {
+	withWorkers(t, 4, func() {
+		n := minGrain * 8
+		seen := make([]int32, n)
+		For(n, func(i int) { atomic.AddInt32(&seen[i], 1) })
+		for i, c := range seen {
+			if c != 1 {
+				t.Fatalf("index %d visited %d times", i, c)
+			}
+		}
+	})
+}
+
+func TestReduceParallelPath(t *testing.T) {
+	withWorkers(t, 4, func() {
+		xs := make([]int, minGrain*10)
+		want := 0
+		for i := range xs {
+			xs[i] = i % 97
+			want += xs[i]
+		}
+		if got := Reduce(xs, 0, func(a, b int) int { return a + b }); got != want {
+			t.Fatalf("Reduce = %d, want %d", got, want)
+		}
+	})
+}
+
+func TestMapReduceParallelPath(t *testing.T) {
+	withWorkers(t, 4, func() {
+		xs := make([]int, minGrain*6)
+		want := 0
+		for i := range xs {
+			xs[i] = i
+			if i%2 == 0 {
+				want++
+			}
+		}
+		got := MapReduce(xs, 0, func(x int) int {
+			if x%2 == 0 {
+				return 1
+			}
+			return 0
+		}, func(a, b int) int { return a + b })
+		if got != want {
+			t.Fatalf("MapReduce = %d, want %d", got, want)
+		}
+	})
+}
+
+func TestScanParallelPath(t *testing.T) {
+	withWorkers(t, 4, func() {
+		rng := rand.New(rand.NewSource(9))
+		xs := make([]int, minGrain*9+37)
+		for i := range xs {
+			xs[i] = rng.Intn(50)
+		}
+		want, wantTotal := scanRef(xs)
+		got := append([]int(nil), xs...)
+		total := Scan(got)
+		if total != wantTotal || !reflect.DeepEqual(got, want) {
+			t.Fatal("parallel scan mismatch")
+		}
+	})
+}
+
+func TestFilterParallelPath(t *testing.T) {
+	withWorkers(t, 4, func() {
+		xs := make([]int, minGrain*7)
+		for i := range xs {
+			xs[i] = i
+		}
+		got := Filter(xs, func(x int) bool { return x%5 == 0 })
+		for i := 1; i < len(got); i++ {
+			if got[i-1] >= got[i] {
+				t.Fatal("filter did not preserve order")
+			}
+		}
+		if len(got) != (len(xs)+4)/5 {
+			t.Fatalf("filter kept %d", len(got))
+		}
+	})
+}
+
+func TestMapAndCountParallelPath(t *testing.T) {
+	withWorkers(t, 4, func() {
+		xs := make([]int, minGrain*5)
+		for i := range xs {
+			xs[i] = i
+		}
+		ys := Map(xs, func(x int) int { return x * 2 })
+		for i := range ys {
+			if ys[i] != 2*i {
+				t.Fatalf("Map[%d] = %d", i, ys[i])
+			}
+		}
+		if got := Count(xs, func(x int) bool { return x < 100 }); got != 100 {
+			t.Fatalf("Count = %d", got)
+		}
+	})
+}
+
+func TestSortParallelPath(t *testing.T) {
+	withWorkers(t, 4, func() {
+		rng := rand.New(rand.NewSource(10))
+		xs := make([]int64, sortSeqCutoff*6+11)
+		for i := range xs {
+			xs[i] = rng.Int63n(1000)
+		}
+		want := append([]int64(nil), xs...)
+		sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+		SortInts(xs)
+		if !reflect.DeepEqual(xs, want) {
+			t.Fatal("parallel sort mismatch")
+		}
+	})
+}
+
+func TestHistogramParallelPath(t *testing.T) {
+	withWorkers(t, 4, func() {
+		keys := make([]int, minGrain*6)
+		want := make([]int64, 7)
+		for i := range keys {
+			keys[i] = i % 9 // includes out-of-range 7, 8
+			if keys[i] < 7 {
+				want[keys[i]]++
+			}
+		}
+		if got := Histogram(keys, 7); !reflect.DeepEqual(got, want) {
+			t.Fatalf("histogram mismatch: %v vs %v", got, want)
+		}
+	})
+}
+
+func TestBlockedForSmallerThanWorkers(t *testing.T) {
+	// More workers than blocks: the worker clamp path.
+	withWorkers(t, 64, func() {
+		var total atomic.Int64
+		BlockedFor(minGrain+1, func(lo, hi int) { total.Add(int64(hi - lo)) })
+		if total.Load() != int64(minGrain+1) {
+			t.Fatalf("covered %d", total.Load())
+		}
+	})
+}

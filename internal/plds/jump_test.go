@@ -1,0 +1,90 @@
+package plds
+
+import (
+	"testing"
+
+	"kcore/internal/exact"
+	"kcore/internal/gen"
+	"kcore/internal/stats"
+)
+
+func TestLevelJumpPreservesInvariants(t *testing.T) {
+	const n = 400
+	edges := gen.ChungLu(n, 3500, 2.3, 75)
+	for _, j := range []int{1, 4, 20} {
+		p := New(n, defaultP(), nil)
+		p.SetLevelJump(j)
+		for _, b := range gen.Batches(edges, 700) {
+			p.InsertBatch(b)
+			if err := p.CheckInvariants(); err != nil {
+				t.Fatalf("jump=%d: %v", j, err)
+			}
+		}
+		p.DeleteBatch(edges[:1500])
+		if err := p.CheckInvariants(); err != nil {
+			t.Fatalf("jump=%d after delete: %v", j, err)
+		}
+	}
+}
+
+func TestLevelJumpPreservesApproximation(t *testing.T) {
+	const n = 300
+	edges := gen.ChungLu(n, 3000, 2.3, 76)
+	p := New(n, defaultP(), nil)
+	p.SetLevelJump(20)
+	p.InsertBatch(edges)
+	core := exact.Sequential(p.Graph().Snapshot())
+	bound := provableBound(defaultP()) + 1e-9
+	for v := 0; v < n; v++ {
+		if core[v] == 0 {
+			continue
+		}
+		if r := stats.RatioError(p.Estimate(uint32(v)), core[v]); r > bound {
+			t.Fatalf("jump: vertex %d ratio %.2f > %.2f", v, r, bound)
+		}
+	}
+}
+
+func TestLevelJumpReachesSameLevelsOnClique(t *testing.T) {
+	// On a clique everything rises together; the jump must land vertices
+	// on levels satisfying both invariants just like single-stepping.
+	const n = 50
+	a := New(n, defaultP(), nil)
+	a.InsertBatch(gen.Clique(n))
+	b := New(n, defaultP(), nil)
+	b.SetLevelJump(10)
+	b.InsertBatch(gen.Clique(n))
+	if err := b.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	// Estimates must agree within one group either way.
+	for v := uint32(0); v < n; v++ {
+		ea, eb := a.Estimate(v), b.Estimate(v)
+		if r := ea / eb; r > 1.5 || r < 0.67 {
+			t.Fatalf("vertex %d: estimates %v vs %v diverge", v, ea, eb)
+		}
+	}
+}
+
+func TestSetLevelJumpClamps(t *testing.T) {
+	p := New(10, defaultP(), nil)
+	p.SetLevelJump(-5)
+	if p.jump != 1 {
+		t.Fatalf("jump = %d after clamping", p.jump)
+	}
+}
+
+func BenchmarkInsertBatchJumpAblation(b *testing.B) {
+	const n = 20000
+	edges := gen.ChungLu(n, 80000, 2.4, 3)
+	for _, j := range []int{1, 8, 32} {
+		b.Run(map[int]string{1: "jump=1", 8: "jump=8", 32: "jump=32"}[j], func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				p := New(n, defaultP(), nil)
+				p.SetLevelJump(j)
+				p.InsertBatch(edges)
+			}
+		})
+	}
+}

@@ -1,0 +1,67 @@
+package plds
+
+import (
+	"testing"
+
+	"kcore/internal/gen"
+	"kcore/internal/graph"
+)
+
+func TestOrientedNeighborsCoverEveryEdgeOnce(t *testing.T) {
+	const n = 400
+	p := New(n, defaultP(), nil)
+	edges := gen.ChungLu(n, 3000, 2.3, 72)
+	p.InsertBatch(edges)
+	seen := map[graph.Edge]int{}
+	for v := uint32(0); v < n; v++ {
+		p.OrientedNeighbors(v, func(w uint32) bool {
+			seen[graph.E(v, w).Canon()]++
+			return true
+		})
+	}
+	for e, c := range seen {
+		if c != 1 {
+			t.Fatalf("edge %v oriented %d times", e, c)
+		}
+	}
+	if int64(len(seen)) != p.Graph().NumEdges() {
+		t.Fatalf("oriented %d edges, graph has %d", len(seen), p.Graph().NumEdges())
+	}
+}
+
+func TestOrientationOutDegreeBoundedByInvariant(t *testing.T) {
+	const n = 500
+	p := New(n, defaultP(), nil)
+	edges := gen.ChungLu(n, 5000, 2.3, 73)
+	p.InsertBatch(edges)
+	for v := uint32(0); v < n; v++ {
+		out := 0
+		p.OrientedNeighbors(v, func(uint32) bool { out++; return true })
+		if int32(out) > p.UpDegree(v) {
+			t.Fatalf("vertex %d: out-degree %d exceeds up-degree %d", v, out, p.UpDegree(v))
+		}
+		// Invariant 1 bounds the up-degree one level up: the bound of v's
+		// own level applies when v is below the top.
+		if lv := p.Level(v); lv < p.S.MaxLevel() {
+			if float64(p.UpDegree(v)) > p.S.UpperBound(lv) {
+				t.Fatalf("vertex %d: up-degree %d above Invariant 1 bound %.1f",
+					v, p.UpDegree(v), p.S.UpperBound(lv))
+			}
+		}
+	}
+}
+
+func TestOrientationUpdatesWithDeletions(t *testing.T) {
+	const n = 200
+	p := New(n, defaultP(), nil)
+	edges := gen.ErdosRenyi(n, 1600, 74)
+	p.InsertBatch(edges)
+	p.DeleteBatch(edges[:800])
+	count := 0
+	for v := uint32(0); v < n; v++ {
+		p.OrientedNeighbors(v, func(uint32) bool { count++; return true })
+	}
+	if int64(count) != p.Graph().NumEdges() {
+		t.Fatalf("oriented %d edges after deletions, graph has %d", count, p.Graph().NumEdges())
+	}
+}

@@ -1,0 +1,538 @@
+// Package plds implements the Parallel Level Data Structure (PLDS) of Liu,
+// Shi, Yu, Dhulipala and Shun (SPAA 2022): a parallel batch-dynamic version
+// of the LDS that processes batches of edge insertions or deletions with
+// level-synchronous parallel vertex moves.
+//
+// During an insertion batch, levels are visited in increasing order and all
+// vertices at the current level that violate Invariant 1 move up one level
+// in parallel; each level is left for good once processed. During a
+// deletion batch, every vertex that violates Invariant 2 computes its
+// desire level — the highest level below its current one where Invariant 2
+// holds — and levels are again visited in increasing order, moving every
+// vertex whose desire level equals the current level down in parallel.
+//
+// The implementation exposes a Tracker interface with hooks at batch start,
+// first vertex move, and batch end. The CPLDS (internal/cplds) uses these
+// hooks to maintain operation descriptors and dependency DAGs for its
+// concurrent reads; the plain PLDS passes a nil tracker.
+package plds
+
+import (
+	"sync/atomic"
+
+	"kcore/internal/graph"
+	"kcore/internal/lds"
+	"kcore/internal/parallel"
+)
+
+// Kind distinguishes insertion batches from deletion batches.
+type Kind int
+
+const (
+	// Insert marks a batch of edge insertions.
+	Insert Kind = iota
+	// Delete marks a batch of edge deletions.
+	Delete
+)
+
+func (k Kind) String() string {
+	if k == Insert {
+		return "insert"
+	}
+	return "delete"
+}
+
+// Tracker receives callbacks from the batch update engine. Implementations
+// must tolerate VertexMoving being invoked concurrently from multiple
+// goroutines (each vertex exactly once per batch). A nil Tracker is valid.
+type Tracker interface {
+	// BatchStart is called once per batch before any level changes, with
+	// the deduplicated canonical edges that will actually be applied.
+	BatchStart(kind Kind, applied []graph.Edge)
+	// VertexMoving is called the first time v moves during the current
+	// batch, before its level changes; oldLevel is v's pre-batch level.
+	VertexMoving(v uint32, oldLevel int32, kind Kind)
+	// BatchEnd is called once per batch after all level changes.
+	BatchEnd(kind Kind)
+}
+
+// PLDS is the parallel batch-dynamic level data structure.
+//
+// Concurrency contract: InsertBatch and DeleteBatch must be called from a
+// single updater goroutine (they parallelize internally). Level and
+// Estimate use atomic loads and may be called at any time; however, without
+// the CPLDS read protocol, values read concurrently with a batch are not
+// linearizable (this is exactly the paper's NonSync baseline).
+type PLDS struct {
+	S       *lds.Structure
+	g       *graph.Dynamic
+	level   []atomic.Int32
+	up      []atomic.Int32
+	tracker Tracker
+
+	batchID   int64          // current batch number (engine-internal)
+	round     int64          // global level-iteration counter
+	moveStamp []int64        // batch in which v last moved (first-move hook)
+	claim     []atomic.Int64 // round-claim stamps for mover dedup
+	queued    []atomic.Int64 // batch-stamp marking v as present in a desire bucket
+
+	dirty   [][]uint32 // per-level dirty lists (insertion phase), reused
+	buckets [][]uint32 // per-level desire buckets (deletion phase), reused
+
+	// jump is the maximum number of levels a violating vertex may rise in
+	// one step during the insertion phase (default 1). This mirrors the
+	// "-opt" flag of the paper's implementation (§7), which trades per-move
+	// overhead for fewer rounds; unlike the original, the jump target is
+	// clamped to the highest level where Invariant 2 still holds, so the
+	// invariants (and the approximation bound) are preserved.
+	jump int32
+}
+
+// SetLevelJump sets the maximum levels per upward move (>= 1) for the
+// insertion phase — the analogue of the paper's "-opt N" speed
+// optimization. Must not be called during a batch.
+func (p *PLDS) SetLevelJump(j int) {
+	if j < 1 {
+		j = 1
+	}
+	p.jump = int32(j)
+}
+
+// New returns an empty PLDS over n vertices.
+func New(n int, p lds.Params, tracker Tracker) *PLDS {
+	s := lds.NewStructure(n, p)
+	return &PLDS{
+		S:         s,
+		g:         graph.NewDynamic(n),
+		level:     make([]atomic.Int32, n),
+		up:        make([]atomic.Int32, n),
+		tracker:   tracker,
+		moveStamp: make([]int64, n),
+		claim:     make([]atomic.Int64, n),
+		queued:    make([]atomic.Int64, n),
+		dirty:     make([][]uint32, s.K+1),
+		buckets:   make([][]uint32, s.K+1),
+		jump:      1,
+	}
+}
+
+// NumVertices returns the number of vertices.
+func (p *PLDS) NumVertices() int { return len(p.level) }
+
+// Graph exposes the underlying dynamic graph. It must not be mutated by
+// callers and must not be read concurrently with a running batch.
+func (p *PLDS) Graph() *graph.Dynamic { return p.g }
+
+// Level returns the current (live) level of v via an atomic load.
+func (p *PLDS) Level(v uint32) int32 { return p.level[v].Load() }
+
+// Estimate returns the coreness estimate computed from v's live level.
+func (p *PLDS) Estimate(v uint32) float64 {
+	return p.S.EstimateFromLevel(p.level[v].Load())
+}
+
+// countAtLeast returns |{w ∈ N(v) : level(w) >= x}|.
+func (p *PLDS) countAtLeast(v uint32, x int32) int32 {
+	var c int32
+	p.g.Neighbors(v, func(w uint32) bool {
+		if p.level[w].Load() >= x {
+			c++
+		}
+		return true
+	})
+	return c
+}
+
+// violatesInv1 reports whether v breaks the degree upper bound.
+func (p *PLDS) violatesInv1(v uint32) bool {
+	lv := p.level[v].Load()
+	if lv >= p.S.MaxLevel() {
+		return false
+	}
+	return float64(p.up[v].Load()) > p.S.UpperBound(lv)
+}
+
+// violatesInv2 reports whether v breaks the degree lower bound.
+func (p *PLDS) violatesInv2(v uint32) bool {
+	lv := p.level[v].Load()
+	if lv == 0 {
+		return false
+	}
+	cnt := p.countAtLeast(v, lv-1)
+	return float64(cnt) < p.S.LowerBound(lv)
+}
+
+// desireLevel returns the highest level d < level(v) at which v satisfies
+// Invariant 2 (d = 0 always does). Only meaningful when v violates
+// Invariant 2 at its current level.
+func (p *PLDS) desireLevel(v uint32) int32 {
+	lv := p.level[v].Load()
+	if lv <= 1 {
+		return 0
+	}
+	// Gather neighbour levels clamped to lv (levels >= lv are equivalent
+	// for every threshold we test) and sort descending.
+	ls := make([]int32, 0, p.g.Degree(v))
+	p.g.Neighbors(v, func(w uint32) bool {
+		l := p.level[w].Load()
+		if l > lv {
+			l = lv
+		}
+		ls = append(ls, l)
+		return true
+	})
+	parallel.SortWith(1, ls, func(a, b int32) bool { return a > b })
+	idx, cnt := 0, int32(0)
+	for d := lv - 1; d >= 1; d-- {
+		thr := d - 1
+		for idx < len(ls) && ls[idx] >= thr {
+			cnt++
+			idx++
+		}
+		if float64(cnt) >= p.S.LowerBound(d) {
+			return d
+		}
+	}
+	return 0
+}
+
+// jumpTarget returns the level a violating vertex at level l should rise
+// to: l+1 when jumping is off, otherwise the highest level in
+// (l, l+jump] at which Invariant 2 still holds (level l+1 always
+// qualifies for an Invariant 1 violator, so the result is always > l).
+func (p *PLDS) jumpTarget(v uint32, l int32) int32 {
+	if p.jump <= 1 {
+		return l + 1
+	}
+	max := l + p.jump
+	if max > p.S.MaxLevel() {
+		max = p.S.MaxLevel()
+	}
+	target := l + 1
+	for t := l + 2; t <= max; t++ {
+		// Invariant 2 at t: count(level >= t-1) >= lower bound of t.
+		if float64(p.countAtLeast(v, t-1)) >= p.S.LowerBound(t) {
+			target = t
+		} else {
+			break // validity is monotone: higher levels also fail
+		}
+	}
+	return target
+}
+
+// batchStart runs common batch prologue and returns whether work remains.
+func (p *PLDS) batchStart(kind Kind, applied []graph.Edge) {
+	p.batchID++
+	if p.tracker != nil {
+		p.tracker.BatchStart(kind, applied)
+	}
+}
+
+func (p *PLDS) batchEnd(kind Kind) {
+	if p.tracker != nil {
+		p.tracker.BatchEnd(kind)
+	}
+}
+
+// noteFirstMoves invokes the tracker's VertexMoving hook for every mover
+// that has not yet moved in this batch. movers must be duplicate-free.
+func (p *PLDS) noteFirstMoves(movers []uint32, kind Kind) {
+	if p.tracker == nil {
+		return
+	}
+	parallel.For(len(movers), func(i int) {
+		v := movers[i]
+		if p.moveStamp[v] != p.batchID {
+			p.moveStamp[v] = p.batchID
+			p.tracker.VertexMoving(v, p.level[v].Load(), kind)
+		}
+	})
+}
+
+// InsertBatch inserts a batch of edges and restores the invariants. It
+// returns the number of edges actually applied (after dedup/filtering).
+func (p *PLDS) InsertBatch(edges []graph.Edge) int {
+	fresh := p.g.InsertEdges(edges)
+	p.batchStart(Insert, fresh)
+	defer p.batchEnd(Insert)
+	if len(fresh) == 0 {
+		return 0
+	}
+	// Adjust up counters for the new edges.
+	parallel.For(len(fresh), func(i int) {
+		e := fresh[i]
+		lu, lv := p.level[e.U].Load(), p.level[e.V].Load()
+		if lv >= lu {
+			p.up[e.U].Add(1)
+		}
+		if lu >= lv {
+			p.up[e.V].Add(1)
+		}
+	})
+	// Seed dirty lists with the endpoints at their current levels.
+	maxDirty := int32(0)
+	for _, e := range fresh {
+		for _, v := range [2]uint32{e.U, e.V} {
+			lv := p.level[v].Load()
+			p.dirty[lv] = append(p.dirty[lv], v)
+			if lv > maxDirty {
+				maxDirty = lv
+			}
+		}
+	}
+	// Level-synchronous upward sweep.
+	for l := int32(0); l <= maxDirty && l < p.S.MaxLevel(); l++ {
+		cand := p.dirty[l]
+		if len(cand) == 0 {
+			continue
+		}
+		p.dirty[l] = nil
+		p.round++
+		round := p.round
+		// Movers: at level l, violating Invariant 1, claimed exactly once.
+		movers := parallel.Filter(cand, func(v uint32) bool {
+			return p.level[v].Load() == l && p.violatesInv1(v) &&
+				p.claim[v].Swap(round) != round
+		})
+		if len(movers) == 0 {
+			continue
+		}
+		p.noteFirstMoves(movers, Insert)
+		// Phase A: compute each mover's target (one level up, or a jump of
+		// up to p.jump levels when the optimization is on), then raise all
+		// movers. Targets are computed before any level changes so they
+		// are deterministic.
+		targets := make([]int32, len(movers))
+		parallel.For(len(movers), func(i int) {
+			targets[i] = p.jumpTarget(movers[i], l)
+		})
+		parallel.For(len(movers), func(i int) {
+			p.level[movers[i]].Store(targets[i])
+		})
+		// Phase B: recompute movers' up counters against settled levels.
+		parallel.For(len(movers), func(i int) {
+			v := movers[i]
+			p.up[v].Store(p.countAtLeast(v, targets[i]))
+		})
+		// Phase C: a non-mover neighbour w gains an up-neighbour if v rose
+		// past it: l < level(w) <= target(v). Mark such neighbours dirty at
+		// their own level; movers are recognized by their round claim and
+		// were fully recomputed in Phase B.
+		extra := make([][]uint32, len(movers))
+		parallel.For(len(movers), func(i int) {
+			v := movers[i]
+			t := targets[i]
+			var local []uint32
+			p.g.Neighbors(v, func(w uint32) bool {
+				lw := p.level[w].Load()
+				if lw > l && lw <= t && p.claim[w].Load() != round {
+					p.up[w].Add(1)
+					local = append(local, w)
+				}
+				return true
+			})
+			extra[i] = local
+		})
+		for i, v := range movers {
+			t := targets[i]
+			p.dirty[t] = append(p.dirty[t], v)
+			if t > maxDirty {
+				maxDirty = t
+			}
+		}
+		for _, loc := range extra {
+			for _, w := range loc {
+				lw := p.level[w].Load()
+				p.dirty[lw] = append(p.dirty[lw], w)
+				if lw > maxDirty {
+					maxDirty = lw
+				}
+			}
+		}
+	}
+	return len(fresh)
+}
+
+// DeleteBatch deletes a batch of edges and restores the invariants. It
+// returns the number of edges actually removed.
+func (p *PLDS) DeleteBatch(edges []graph.Edge) int {
+	removed := p.g.DeleteEdges(edges)
+	p.batchStart(Delete, removed)
+	defer p.batchEnd(Delete)
+	if len(removed) == 0 {
+		return 0
+	}
+	// Adjust up counters for the removed edges.
+	parallel.For(len(removed), func(i int) {
+		e := removed[i]
+		lu, lv := p.level[e.U].Load(), p.level[e.V].Load()
+		if lv >= lu {
+			p.up[e.U].Add(-1)
+		}
+		if lu >= lv {
+			p.up[e.V].Add(-1)
+		}
+	})
+	// Seed the desire buckets with violating endpoints.
+	maxBucket := int32(-1)
+	seed := make([]uint32, 0, 2*len(removed))
+	for _, e := range removed {
+		seed = append(seed, e.U, e.V)
+	}
+	for _, v := range seed {
+		if p.queued[v].Load() == p.batchID {
+			continue
+		}
+		if !p.violatesInv2(v) {
+			continue
+		}
+		p.queued[v].Store(p.batchID)
+		dl := p.desireLevel(v)
+		p.buckets[dl] = append(p.buckets[dl], v)
+		if dl > maxBucket {
+			maxBucket = dl
+		}
+	}
+	// Upward sweep over desire levels.
+	for l := int32(0); l <= maxBucket; l++ {
+		target := l
+		cand := p.buckets[target]
+		if len(cand) == 0 {
+			continue
+		}
+		p.buckets[target] = nil
+		// Re-validate candidates: their desire level may have risen since
+		// they were bucketed (it cannot drop to a processed level — a
+		// property the PLDS paper proves; requeueing handles both
+		// directions defensively).
+		type decision struct {
+			move bool
+			dl   int32
+		}
+		dec := make([]decision, len(cand))
+		parallel.For(len(cand), func(i int) {
+			v := cand[i]
+			if !p.violatesInv2(v) {
+				p.queued[v].Store(0)
+				return
+			}
+			dl := p.desireLevel(v)
+			if dl == target {
+				dec[i] = decision{move: true, dl: dl}
+			} else {
+				dec[i] = decision{move: false, dl: dl + 1} // +1 flags requeue
+			}
+		})
+		var movers []uint32
+		for i, d := range dec {
+			switch {
+			case d.move:
+				movers = append(movers, cand[i])
+			case d.dl > 0:
+				dl := d.dl - 1
+				p.buckets[dl] = append(p.buckets[dl], cand[i])
+				if dl > maxBucket {
+					maxBucket = dl
+				}
+				if dl < target && dl-1 < l {
+					// Defensive: theory says this cannot happen; revisit.
+					l = dl - 1
+				}
+			}
+		}
+		if len(movers) == 0 {
+			continue
+		}
+		p.noteFirstMoves(movers, Delete)
+		// Phase A: record old levels, then drop all movers to the target.
+		oldLevels := make([]int32, len(movers))
+		parallel.For(len(movers), func(i int) {
+			oldLevels[i] = p.level[movers[i]].Load()
+		})
+		parallel.For(len(movers), func(i int) {
+			p.level[movers[i]].Store(target)
+		})
+		// Phase B: recompute movers' up counters; movers satisfy their
+		// desire level by construction, so they leave the queue.
+		parallel.For(len(movers), func(i int) {
+			v := movers[i]
+			p.up[v].Store(p.countAtLeast(v, target))
+			p.queued[v].Store(0)
+		})
+		// Phase C: adjust neighbours above the target level. A neighbour w
+		// loses an up-neighbour if target < level(w) <= old(v), and loses an
+		// Invariant 2 neighbour if target+1 < level(w) <= old(v)+1.
+		extra := make([][]uint32, len(movers))
+		parallel.For(len(movers), func(i int) {
+			v := movers[i]
+			old := oldLevels[i]
+			var local []uint32
+			p.g.Neighbors(v, func(w uint32) bool {
+				lw := p.level[w].Load()
+				if lw <= target {
+					return true // movers and settled-below neighbours
+				}
+				if lw <= old {
+					p.up[w].Add(-1)
+				}
+				if lw > target+1 && lw <= old+1 {
+					local = append(local, w)
+				}
+				return true
+			})
+			extra[i] = local
+		})
+		// Enqueue affected neighbours that now violate Invariant 2.
+		for _, loc := range extra {
+			for _, w := range loc {
+				if p.queued[w].Load() == p.batchID {
+					continue
+				}
+				if !p.violatesInv2(w) {
+					continue
+				}
+				p.queued[w].Store(p.batchID)
+				dl := p.desireLevel(w)
+				p.buckets[dl] = append(p.buckets[dl], w)
+				if dl > maxBucket {
+					maxBucket = dl
+				}
+				if dl < target && dl-1 < l {
+					l = dl - 1
+				}
+			}
+		}
+	}
+	return len(removed)
+}
+
+// UpDegree returns |{w ∈ N(v) : level(w) >= level(v)}| — v's residual
+// degree toward its own and higher levels. Invariant 1 bounds it by
+// (2+3/λ)(1+δ)^(group(v)+1), i.e. O(approximate coreness of v).
+func (p *PLDS) UpDegree(v uint32) int32 { return p.up[v].Load() }
+
+// OrientedNeighbors visits v's out-neighbours in the dynamic low
+// out-degree orientation induced by the level structure: each edge points
+// from the endpoint at the lower (level, id) pair to the higher one. The
+// out-degree of every vertex is at most UpDegree(v), which Invariant 1
+// keeps within a constant factor of the vertex's coreness estimate — the
+// "low out-degree orientation" application of the paper's §9, maintained
+// dynamically with no extra work. Quiescent use only.
+func (p *PLDS) OrientedNeighbors(v uint32, f func(w uint32) bool) {
+	lv := p.level[v].Load()
+	p.g.Neighbors(v, func(w uint32) bool {
+		lw := p.level[w].Load()
+		if lw > lv || (lw == lv && w > v) {
+			return f(w)
+		}
+		return true
+	})
+}
+
+// CheckInvariants verifies both LDS invariants and the cached up counters
+// for every vertex. Must not run concurrently with a batch.
+func (p *PLDS) CheckInvariants() error {
+	return lds.CheckInvariants(p.S, p.g,
+		func(v uint32) int32 { return p.level[v].Load() },
+		func(v uint32) int32 { return p.up[v].Load() })
+}

@@ -1,0 +1,183 @@
+// Package server exposes a Decomposition-style k-core service over HTTP —
+// the deployment shape the paper motivates in §1: a read-dominated,
+// latency-sensitive query path (social networks, search) concurrent with a
+// batched update path.
+//
+// Endpoints:
+//
+//	GET  /coreness?v=<id>[&mode=linearizable|nonsync|blocking]
+//	GET  /top?k=<n>                  — top-k vertices by coreness estimate
+//	GET  /stats                      — graph and batch counters
+//	POST /edges/insert               — body: "u v" per line; one batch
+//	POST /edges/delete               — body: "u v" per line; one batch
+//
+// Reads are served directly from the CPLDS read protocol and never block
+// on updates; update requests are serialized through a single updater
+// mutex, preserving the one-updater contract.
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync"
+	"sync/atomic"
+
+	"kcore/internal/apps"
+	"kcore/internal/cplds"
+	"kcore/internal/graph"
+	"kcore/internal/lds"
+)
+
+// Server is an HTTP k-core query/update service.
+type Server struct {
+	c *cplds.CPLDS
+
+	updateMu sync.Mutex // serializes update batches (one-updater contract)
+
+	inserted atomic.Int64
+	deleted  atomic.Int64
+	reads    atomic.Int64
+}
+
+// New creates a service over n vertices.
+func New(n int, p lds.Params) *Server {
+	return &Server{c: cplds.New(n, p)}
+}
+
+// InsertBatch applies an insertion batch directly (bulk loading at
+// startup), with the same accounting as the HTTP endpoint.
+func (s *Server) InsertBatch(edges []graph.Edge) int {
+	s.updateMu.Lock()
+	defer s.updateMu.Unlock()
+	applied := s.c.InsertBatch(edges)
+	s.inserted.Add(int64(applied))
+	return applied
+}
+
+// Handler returns the HTTP handler for the service.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /coreness", s.handleCoreness)
+	mux.HandleFunc("GET /top", s.handleTop)
+	mux.HandleFunc("GET /stats", s.handleStats)
+	mux.HandleFunc("POST /edges/insert", s.handleUpdate(true))
+	mux.HandleFunc("POST /edges/delete", s.handleUpdate(false))
+	return mux
+}
+
+// corenessResponse is the JSON body of /coreness.
+type corenessResponse struct {
+	Vertex   uint32  `json:"vertex"`
+	Coreness float64 `json:"coreness"`
+	Mode     string  `json:"mode"`
+	Batch    uint64  `json:"batch"`
+}
+
+func (s *Server) handleCoreness(w http.ResponseWriter, r *http.Request) {
+	v64, err := strconv.ParseUint(r.URL.Query().Get("v"), 10, 32)
+	if err != nil || int(v64) >= s.c.NumVertices() {
+		http.Error(w, "bad or out-of-range vertex id", http.StatusBadRequest)
+		return
+	}
+	v := uint32(v64)
+	mode := r.URL.Query().Get("mode")
+	if mode == "" {
+		mode = "linearizable"
+	}
+	var est float64
+	switch mode {
+	case "linearizable":
+		est = s.c.Read(v)
+	case "nonsync":
+		est = s.c.ReadNonSync(v)
+	case "blocking":
+		est = s.c.ReadSync(v)
+	default:
+		http.Error(w, "unknown mode (want linearizable, nonsync or blocking)", http.StatusBadRequest)
+		return
+	}
+	s.reads.Add(1)
+	writeJSON(w, corenessResponse{Vertex: v, Coreness: est, Mode: mode, Batch: s.c.BatchNumber()})
+}
+
+// topResponse is the JSON body of /top.
+type topResponse struct {
+	K        int      `json:"k"`
+	Vertices []uint32 `json:"vertices"`
+}
+
+func (s *Server) handleTop(w http.ResponseWriter, r *http.Request) {
+	k, err := strconv.Atoi(r.URL.Query().Get("k"))
+	if err != nil || k < 1 {
+		http.Error(w, "bad k", http.StatusBadRequest)
+		return
+	}
+	n := s.c.NumVertices()
+	scores := make([]float64, n)
+	for v := 0; v < n; v++ {
+		scores[v] = s.c.Read(uint32(v))
+	}
+	s.reads.Add(int64(n))
+	writeJSON(w, topResponse{K: k, Vertices: apps.TopSpreaders(scores, k)})
+}
+
+// statsResponse is the JSON body of /stats.
+type statsResponse struct {
+	Vertices int    `json:"vertices"`
+	Edges    int64  `json:"edges"`
+	Batches  uint64 `json:"batches"`
+	Inserted int64  `json:"edges_inserted"`
+	Deleted  int64  `json:"edges_deleted"`
+	Reads    int64  `json:"reads_served"`
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	s.updateMu.Lock() // NumEdges is quiescent-only
+	edges := s.c.Graph().NumEdges()
+	s.updateMu.Unlock()
+	writeJSON(w, statsResponse{
+		Vertices: s.c.NumVertices(),
+		Edges:    edges,
+		Batches:  s.c.BatchNumber(),
+		Inserted: s.inserted.Load(),
+		Deleted:  s.deleted.Load(),
+		Reads:    s.reads.Load(),
+	})
+}
+
+// updateResponse is the JSON body of the update endpoints.
+type updateResponse struct {
+	Applied int    `json:"applied"`
+	Batch   uint64 `json:"batch"`
+}
+
+func (s *Server) handleUpdate(insert bool) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		edges, _, err := graph.ReadEdgeList(r.Body)
+		if err != nil {
+			http.Error(w, fmt.Sprintf("bad edge list: %v", err), http.StatusBadRequest)
+			return
+		}
+		s.updateMu.Lock()
+		var applied int
+		if insert {
+			applied = s.c.InsertBatch(edges)
+			s.inserted.Add(int64(applied))
+		} else {
+			applied = s.c.DeleteBatch(edges)
+			s.deleted.Add(int64(applied))
+		}
+		batch := s.c.BatchNumber()
+		s.updateMu.Unlock()
+		writeJSON(w, updateResponse{Applied: applied, Batch: batch})
+	}
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}

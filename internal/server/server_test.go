@@ -1,0 +1,177 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"kcore/internal/lds"
+)
+
+func newTestServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	s := New(100, lds.DefaultParams())
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func post(t *testing.T, url, body string) *http.Response {
+	t.Helper()
+	resp, err := http.Post(url, "text/plain", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { resp.Body.Close() })
+	return resp
+}
+
+func get(t *testing.T, url string) *http.Response {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { resp.Body.Close() })
+	return resp
+}
+
+func decode[T any](t *testing.T, resp *http.Response) T {
+	t.Helper()
+	var v T
+	if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+func triangleBody() string { return "0 1\n1 2\n0 2\n" }
+
+func TestInsertAndRead(t *testing.T) {
+	ts := newTestServer(t)
+	resp := post(t, ts.URL+"/edges/insert", triangleBody())
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("insert status %d", resp.StatusCode)
+	}
+	up := decode[updateResponse](t, resp)
+	if up.Applied != 3 || up.Batch != 1 {
+		t.Fatalf("insert response %+v", up)
+	}
+	resp = get(t, ts.URL+"/coreness?v=0")
+	cr := decode[corenessResponse](t, resp)
+	if cr.Vertex != 0 || cr.Coreness < 1 || cr.Mode != "linearizable" {
+		t.Fatalf("coreness response %+v", cr)
+	}
+}
+
+func TestReadModes(t *testing.T) {
+	ts := newTestServer(t)
+	post(t, ts.URL+"/edges/insert", triangleBody())
+	for _, mode := range []string{"linearizable", "nonsync", "blocking"} {
+		resp := get(t, fmt.Sprintf("%s/coreness?v=1&mode=%s", ts.URL, mode))
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("mode %s status %d", mode, resp.StatusCode)
+		}
+		cr := decode[corenessResponse](t, resp)
+		if cr.Mode != mode {
+			t.Fatalf("mode echo %q", cr.Mode)
+		}
+	}
+	if resp := get(t, ts.URL+"/coreness?v=1&mode=psychic"); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("unknown mode status %d", resp.StatusCode)
+	}
+}
+
+func TestBadRequests(t *testing.T) {
+	ts := newTestServer(t)
+	if resp := get(t, ts.URL+"/coreness?v=notanumber"); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad id status %d", resp.StatusCode)
+	}
+	if resp := get(t, ts.URL+"/coreness?v=5000"); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("out-of-range id status %d", resp.StatusCode)
+	}
+	if resp := get(t, ts.URL+"/top?k=0"); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad k status %d", resp.StatusCode)
+	}
+	if resp := post(t, ts.URL+"/edges/insert", "zap\n"); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad edge list status %d", resp.StatusCode)
+	}
+}
+
+func TestDeleteAndStats(t *testing.T) {
+	ts := newTestServer(t)
+	post(t, ts.URL+"/edges/insert", triangleBody())
+	resp := post(t, ts.URL+"/edges/delete", "0 1\n")
+	up := decode[updateResponse](t, resp)
+	if up.Applied != 1 {
+		t.Fatalf("delete applied %d", up.Applied)
+	}
+	st := decode[statsResponse](t, get(t, ts.URL+"/stats"))
+	if st.Edges != 2 || st.Inserted != 3 || st.Deleted != 1 || st.Batches != 2 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+func TestTopEndpoint(t *testing.T) {
+	ts := newTestServer(t)
+	// Dense cluster on 0..4.
+	var b strings.Builder
+	for i := 0; i < 5; i++ {
+		for j := i + 1; j < 5; j++ {
+			fmt.Fprintf(&b, "%d %d\n", i, j)
+		}
+	}
+	post(t, ts.URL+"/edges/insert", b.String())
+	top := decode[topResponse](t, get(t, ts.URL+"/top?k=5"))
+	if len(top.Vertices) != 5 {
+		t.Fatalf("top = %v", top)
+	}
+	for _, v := range top.Vertices {
+		if v > 4 {
+			t.Fatalf("non-cluster vertex %d in top", v)
+		}
+	}
+}
+
+func TestConcurrentReadsDuringUpdates(t *testing.T) {
+	ts := newTestServer(t)
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for r := 0; r < 3; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			client := ts.Client()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				resp, err := client.Get(fmt.Sprintf("%s/coreness?v=%d", ts.URL, i%100))
+				if err == nil {
+					resp.Body.Close()
+				}
+			}
+		}()
+	}
+	for round := 0; round < 5; round++ {
+		var b strings.Builder
+		for i := 0; i < 40; i++ {
+			fmt.Fprintf(&b, "%d %d\n", (round*13+i)%100, (round*7+i*3)%100)
+		}
+		if resp := post(t, ts.URL+"/edges/insert", b.String()); resp.StatusCode != http.StatusOK {
+			t.Fatalf("round %d insert status %d", round, resp.StatusCode)
+		}
+	}
+	close(stop)
+	wg.Wait()
+	st := decode[statsResponse](t, get(t, ts.URL+"/stats"))
+	if st.Reads == 0 {
+		t.Fatal("no reads served")
+	}
+}

@@ -1,0 +1,58 @@
+package trace
+
+import (
+	"fmt"
+	"time"
+
+	"kcore/internal/cplds"
+	"kcore/internal/lds"
+	"kcore/internal/stats"
+)
+
+// ReplayResult reports the outcome of replaying a trace.
+type ReplayResult struct {
+	Ops          int
+	EdgesApplied int64
+	UpdateTime   time.Duration
+	ReadLat      stats.Summary
+	FinalEdges   int64
+}
+
+// Replay runs a trace against a fresh CPLDS, timing update batches and
+// individual reads. Reads within a probe run on the replaying goroutine
+// (sequential replay reproduces the recorded operation order exactly).
+func Replay(t *Trace, params lds.Params) (ReplayResult, error) {
+	c := cplds.New(t.NumVertices, params)
+	var res ReplayResult
+	rec := stats.NewLatencyRecorder(1 << 12)
+	for i, op := range t.Ops {
+		switch op.Kind {
+		case OpInsert:
+			t0 := time.Now()
+			res.EdgesApplied += int64(c.InsertBatch(op.Edges))
+			res.UpdateTime += time.Since(t0)
+		case OpDelete:
+			t0 := time.Now()
+			res.EdgesApplied += int64(c.DeleteBatch(op.Edges))
+			res.UpdateTime += time.Since(t0)
+		case OpRead:
+			for _, v := range op.Vertices {
+				if int(v) >= t.NumVertices {
+					return res, fmt.Errorf("trace: read of out-of-range vertex %d at op %d", v, i)
+				}
+				t0 := time.Now()
+				c.Read(v)
+				rec.Record(time.Since(t0))
+			}
+		default:
+			return res, fmt.Errorf("trace: unknown op kind %d at op %d", op.Kind, i)
+		}
+		res.Ops++
+	}
+	res.ReadLat = rec.Summarize()
+	res.FinalEdges = c.Graph().NumEdges()
+	if err := c.CheckInvariants(); err != nil {
+		return res, fmt.Errorf("trace: invariants violated after replay: %w", err)
+	}
+	return res, nil
+}

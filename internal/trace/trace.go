@@ -1,0 +1,203 @@
+// Package trace provides recording, serialization and replay of update/read
+// workloads against the k-core structures.
+//
+// A trace is a sequence of operations — insertion batches, deletion batches
+// and read probes — with a fixed vertex universe. Traces serialize to a
+// compact binary format (little-endian, versioned) so that workloads can be
+// captured once and replayed reproducibly across implementations and
+// machines, the same role the paper's experiment scripts play for GBBS.
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"kcore/internal/gen"
+	"kcore/internal/graph"
+)
+
+// OpKind identifies a trace operation.
+type OpKind uint8
+
+const (
+	// OpInsert applies a batch of edge insertions.
+	OpInsert OpKind = 1
+	// OpDelete applies a batch of edge deletions.
+	OpDelete OpKind = 2
+	// OpRead probes the coreness of a set of vertices.
+	OpRead OpKind = 3
+)
+
+// Op is one trace operation: a batch of edges for updates, or a list of
+// vertices for reads.
+type Op struct {
+	Kind     OpKind
+	Edges    []graph.Edge // OpInsert / OpDelete
+	Vertices []uint32     // OpRead
+}
+
+// Trace is a replayable workload over a fixed vertex universe.
+type Trace struct {
+	NumVertices int
+	Ops         []Op
+}
+
+const (
+	magic   = uint32(0x6b636f72) // "kcor"
+	version = uint32(1)
+)
+
+// Write serializes the trace in the binary format.
+func (t *Trace) Write(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	for _, v := range []uint32{magic, version, uint32(t.NumVertices), uint32(len(t.Ops))} {
+		if err := binary.Write(bw, binary.LittleEndian, v); err != nil {
+			return err
+		}
+	}
+	for _, op := range t.Ops {
+		if err := binary.Write(bw, binary.LittleEndian, uint8(op.Kind)); err != nil {
+			return err
+		}
+		switch op.Kind {
+		case OpInsert, OpDelete:
+			if err := binary.Write(bw, binary.LittleEndian, uint32(len(op.Edges))); err != nil {
+				return err
+			}
+			for _, e := range op.Edges {
+				if err := binary.Write(bw, binary.LittleEndian, [2]uint32{e.U, e.V}); err != nil {
+					return err
+				}
+			}
+		case OpRead:
+			if err := binary.Write(bw, binary.LittleEndian, uint32(len(op.Vertices))); err != nil {
+				return err
+			}
+			if err := binary.Write(bw, binary.LittleEndian, op.Vertices); err != nil {
+				return err
+			}
+		default:
+			return fmt.Errorf("trace: unknown op kind %d", op.Kind)
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadFrom deserializes a trace written by Write.
+func ReadFrom(r io.Reader) (*Trace, error) {
+	br := bufio.NewReader(r)
+	var hdr [4]uint32
+	for i := range hdr {
+		if err := binary.Read(br, binary.LittleEndian, &hdr[i]); err != nil {
+			return nil, fmt.Errorf("trace: short header: %w", err)
+		}
+	}
+	if hdr[0] != magic {
+		return nil, fmt.Errorf("trace: bad magic %#x", hdr[0])
+	}
+	if hdr[1] != version {
+		return nil, fmt.Errorf("trace: unsupported version %d", hdr[1])
+	}
+	t := &Trace{NumVertices: int(hdr[2]), Ops: make([]Op, 0, hdr[3])}
+	for i := uint32(0); i < hdr[3]; i++ {
+		var kind uint8
+		if err := binary.Read(br, binary.LittleEndian, &kind); err != nil {
+			return nil, fmt.Errorf("trace: op %d: %w", i, err)
+		}
+		var count uint32
+		if err := binary.Read(br, binary.LittleEndian, &count); err != nil {
+			return nil, fmt.Errorf("trace: op %d count: %w", i, err)
+		}
+		op := Op{Kind: OpKind(kind)}
+		switch op.Kind {
+		case OpInsert, OpDelete:
+			op.Edges = make([]graph.Edge, count)
+			for j := range op.Edges {
+				var uv [2]uint32
+				if err := binary.Read(br, binary.LittleEndian, &uv); err != nil {
+					return nil, fmt.Errorf("trace: op %d edge %d: %w", i, j, err)
+				}
+				op.Edges[j] = graph.Edge{U: uv[0], V: uv[1]}
+			}
+		case OpRead:
+			op.Vertices = make([]uint32, count)
+			if err := binary.Read(br, binary.LittleEndian, op.Vertices); err != nil {
+				return nil, fmt.Errorf("trace: op %d vertices: %w", i, err)
+			}
+		default:
+			return nil, fmt.Errorf("trace: op %d: unknown kind %d", i, kind)
+		}
+		t.Ops = append(t.Ops, op)
+	}
+	return t, nil
+}
+
+// Synthesize builds a trace from a dataset profile: the edges are split
+// into insertion batches, each followed by a read probe of readsPerBatch
+// uniform vertices; deleteFrac of each batch's edges are deleted again two
+// batches later, mimicking a churning production workload.
+func Synthesize(profile string, batchSize, readsPerBatch int, deleteFrac float64, seed int64) (*Trace, error) {
+	edges, n, err := gen.DatasetByName(profile)
+	if err != nil {
+		return nil, err
+	}
+	sh := gen.Shuffle(edges, seed)
+	reads := gen.NewUniformReads(n, seed+1)
+	t := &Trace{NumVertices: n}
+	var pendingDelete [][]graph.Edge
+	for lo := 0; lo < len(sh); lo += batchSize {
+		hi := lo + batchSize
+		if hi > len(sh) {
+			hi = len(sh)
+		}
+		batch := sh[lo:hi]
+		t.Ops = append(t.Ops, Op{Kind: OpInsert, Edges: batch})
+		if readsPerBatch > 0 {
+			probe := make([]uint32, readsPerBatch)
+			for i := range probe {
+				probe[i] = reads.Next()
+			}
+			t.Ops = append(t.Ops, Op{Kind: OpRead, Vertices: probe})
+		}
+		if deleteFrac > 0 {
+			nd := int(float64(len(batch)) * deleteFrac)
+			pendingDelete = append(pendingDelete, batch[:nd])
+			if len(pendingDelete) > 2 {
+				t.Ops = append(t.Ops, Op{Kind: OpDelete, Edges: pendingDelete[0]})
+				pendingDelete = pendingDelete[1:]
+			}
+		}
+	}
+	for _, d := range pendingDelete {
+		t.Ops = append(t.Ops, Op{Kind: OpDelete, Edges: d})
+	}
+	return t, nil
+}
+
+// Stats summarizes a trace.
+type Stats struct {
+	Inserts, Deletes, ReadProbes int
+	InsertEdges, DeleteEdges     int64
+	Reads                        int64
+}
+
+// Summarize computes trace statistics.
+func (t *Trace) Summarize() Stats {
+	var s Stats
+	for _, op := range t.Ops {
+		switch op.Kind {
+		case OpInsert:
+			s.Inserts++
+			s.InsertEdges += int64(len(op.Edges))
+		case OpDelete:
+			s.Deletes++
+			s.DeleteEdges += int64(len(op.Edges))
+		case OpRead:
+			s.ReadProbes++
+			s.Reads += int64(len(op.Vertices))
+		}
+	}
+	return s
+}

@@ -1,0 +1,136 @@
+package trace
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+
+	"kcore/internal/graph"
+	"kcore/internal/lds"
+)
+
+func sampleTrace() *Trace {
+	return &Trace{
+		NumVertices: 10,
+		Ops: []Op{
+			{Kind: OpInsert, Edges: []graph.Edge{graph.E(0, 1), graph.E(1, 2)}},
+			{Kind: OpRead, Vertices: []uint32{0, 5, 9}},
+			{Kind: OpDelete, Edges: []graph.Edge{graph.E(0, 1)}},
+			{Kind: OpRead, Vertices: []uint32{1}},
+		},
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	orig := sampleTrace()
+	var buf bytes.Buffer
+	if err := orig.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadFrom(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(orig, back) {
+		t.Fatalf("round trip mismatch:\n%+v\n%+v", orig, back)
+	}
+}
+
+func TestReadFromErrors(t *testing.T) {
+	// Truncated header.
+	if _, err := ReadFrom(strings.NewReader("xx")); err == nil {
+		t.Fatal("want error for truncated header")
+	}
+	// Bad magic.
+	var buf bytes.Buffer
+	buf.Write(make([]byte, 16))
+	if _, err := ReadFrom(&buf); err == nil || !strings.Contains(err.Error(), "magic") {
+		t.Fatalf("want magic error, got %v", err)
+	}
+	// Truncated body.
+	var ok bytes.Buffer
+	if err := sampleTrace().Write(&ok); err != nil {
+		t.Fatal(err)
+	}
+	trunc := ok.Bytes()[:ok.Len()-3]
+	if _, err := ReadFrom(bytes.NewReader(trunc)); err == nil {
+		t.Fatal("want error for truncated body")
+	}
+}
+
+func TestWriteUnknownOpKind(t *testing.T) {
+	bad := &Trace{NumVertices: 1, Ops: []Op{{Kind: 99}}}
+	if err := bad.Write(&bytes.Buffer{}); err == nil {
+		t.Fatal("want error for unknown kind")
+	}
+}
+
+func TestSynthesize(t *testing.T) {
+	tr, err := Synthesize("tiny", 500, 20, 0.25, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := tr.Summarize()
+	if s.Inserts == 0 || s.ReadProbes == 0 || s.Deletes == 0 {
+		t.Fatalf("missing op kinds: %+v", s)
+	}
+	// All inserted edges appear; deleted edges were previously inserted.
+	if s.DeleteEdges == 0 || s.DeleteEdges > s.InsertEdges {
+		t.Fatalf("delete/insert edge counts: %+v", s)
+	}
+	if s.Reads != int64(s.ReadProbes)*20 {
+		t.Fatalf("reads = %d, want %d", s.Reads, s.ReadProbes*20)
+	}
+	if _, err := Synthesize("bogus", 500, 20, 0, 5); err == nil {
+		t.Fatal("want error for bogus profile")
+	}
+}
+
+func TestReplay(t *testing.T) {
+	tr, err := Synthesize("tiny", 1000, 50, 0.2, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Replay(tr, lds.DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ops != len(tr.Ops) {
+		t.Fatalf("replayed %d/%d ops", res.Ops, len(tr.Ops))
+	}
+	if res.ReadLat.Count == 0 {
+		t.Fatal("no reads replayed")
+	}
+	if res.EdgesApplied == 0 || res.FinalEdges == 0 {
+		t.Fatalf("edge accounting: %+v", res)
+	}
+	if res.UpdateTime <= 0 {
+		t.Fatal("no update time recorded")
+	}
+}
+
+func TestReplayRejectsOutOfRangeRead(t *testing.T) {
+	tr := &Trace{NumVertices: 3, Ops: []Op{{Kind: OpRead, Vertices: []uint32{7}}}}
+	if _, err := Replay(tr, lds.DefaultParams()); err == nil {
+		t.Fatal("want error for out-of-range read")
+	}
+}
+
+func TestReplayDeterministicFinalState(t *testing.T) {
+	tr, err := Synthesize("tiny", 800, 10, 0.3, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := Replay(tr, lds.DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Replay(tr, lds.DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.FinalEdges != b.FinalEdges || a.EdgesApplied != b.EdgesApplied {
+		t.Fatalf("replay nondeterministic: %+v vs %+v", a, b)
+	}
+}

@@ -1,0 +1,164 @@
+// Package unionfind provides sequential and concurrent disjoint-set (union-
+// find) structures.
+//
+// The concurrent variant follows the lock-free CAS-based design of Jayanti
+// and Tarjan ("Concurrent disjoint set union", Distributed Computing 2021)
+// as implemented in ConnectIt, with deterministic link-by-minimum-index and
+// path halving. The CPLDS dependency-DAG merging in internal/cplds uses the
+// same linking discipline over operation descriptors; this package provides
+// the stand-alone structure used by tests, static connectivity, and the
+// example applications.
+package unionfind
+
+import "sync/atomic"
+
+// Sequential is a classic union-find with union by size and full path
+// compression. It is not safe for concurrent use.
+type Sequential struct {
+	parent []int32
+	size   []int32
+}
+
+// NewSequential returns a Sequential union-find over n singleton elements.
+func NewSequential(n int) *Sequential {
+	s := &Sequential{parent: make([]int32, n), size: make([]int32, n)}
+	for i := range s.parent {
+		s.parent[i] = int32(i)
+		s.size[i] = 1
+	}
+	return s
+}
+
+// Len reports the number of elements.
+func (s *Sequential) Len() int { return len(s.parent) }
+
+// Find returns the representative of x's set.
+func (s *Sequential) Find(x int) int {
+	root := x
+	for s.parent[root] != int32(root) {
+		root = int(s.parent[root])
+	}
+	for s.parent[x] != int32(root) {
+		s.parent[x], x = int32(root), int(s.parent[x])
+	}
+	return root
+}
+
+// Union merges the sets of x and y and reports whether they were distinct.
+func (s *Sequential) Union(x, y int) bool {
+	rx, ry := s.Find(x), s.Find(y)
+	if rx == ry {
+		return false
+	}
+	if s.size[rx] < s.size[ry] {
+		rx, ry = ry, rx
+	}
+	s.parent[ry] = int32(rx)
+	s.size[rx] += s.size[ry]
+	return true
+}
+
+// Same reports whether x and y are in the same set.
+func (s *Sequential) Same(x, y int) bool { return s.Find(x) == s.Find(y) }
+
+// Components returns the number of disjoint sets.
+func (s *Sequential) Components() int {
+	n := 0
+	for i := range s.parent {
+		if s.Find(i) == i {
+			n++
+		}
+	}
+	return n
+}
+
+// Concurrent is a lock-free union-find safe for concurrent Union, Find and
+// Same calls from any number of goroutines. Roots are deterministic: the
+// representative of a set is always its minimum element index, so results
+// are reproducible regardless of interleaving.
+type Concurrent struct {
+	parent []atomic.Int32
+}
+
+// NewConcurrent returns a Concurrent union-find over n singleton elements.
+func NewConcurrent(n int) *Concurrent {
+	c := &Concurrent{parent: make([]atomic.Int32, n)}
+	for i := range c.parent {
+		c.parent[i].Store(int32(i))
+	}
+	return c
+}
+
+// Len reports the number of elements.
+func (c *Concurrent) Len() int { return len(c.parent) }
+
+// Find returns the current representative of x's set, applying path halving
+// along the way. Because links always point to smaller indices, racing
+// halving writes are benign: a parent pointer is only ever replaced with a
+// (smaller) ancestor.
+func (c *Concurrent) Find(x int) int {
+	u := int32(x)
+	for {
+		p := c.parent[u].Load()
+		if p == u {
+			return int(u)
+		}
+		gp := c.parent[p].Load()
+		if gp != p {
+			// Path halving: try to skip a level; failure is fine.
+			c.parent[u].CompareAndSwap(p, gp)
+		}
+		u = p
+	}
+}
+
+// Union merges the sets containing x and y. It links the larger root under
+// the smaller one, so the minimum index always remains the representative.
+// It reports whether the two sets were distinct at the linearization point.
+func (c *Concurrent) Union(x, y int) bool {
+	for {
+		rx := int32(c.Find(x))
+		ry := int32(c.Find(y))
+		if rx == ry {
+			return false
+		}
+		if rx > ry {
+			rx, ry = ry, rx
+		}
+		// Link the larger root under the smaller. CAS fails if someone
+		// linked ry elsewhere first; retry from fresh roots.
+		if c.parent[ry].CompareAndSwap(ry, rx) {
+			return true
+		}
+	}
+}
+
+// Same reports whether x and y are in the same set. Under concurrent
+// unions the answer is linearizable: it re-checks the root of x after
+// finding the root of y, retrying if x's root moved in between.
+func (c *Concurrent) Same(x, y int) bool {
+	for {
+		rx := c.Find(x)
+		ry := c.Find(y)
+		if rx == ry {
+			return true
+		}
+		// rx is a root iff parent[rx] == rx still holds; if so, x and y
+		// were in different sets at the moment we checked.
+		if c.parent[rx].Load() == int32(rx) {
+			return false
+		}
+	}
+}
+
+// Components returns the number of disjoint sets. It is only meaningful in
+// quiescence (no concurrent unions).
+func (c *Concurrent) Components() int {
+	n := 0
+	for i := range c.parent {
+		if c.Find(i) == i {
+			n++
+		}
+	}
+	return n
+}

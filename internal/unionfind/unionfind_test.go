@@ -1,0 +1,250 @@
+package unionfind
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestSequentialBasic(t *testing.T) {
+	s := NewSequential(5)
+	if s.Len() != 5 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+	if s.Same(0, 1) {
+		t.Fatal("fresh elements should be disjoint")
+	}
+	if !s.Union(0, 1) {
+		t.Fatal("first union should merge")
+	}
+	if s.Union(1, 0) {
+		t.Fatal("second union should be a no-op")
+	}
+	if !s.Same(0, 1) {
+		t.Fatal("0 and 1 should be joined")
+	}
+	if s.Components() != 4 {
+		t.Fatalf("Components = %d, want 4", s.Components())
+	}
+}
+
+func TestSequentialTransitivity(t *testing.T) {
+	s := NewSequential(10)
+	s.Union(0, 1)
+	s.Union(1, 2)
+	s.Union(5, 6)
+	if !s.Same(0, 2) {
+		t.Fatal("transitivity violated")
+	}
+	if s.Same(0, 5) {
+		t.Fatal("disjoint sets reported same")
+	}
+	s.Union(2, 5)
+	if !s.Same(0, 6) {
+		t.Fatal("merge of chains failed")
+	}
+}
+
+func TestConcurrentMatchesSequential(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	const n = 500
+	for trial := 0; trial < 20; trial++ {
+		pairs := make([][2]int, 300)
+		for i := range pairs {
+			pairs[i] = [2]int{rng.Intn(n), rng.Intn(n)}
+		}
+		seq := NewSequential(n)
+		con := NewConcurrent(n)
+		for _, p := range pairs {
+			seq.Union(p[0], p[1])
+			con.Union(p[0], p[1])
+		}
+		for i := 0; i < n; i++ {
+			for _, j := range []int{0, n / 2, n - 1} {
+				if seq.Same(i, j) != con.Same(i, j) {
+					t.Fatalf("trial %d: Same(%d,%d) differs", trial, i, j)
+				}
+			}
+		}
+		if seq.Components() != con.Components() {
+			t.Fatalf("trial %d: components %d vs %d", trial, seq.Components(), con.Components())
+		}
+	}
+}
+
+func TestConcurrentMinRootInvariant(t *testing.T) {
+	c := NewConcurrent(100)
+	c.Union(50, 10)
+	c.Union(10, 99)
+	c.Union(99, 3)
+	if got := c.Find(50); got != 3 {
+		t.Fatalf("root = %d, want minimum element 3", got)
+	}
+}
+
+func TestConcurrentParallelUnions(t *testing.T) {
+	const n = 2000
+	const goroutines = 16
+	c := NewConcurrent(n)
+	// Build a chain: every goroutine links a strided subset; final result
+	// must be a single component rooted at 0.
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := g; i < n-1; i += goroutines {
+				c.Union(i, i+1)
+			}
+		}(g)
+	}
+	wg.Wait()
+	for i := 0; i < n; i++ {
+		if c.Find(i) != 0 {
+			t.Fatalf("Find(%d) = %d, want 0", i, c.Find(i))
+		}
+	}
+	if c.Components() != 1 {
+		t.Fatalf("Components = %d, want 1", c.Components())
+	}
+}
+
+func TestConcurrentParallelRandomVsSequential(t *testing.T) {
+	const n = 1000
+	rng := rand.New(rand.NewSource(7))
+	pairs := make([][2]int, 2000)
+	for i := range pairs {
+		pairs[i] = [2]int{rng.Intn(n), rng.Intn(n)}
+	}
+	con := NewConcurrent(n)
+	var wg sync.WaitGroup
+	const goroutines = 8
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := g; i < len(pairs); i += goroutines {
+				con.Union(pairs[i][0], pairs[i][1])
+			}
+		}(g)
+	}
+	wg.Wait()
+	seq := NewSequential(n)
+	for _, p := range pairs {
+		seq.Union(p[0], p[1])
+	}
+	// Same partition regardless of interleaving.
+	for i := 0; i < n; i++ {
+		if seq.Same(i, seq.Find(i)) != con.Same(i, con.Find(i)) {
+			t.Fatalf("partition mismatch at %d", i)
+		}
+		if con.Find(i) != seqMinOfComponent(seq, i) {
+			t.Fatalf("root of %d = %d, want component minimum %d", i, con.Find(i), seqMinOfComponent(seq, i))
+		}
+	}
+}
+
+// seqMinOfComponent returns the minimum element in i's component.
+func seqMinOfComponent(s *Sequential, i int) int {
+	r := s.Find(i)
+	min := i
+	for j := 0; j < s.Len(); j++ {
+		if s.Find(j) == r && j < min {
+			min = j
+		}
+	}
+	return min
+}
+
+func TestConcurrentFindIsIdempotent(t *testing.T) {
+	c := NewConcurrent(50)
+	c.Union(10, 20)
+	c.Union(20, 30)
+	r1 := c.Find(30)
+	r2 := c.Find(30)
+	if r1 != r2 {
+		t.Fatalf("Find not stable: %d then %d", r1, r2)
+	}
+}
+
+func TestUnionFindProperty(t *testing.T) {
+	// Property: union is commutative and idempotent with respect to the
+	// resulting partition.
+	f := func(edges [][2]uint8) bool {
+		const n = 256
+		a := NewSequential(n)
+		b := NewConcurrent(n)
+		for _, e := range edges {
+			a.Union(int(e[0]), int(e[1]))
+		}
+		for i := len(edges) - 1; i >= 0; i-- { // reverse order
+			b.Union(int(edges[i][1]), int(edges[i][0])) // swapped args
+		}
+		for i := 0; i < n; i++ {
+			if a.Same(i, 0) != b.Same(i, 0) {
+				return false
+			}
+		}
+		return a.Components() == b.Components()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConcurrentSameDuringUnions(t *testing.T) {
+	// Smoke test under race detector: concurrent Same and Union calls.
+	const n = 512
+	c := NewConcurrent(n)
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(g)))
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				c.Same(rng.Intn(n), rng.Intn(n))
+			}
+		}(g)
+	}
+	for i := 0; i < n-1; i++ {
+		c.Union(i, i+1)
+	}
+	close(stop)
+	wg.Wait()
+	if c.Components() != 1 {
+		t.Fatalf("Components = %d", c.Components())
+	}
+}
+
+func BenchmarkConcurrentUnionFind(b *testing.B) {
+	const n = 1 << 16
+	rng := rand.New(rand.NewSource(1))
+	pairs := make([][2]int32, n)
+	for i := range pairs {
+		pairs[i] = [2]int32{rng.Int31n(n), rng.Int31n(n)}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c := NewConcurrent(n)
+		var wg sync.WaitGroup
+		for g := 0; g < 4; g++ {
+			wg.Add(1)
+			go func(g int) {
+				defer wg.Done()
+				for j := g; j < len(pairs); j += 4 {
+					c.Union(int(pairs[j][0]), int(pairs[j][1]))
+				}
+			}(g)
+		}
+		wg.Wait()
+	}
+}

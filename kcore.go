@@ -1,0 +1,217 @@
+// Package kcore is a dynamic parallel k-core decomposition library with
+// batched updates and asynchronous, linearizable reads.
+//
+// It is a Go implementation of the CPLDS (concurrent parallel level data
+// structure) of Liu, Shun and Zablotchi, "Parallel k-Core Decomposition
+// with Batched Updates and Asynchronous Reads" (PPoPP 2024): edge updates
+// are applied in parallel batches, while coreness queries proceed
+// concurrently — lock-free and linearizable — with latencies independent of
+// batch duration, maintaining a (2+3/λ)(1+δ)-approximation of every
+// vertex's coreness (2.8 with the default parameters).
+//
+// # Quick start
+//
+//	d, _ := kcore.New(1_000_000)
+//	d.InsertEdges(edges)             // parallel batch update
+//	go serveQueries(d)               // readers call d.Coreness(v) anytime
+//	k := d.Coreness(42)              // lock-free, linearizable estimate
+//
+// Updates must be issued from one goroutine at a time; reads may be issued
+// from any number of goroutines at any time, including concurrently with a
+// running batch.
+package kcore
+
+import (
+	"fmt"
+
+	"kcore/internal/cplds"
+	"kcore/internal/exact"
+	"kcore/internal/graph"
+	"kcore/internal/lds"
+	"kcore/internal/parallel"
+)
+
+// Edge is an undirected edge between two vertex ids in [0, NumVertices).
+type Edge struct {
+	U, V uint32
+}
+
+// Params are the approximation parameters of the underlying level
+// structure. The approximation factor is (2+3/Lambda)(1+Delta).
+type Params struct {
+	Delta  float64 // group growth factor (default 0.2)
+	Lambda float64 // degree-bound slack (default 9)
+}
+
+// DefaultParams returns the parameters used in the paper's evaluation
+// (δ=0.2, λ=9; approximation factor 2.8).
+func DefaultParams() Params {
+	p := lds.DefaultParams()
+	return Params{Delta: p.Delta, Lambda: p.Lambda}
+}
+
+type options struct {
+	params  lds.Params
+	workers int
+}
+
+// Option configures a Decomposition.
+type Option func(*options)
+
+// WithParams overrides the approximation parameters.
+func WithParams(p Params) Option {
+	return func(o *options) { o.params = lds.Params{Delta: p.Delta, Lambda: p.Lambda} }
+}
+
+// WithWorkers sets the number of goroutines used by batch updates
+// (default: GOMAXPROCS). It adjusts the process-wide default used by the
+// parallel runtime.
+func WithWorkers(n int) Option {
+	return func(o *options) { o.workers = n }
+}
+
+// Decomposition maintains an approximate k-core decomposition of a dynamic
+// undirected graph.
+//
+// Concurrency: InsertEdges and DeleteEdges must be called by a single
+// updater goroutine at a time (each call is internally parallel). Coreness,
+// CorenessNonLinearizable and CorenessBlocking may be called from any
+// goroutine at any time.
+type Decomposition struct {
+	c *cplds.CPLDS
+}
+
+// New creates an empty decomposition over n vertices.
+func New(n int, opts ...Option) (*Decomposition, error) {
+	o := options{params: lds.DefaultParams()}
+	for _, opt := range opts {
+		opt(&o)
+	}
+	if err := o.params.Validate(); err != nil {
+		return nil, err
+	}
+	if n < 0 {
+		return nil, fmt.Errorf("kcore: negative vertex count %d", n)
+	}
+	if o.workers > 0 {
+		parallel.SetWorkers(o.workers)
+	}
+	return &Decomposition{c: cplds.New(n, o.params)}, nil
+}
+
+// NumVertices returns the (fixed) number of vertices.
+func (d *Decomposition) NumVertices() int { return d.c.NumVertices() }
+
+// NumEdges returns the number of edges currently in the graph. It must not
+// be called concurrently with an update batch.
+func (d *Decomposition) NumEdges() int64 { return d.c.Graph().NumEdges() }
+
+// ApproxFactor returns the theoretical approximation factor of coreness
+// estimates.
+func (d *Decomposition) ApproxFactor() float64 { return d.c.S.ApproxFactor() }
+
+// BatchNumber returns the number of update batches processed so far.
+func (d *Decomposition) BatchNumber() uint64 { return d.c.BatchNumber() }
+
+// toInternal converts public edges to the internal representation.
+func toInternal(edges []Edge) []graph.Edge {
+	out := make([]graph.Edge, len(edges))
+	for i, e := range edges {
+		out[i] = graph.Edge{U: e.U, V: e.V}
+	}
+	return out
+}
+
+// InsertEdges applies a batch of edge insertions in parallel and returns
+// the number of edges actually added (self-loops, duplicates within the
+// batch, already-present edges and out-of-range endpoints are ignored).
+// Concurrent Coreness reads remain linearizable throughout the batch.
+func (d *Decomposition) InsertEdges(edges []Edge) int {
+	return d.c.InsertBatch(toInternal(edges))
+}
+
+// DeleteEdges applies a batch of edge deletions in parallel and returns the
+// number of edges actually removed. Concurrent Coreness reads remain
+// linearizable throughout the batch.
+func (d *Decomposition) DeleteEdges(edges []Edge) int {
+	return d.c.DeleteBatch(toInternal(edges))
+}
+
+// ApplyBatch applies a mixed batch of insertions and deletions. Following
+// the paper's model, the mix is processed as an insertion sub-batch
+// followed by a deletion sub-batch ("batches contain a mix of insertions
+// and deletions, which are separated into insertion and deletion
+// sub-batches during pre-processing", §2). It returns the number of edges
+// inserted and deleted. Concurrent reads remain linearizable; each
+// sub-batch is its own atomicity unit.
+func (d *Decomposition) ApplyBatch(insertions, deletions []Edge) (inserted, deleted int) {
+	if len(insertions) > 0 {
+		inserted = d.InsertEdges(insertions)
+	}
+	if len(deletions) > 0 {
+		deleted = d.DeleteEdges(deletions)
+	}
+	return inserted, deleted
+}
+
+// RemoveVertex deletes all edges incident to v as one batch, effectively
+// removing v from the graph (vertex ids are never recycled). This is the
+// vertex-deletion operation the paper notes batch-dynamic structures
+// support via edge updates (footnote 1). It returns the number of edges
+// removed. Like the edge-batch operations it must be called from the
+// single updater goroutine; concurrent reads stay linearizable.
+func (d *Decomposition) RemoveVertex(v uint32) int {
+	if int(v) >= d.NumVertices() {
+		return 0
+	}
+	var incident []graph.Edge
+	d.c.Graph().Neighbors(v, func(w uint32) bool {
+		incident = append(incident, graph.Edge{U: v, V: w})
+		return true
+	})
+	return d.c.DeleteBatch(incident)
+}
+
+// Coreness returns a linearizable (2+ε)-approximate coreness estimate for
+// v. It is lock-free and safe to call concurrently with update batches:
+// the returned value always corresponds to the state at a batch boundary,
+// never to an intermediate state mid-batch.
+func (d *Decomposition) Coreness(v uint32) float64 { return d.c.Read(v) }
+
+// CorenessNonLinearizable returns the estimate computed from v's
+// instantaneous level. It is faster than Coreness but, when called during
+// a batch, may reflect an intermediate state whose error is unbounded
+// (the paper's NonSync baseline). Use only when linearizability does not
+// matter.
+func (d *Decomposition) CorenessNonLinearizable(v uint32) float64 { return d.c.ReadNonSync(v) }
+
+// CorenessBlocking waits for any in-flight batch to complete before
+// reading (the paper's SyncReads baseline). Its latency is bounded below
+// by the remaining batch time.
+func (d *Decomposition) CorenessBlocking(v uint32) float64 { return d.c.ReadSync(v) }
+
+// Degree returns v's current degree. It must not be called concurrently
+// with an update batch.
+func (d *Decomposition) Degree(v uint32) int { return d.c.Graph().Degree(uint32(v)) }
+
+// ExactCoreness computes the exact coreness of every vertex by static
+// parallel peeling of the current graph. It is a quiescent operation: it
+// must not be called concurrently with an update batch. Use it to measure
+// the approximation quality of estimates, or when exact values are needed
+// occasionally.
+func (d *Decomposition) ExactCoreness() []int32 {
+	return exact.Parallel(d.c.Graph().Snapshot())
+}
+
+// Check verifies the internal level-structure invariants. It is a
+// quiescent operation intended for tests and debugging; it returns nil on
+// a healthy structure.
+func (d *Decomposition) Check() error { return d.c.CheckInvariants() }
+
+// Static computes the exact k-core decomposition (coreness of every
+// vertex) of a static edge list on n vertices using parallel bucket
+// peeling. It is the convenience entry point when no dynamic updates are
+// needed.
+func Static(n int, edges []Edge) []int32 {
+	return exact.Parallel(graph.CSRFromEdges(n, toInternal(edges)))
+}
