@@ -10,8 +10,10 @@
 //	kcore-bench -exp fig5 -datasets dblp
 //	kcore-bench -exp fig6 -datasets tiny,dblp
 //	kcore-bench -exp fig7 -datasets dblp,lj -threads 1,2,4,8,15
+//	kcore-bench -exp shardscale -datasets dblp -shards 1,2,4,8
 //
-// Every run prints the same rows/series the paper reports. See
+// Every run prints the same rows/series the paper reports, plus the
+// shard-scaling experiment added by this repo (Figure 8). See
 // EXPERIMENTS.md for the paper-vs-measured record.
 package main
 
@@ -28,10 +30,11 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: all, table1, fig3, fig4, fig5, fig6, fig7, ablation")
+	exp := flag.String("exp", "all", "experiment: all, table1, fig3, fig4, fig5, fig6, fig7, shardscale, ablation")
 	datasets := flag.String("datasets", "", "comma-separated dataset profiles (default per experiment)")
 	batchSizes := flag.String("batchsizes", "100,1000,10000,50000", "comma-separated batch sizes (fig4)")
 	threads := flag.String("threads", "1,2,4,8,15", "comma-separated thread counts (fig7)")
+	shards := flag.String("shards", "1,2,4,8", "comma-separated shard counts (shardscale)")
 	batch := flag.Int("batch", 10000, "update batch size")
 	readers := flag.Int("readers", 4, "reader goroutines")
 	writers := flag.Int("writers", 4, "writer (update) parallelism")
@@ -53,7 +56,7 @@ func main() {
 		Seed:       1,
 		Params:     lds.Params{Delta: *delta, Lambda: *lambda},
 	}
-	if err := run(*exp, splitList(*datasets), parseInts(*batchSizes), parseInts(*threads), cfg); err != nil {
+	if err := run(*exp, splitList(*datasets), parseInts(*batchSizes), parseInts(*threads), parseInts(*shards), cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "kcore-bench:", err)
 		os.Exit(1)
 	}
@@ -86,7 +89,7 @@ func parseInts(s string) []int {
 	return out
 }
 
-func run(exp string, datasets []string, batchSizes, threads []int, cfg bench.Config) error {
+func run(exp string, datasets []string, batchSizes, threads, shards []int, cfg bench.Config) error {
 	// Default dataset lists per experiment (paper's choices, stand-ins).
 	latencyDefault := []string{"dblp", "wiki", "yt", "ctr"}
 	sweepDefault := []string{"yt", "dblp"}
@@ -117,6 +120,8 @@ func run(exp string, datasets []string, batchSizes, threads []int, cfg bench.Con
 		return bench.Figure6(w, pick(errorDefault), cfg)
 	case "fig7":
 		return bench.Figure7(w, pick(scaleDefault), threads, cfg)
+	case "shardscale":
+		return bench.FigureShards(w, pick(scaleDefault), shards, cfg)
 	case "ablation":
 		return bench.Ablation(w, pick(errorDefault), cfg)
 	case "all":
@@ -139,6 +144,9 @@ func run(exp string, datasets []string, batchSizes, threads []int, cfg bench.Con
 			return err
 		}
 		if err := bench.Figure7(w, pick(scaleDefault), threads, cfg); err != nil {
+			return err
+		}
+		if err := bench.FigureShards(w, pick(scaleDefault), shards, cfg); err != nil {
 			return err
 		}
 		return bench.Ablation(w, pick(errorDefault), cfg)

@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	kcore-server -n 1000000 -addr :8080 [-load graph.txt]
+//	kcore-server -n 1000000 -shards 4 -addr :8080 [-load graph.txt]
 //
 //	curl 'localhost:8080/coreness?v=42'
 //	curl 'localhost:8080/top?k=10'
@@ -31,15 +31,18 @@ func main() {
 	delta := flag.Float64("delta", 0.2, "approximation parameter delta")
 	lambda := flag.Float64("lambda", 9, "approximation parameter lambda")
 	batch := flag.Int("batch", 100000, "startup-load batch size")
+	shards := flag.Int("shards", 1, "number of engine shards (concurrent update batches scale per shard)")
+	maxBatch := flag.Int("maxbatch", server.DefaultMaxBatchEdges, "max edges accepted per /edges/batch request")
 	flag.Parse()
 
-	srv := server.New(*n, lds.Params{Delta: *delta, Lambda: *lambda})
+	srv := server.New(*n, lds.Params{Delta: *delta, Lambda: *lambda},
+		server.WithShards(*shards), server.WithMaxBatchEdges(*maxBatch))
 	if *load != "" {
 		if err := loadFile(srv, *load, *batch); err != nil {
 			log.Fatalf("kcore-server: %v", err)
 		}
 	}
-	log.Printf("kcore-server: %d vertices, listening on %s", *n, *addr)
+	log.Printf("kcore-server: %d vertices, %d shard(s), listening on %s", *n, *shards, *addr)
 	log.Fatal(http.ListenAndServe(*addr, srv.Handler()))
 }
 

@@ -1,0 +1,56 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunShardScaling(t *testing.T) {
+	cfg := smallCfg()
+	results, err := RunShardScalingAll(cfg, []int{1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 2 {
+		t.Fatalf("results = %d, want 2", len(results))
+	}
+	for _, r := range results {
+		if r.Edges == 0 || r.WritesPerS <= 0 {
+			t.Fatalf("shard-scaling run idle: %+v", r)
+		}
+		if r.Writers != cfg.Writers || r.Readers != cfg.Readers {
+			t.Fatalf("config echo mismatch: %+v", r)
+		}
+	}
+	// The same stream must apply the same number of edges at every shard
+	// count (sharding changes throughput, never the applied updates).
+	if results[0].Edges != results[1].Edges {
+		t.Fatalf("applied edges differ across shard counts: %d vs %d",
+			results[0].Edges, results[1].Edges)
+	}
+}
+
+func TestRunShardScalingUnknownDataset(t *testing.T) {
+	cfg := smallCfg()
+	cfg.Dataset = "bogus"
+	if _, err := RunShardScaling(cfg, 1); err == nil {
+		t.Fatal("want error for unknown dataset")
+	}
+}
+
+func TestFigureShardsDriverOutput(t *testing.T) {
+	if testing.Short() {
+		t.Skip("figure driver is slow; run without -short")
+	}
+	var buf bytes.Buffer
+	if err := FigureShards(&buf, []string{"tiny"}, []int{1, 2}, smallCfg()); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"shard scaling", "tiny", "speedup", "edges/s"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("figure output missing %q:\n%s", want, out)
+		}
+	}
+}

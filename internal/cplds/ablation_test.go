@@ -15,7 +15,11 @@ func TestPathCompressionAblationCorrectness(t *testing.T) {
 	// check with compression off.
 	const n = 64
 	const k = 40
-	for trial := 0; trial < 10; trial++ {
+	trials := 10
+	if testing.Short() {
+		trials = 3
+	}
+	for trial := 0; trial < trials; trial++ {
 		c, batch := buildCascade(n, k)
 		c.SetPathCompression(false)
 		var wg sync.WaitGroup

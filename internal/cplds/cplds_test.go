@@ -195,7 +195,11 @@ func TestNoIntermediateLevelsVisible(t *testing.T) {
 	// observes an intermediate level, only the pre-batch or post-batch one.
 	const n = 64
 	const k = 48
-	for trial := 0; trial < 20; trial++ {
+	trials := 20
+	if testing.Short() {
+		trials = 4
+	}
+	for trial := 0; trial < trials; trial++ {
 		c, batch := buildCascade(n, k)
 		pre := make([]int32, n)
 		for v := range pre {
@@ -253,8 +257,12 @@ func TestNonSyncDoesObserveIntermediates(t *testing.T) {
 	// workload (this is exactly why it is non-linearizable).
 	const n = 64
 	const k = 48
+	trials := 50
+	if testing.Short() {
+		trials = 10
+	}
 	sawIntermediate := false
-	for trial := 0; trial < 50 && !sawIntermediate; trial++ {
+	for trial := 0; trial < trials && !sawIntermediate; trial++ {
 		c, batch := buildCascade(n, k)
 		var wg sync.WaitGroup
 		stop := make(chan struct{})
@@ -302,7 +310,11 @@ func TestNoNewOldInversion(t *testing.T) {
 	// goroutine is checked independently.
 	const n = 64
 	const k = 40
-	for trial := 0; trial < 20; trial++ {
+	trials := 20
+	if testing.Short() {
+		trials = 4
+	}
+	for trial := 0; trial < trials; trial++ {
 		c, batch := buildCascade(n, k)
 		type obs struct {
 			v     uint32

@@ -10,31 +10,52 @@
 //	GET  /stats                      — graph and batch counters
 //	POST /edges/insert               — body: "u v" per line; one batch
 //	POST /edges/delete               — body: "u v" per line; one batch
+//	POST /edges/batch                — JSON mixed batch (see batchRequest)
 //
-// Reads are served directly from the CPLDS read protocol and never block
-// on updates; update requests are serialized through a single updater
-// mutex, preserving the one-updater contract.
+// Reads are served directly from the CPLDS read protocol of the vertex's
+// owning shard and never block on updates. Update requests from concurrent
+// clients are handed to the sharded engine's batch-coalescing scheduler,
+// which folds them into per-shard sub-batches and applies sub-batches of
+// distinct shards in parallel.
 package server
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"strconv"
-	"sync"
 	"sync/atomic"
 
 	"kcore/internal/apps"
-	"kcore/internal/cplds"
 	"kcore/internal/graph"
 	"kcore/internal/lds"
+	"kcore/internal/shard"
 )
+
+// DefaultMaxBatchEdges bounds the total number of edges accepted in one
+// /edges/batch request unless overridden with WithMaxBatchEdges.
+const DefaultMaxBatchEdges = 1 << 20
+
+// Option configures a Server.
+type Option func(*Server)
+
+// WithShards sets the number of engine shards (default 1).
+func WithShards(p int) Option {
+	return func(s *Server) { s.shards = p }
+}
+
+// WithMaxBatchEdges caps the total edges accepted per /edges/batch request.
+func WithMaxBatchEdges(max int) Option {
+	return func(s *Server) { s.maxBatchEdges = max }
+}
 
 // Server is an HTTP k-core query/update service.
 type Server struct {
-	c *cplds.CPLDS
+	eng *shard.Engine
 
-	updateMu sync.Mutex // serializes update batches (one-updater contract)
+	shards        int
+	maxBatchEdges int
 
 	inserted atomic.Int64
 	deleted  atomic.Int64
@@ -42,16 +63,25 @@ type Server struct {
 }
 
 // New creates a service over n vertices.
-func New(n int, p lds.Params) *Server {
-	return &Server{c: cplds.New(n, p)}
+func New(n int, p lds.Params, opts ...Option) *Server {
+	s := &Server{shards: 1, maxBatchEdges: DefaultMaxBatchEdges}
+	for _, opt := range opts {
+		opt(s)
+	}
+	if s.shards < 1 {
+		s.shards = 1
+	}
+	s.eng = shard.New(n, s.shards, p)
+	return s
 }
+
+// Engine exposes the underlying sharded engine (tests, bulk tooling).
+func (s *Server) Engine() *shard.Engine { return s.eng }
 
 // InsertBatch applies an insertion batch directly (bulk loading at
 // startup), with the same accounting as the HTTP endpoint.
 func (s *Server) InsertBatch(edges []graph.Edge) int {
-	s.updateMu.Lock()
-	defer s.updateMu.Unlock()
-	applied := s.c.InsertBatch(edges)
+	applied := s.eng.Insert(edges)
 	s.inserted.Add(int64(applied))
 	return applied
 }
@@ -64,6 +94,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /stats", s.handleStats)
 	mux.HandleFunc("POST /edges/insert", s.handleUpdate(true))
 	mux.HandleFunc("POST /edges/delete", s.handleUpdate(false))
+	mux.HandleFunc("POST /edges/batch", s.handleBatch)
 	return mux
 }
 
@@ -77,7 +108,7 @@ type corenessResponse struct {
 
 func (s *Server) handleCoreness(w http.ResponseWriter, r *http.Request) {
 	v64, err := strconv.ParseUint(r.URL.Query().Get("v"), 10, 32)
-	if err != nil || int(v64) >= s.c.NumVertices() {
+	if err != nil || int(v64) >= s.eng.NumVertices() {
 		http.Error(w, "bad or out-of-range vertex id", http.StatusBadRequest)
 		return
 	}
@@ -89,17 +120,17 @@ func (s *Server) handleCoreness(w http.ResponseWriter, r *http.Request) {
 	var est float64
 	switch mode {
 	case "linearizable":
-		est = s.c.Read(v)
+		est = s.eng.Read(v)
 	case "nonsync":
-		est = s.c.ReadNonSync(v)
+		est = s.eng.ReadNonSync(v)
 	case "blocking":
-		est = s.c.ReadSync(v)
+		est = s.eng.ReadSync(v)
 	default:
 		http.Error(w, "unknown mode (want linearizable, nonsync or blocking)", http.StatusBadRequest)
 		return
 	}
 	s.reads.Add(1)
-	writeJSON(w, corenessResponse{Vertex: v, Coreness: est, Mode: mode, Batch: s.c.BatchNumber()})
+	writeJSON(w, corenessResponse{Vertex: v, Coreness: est, Mode: mode, Batch: s.eng.Batches()})
 }
 
 // topResponse is the JSON body of /top.
@@ -114,10 +145,10 @@ func (s *Server) handleTop(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "bad k", http.StatusBadRequest)
 		return
 	}
-	n := s.c.NumVertices()
+	n := s.eng.NumVertices()
 	scores := make([]float64, n)
 	for v := 0; v < n; v++ {
-		scores[v] = s.c.Read(uint32(v))
+		scores[v] = s.eng.Read(uint32(v))
 	}
 	s.reads.Add(int64(n))
 	writeJSON(w, topResponse{K: k, Vertices: apps.TopSpreaders(scores, k)})
@@ -126,6 +157,7 @@ func (s *Server) handleTop(w http.ResponseWriter, r *http.Request) {
 // statsResponse is the JSON body of /stats.
 type statsResponse struct {
 	Vertices int    `json:"vertices"`
+	Shards   int    `json:"shards"`
 	Edges    int64  `json:"edges"`
 	Batches  uint64 `json:"batches"`
 	Inserted int64  `json:"edges_inserted"`
@@ -134,13 +166,11 @@ type statsResponse struct {
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
-	s.updateMu.Lock() // NumEdges is quiescent-only
-	edges := s.c.Graph().NumEdges()
-	s.updateMu.Unlock()
 	writeJSON(w, statsResponse{
-		Vertices: s.c.NumVertices(),
-		Edges:    edges,
-		Batches:  s.c.BatchNumber(),
+		Vertices: s.eng.NumVertices(),
+		Shards:   s.eng.NumShards(),
+		Edges:    s.eng.NumEdges(),
+		Batches:  s.eng.Batches(),
 		Inserted: s.inserted.Load(),
 		Deleted:  s.deleted.Load(),
 		Reads:    s.reads.Load(),
@@ -160,19 +190,93 @@ func (s *Server) handleUpdate(insert bool) http.HandlerFunc {
 			http.Error(w, fmt.Sprintf("bad edge list: %v", err), http.StatusBadRequest)
 			return
 		}
-		s.updateMu.Lock()
 		var applied int
 		if insert {
-			applied = s.c.InsertBatch(edges)
+			applied = s.eng.Insert(edges)
 			s.inserted.Add(int64(applied))
 		} else {
-			applied = s.c.DeleteBatch(edges)
+			applied = s.eng.Delete(edges)
 			s.deleted.Add(int64(applied))
 		}
-		batch := s.c.BatchNumber()
-		s.updateMu.Unlock()
-		writeJSON(w, updateResponse{Applied: applied, Batch: batch})
+		writeJSON(w, updateResponse{Applied: applied, Batch: s.eng.Batches()})
 	}
+}
+
+// batchEdge is one edge of a JSON batch request.
+type batchEdge struct {
+	U uint32 `json:"u"`
+	V uint32 `json:"v"`
+}
+
+// batchRequest is the JSON body of POST /edges/batch: a mixed batch of
+// insertions and deletions applied through the coalescing scheduler.
+type batchRequest struct {
+	Insert []batchEdge `json:"insert"`
+	Delete []batchEdge `json:"delete"`
+}
+
+// batchResponse is the JSON body of the batch endpoint.
+type batchResponse struct {
+	Inserted int    `json:"inserted"`
+	Deleted  int    `json:"deleted"`
+	Batch    uint64 `json:"batch"`
+}
+
+// validateBatch checks a batch request against the vertex range and size
+// limit. It returns an HTTP status and error for invalid batches.
+func (s *Server) validateBatch(req *batchRequest) (int, error) {
+	total := len(req.Insert) + len(req.Delete)
+	if total == 0 {
+		return http.StatusBadRequest, errors.New("empty batch: need at least one edge in insert or delete")
+	}
+	if total > s.maxBatchEdges {
+		return http.StatusRequestEntityTooLarge,
+			fmt.Errorf("batch of %d edges exceeds limit %d", total, s.maxBatchEdges)
+	}
+	n := uint32(s.eng.NumVertices())
+	for _, list := range [][]batchEdge{req.Insert, req.Delete} {
+		for _, e := range list {
+			if e.U >= n || e.V >= n {
+				return http.StatusBadRequest,
+					fmt.Errorf("vertex out of range: edge (%d,%d), have %d vertices", e.U, e.V, n)
+			}
+		}
+	}
+	return http.StatusOK, nil
+}
+
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	// Bound the body before decoding so the edge-count limit also bounds
+	// memory: an edge object is well under 64 bytes of JSON.
+	body := http.MaxBytesReader(w, r.Body, int64(s.maxBatchEdges)*64+4096)
+	var req batchRequest
+	dec := json.NewDecoder(body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			http.Error(w, fmt.Sprintf("batch body exceeds %d bytes", tooLarge.Limit),
+				http.StatusRequestEntityTooLarge)
+			return
+		}
+		http.Error(w, fmt.Sprintf("bad batch JSON: %v", err), http.StatusBadRequest)
+		return
+	}
+	if status, err := s.validateBatch(&req); err != nil {
+		http.Error(w, err.Error(), status)
+		return
+	}
+	toEdges := func(in []batchEdge) []graph.Edge {
+		out := make([]graph.Edge, len(in))
+		for i, e := range in {
+			out[i] = graph.Edge{U: e.U, V: e.V}
+		}
+		return out
+	}
+	ins, del := s.eng.Apply(toEdges(req.Insert), toEdges(req.Delete))
+	s.inserted.Add(int64(ins))
+	s.deleted.Add(int64(del))
+	writeJSON(w, batchResponse{Inserted: ins, Deleted: del, Batch: s.eng.Batches()})
 }
 
 func writeJSON(w http.ResponseWriter, v any) {

@@ -12,9 +12,9 @@ import (
 	"kcore/internal/lds"
 )
 
-func newTestServer(t *testing.T) *httptest.Server {
+func newTestServer(t *testing.T, opts ...Option) *httptest.Server {
 	t.Helper()
-	s := New(100, lds.DefaultParams())
+	s := New(100, lds.DefaultParams(), opts...)
 	ts := httptest.NewServer(s.Handler())
 	t.Cleanup(ts.Close)
 	return ts
@@ -134,6 +134,120 @@ func TestTopEndpoint(t *testing.T) {
 		if v > 4 {
 			t.Fatalf("non-cluster vertex %d in top", v)
 		}
+	}
+}
+
+func TestBatchEndpoint(t *testing.T) {
+	ts := newTestServer(t)
+	resp := post(t, ts.URL+"/edges/batch", `{"insert":[{"u":0,"v":1},{"u":1,"v":2},{"u":0,"v":2}]}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("batch insert status %d", resp.StatusCode)
+	}
+	br := decode[batchResponse](t, resp)
+	if br.Inserted != 3 || br.Deleted != 0 {
+		t.Fatalf("batch response %+v", br)
+	}
+	// Mixed batch: one deletion, one fresh insertion, one insert+delete
+	// pair of the same (absent) edge that must net out to nothing.
+	resp = post(t, ts.URL+"/edges/batch",
+		`{"insert":[{"u":2,"v":3},{"u":7,"v":8}],"delete":[{"u":0,"v":1},{"u":7,"v":8}]}`)
+	br = decode[batchResponse](t, resp)
+	if br.Inserted != 1 || br.Deleted != 1 {
+		t.Fatalf("mixed batch response %+v", br)
+	}
+	st := decode[statsResponse](t, get(t, ts.URL+"/stats"))
+	if st.Edges != 3 || st.Inserted != 4 || st.Deleted != 1 {
+		t.Fatalf("stats after batches %+v", st)
+	}
+}
+
+func TestBatchEndpointErrorPaths(t *testing.T) {
+	tests := []struct {
+		name       string
+		body       string
+		wantStatus int
+		opts       []Option
+	}{
+		{
+			name:       "malformed JSON",
+			body:       `{"insert":[{"u":0,"v":1}`,
+			wantStatus: http.StatusBadRequest,
+		},
+		{
+			name:       "not JSON at all",
+			body:       "0 1\n1 2\n",
+			wantStatus: http.StatusBadRequest,
+		},
+		{
+			name:       "unknown field",
+			body:       `{"insertions":[{"u":0,"v":1}]}`,
+			wantStatus: http.StatusBadRequest,
+		},
+		{
+			name:       "empty batch",
+			body:       `{}`,
+			wantStatus: http.StatusBadRequest,
+		},
+		{
+			name:       "empty lists",
+			body:       `{"insert":[],"delete":[]}`,
+			wantStatus: http.StatusBadRequest,
+		},
+		{
+			name:       "out-of-range insert vertex",
+			body:       `{"insert":[{"u":0,"v":100}]}`,
+			wantStatus: http.StatusBadRequest,
+		},
+		{
+			name:       "out-of-range delete vertex",
+			body:       `{"delete":[{"u":5000,"v":1}]}`,
+			wantStatus: http.StatusBadRequest,
+		},
+		{
+			name:       "negative vertex id",
+			body:       `{"insert":[{"u":-1,"v":1}]}`,
+			wantStatus: http.StatusBadRequest,
+		},
+		{
+			name:       "oversized batch",
+			body:       `{"insert":[{"u":0,"v":1},{"u":1,"v":2},{"u":2,"v":3}]}`,
+			wantStatus: http.StatusRequestEntityTooLarge,
+			opts:       []Option{WithMaxBatchEdges(2)},
+		},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			ts := newTestServer(t, tc.opts...)
+			resp := post(t, ts.URL+"/edges/batch", tc.body)
+			if resp.StatusCode != tc.wantStatus {
+				t.Fatalf("status %d, want %d", resp.StatusCode, tc.wantStatus)
+			}
+			// An invalid batch must not have touched the graph.
+			st := decode[statsResponse](t, get(t, ts.URL+"/stats"))
+			if st.Edges != 0 || st.Inserted != 0 || st.Deleted != 0 {
+				t.Fatalf("rejected batch mutated state: %+v", st)
+			}
+		})
+	}
+}
+
+func TestShardedServer(t *testing.T) {
+	ts := newTestServer(t, WithShards(4))
+	st := decode[statsResponse](t, get(t, ts.URL+"/stats"))
+	if st.Shards != 4 {
+		t.Fatalf("shards = %d, want 4", st.Shards)
+	}
+	post(t, ts.URL+"/edges/insert", triangleBody())
+	for v := 0; v < 3; v++ {
+		resp := get(t, fmt.Sprintf("%s/coreness?v=%d", ts.URL, v))
+		cr := decode[corenessResponse](t, resp)
+		if cr.Coreness < 1 {
+			t.Fatalf("vertex %d coreness %v on sharded server", v, cr.Coreness)
+		}
+	}
+	st = decode[statsResponse](t, get(t, ts.URL+"/stats"))
+	if st.Edges != 3 || st.Inserted != 3 {
+		t.Fatalf("sharded stats %+v", st)
 	}
 }
 

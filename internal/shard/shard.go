@@ -1,0 +1,420 @@
+// Package shard provides a sharded CPLDS engine: vertices are hash-
+// partitioned across P independent cplds.CPLDS instances, fronted by a
+// batch-coalescing scheduler that accepts concurrent update submissions
+// from any number of goroutines.
+//
+// # Partitioning
+//
+// Vertex v is owned by shard ShardOf(v) (a multiplicative hash of v). An
+// edge (u, v) is routed to the shard owning u and, when different, mirrored
+// into the shard owning v, so every shard's local subgraph contains all
+// edges incident to the vertices it owns. Coreness reads of v route
+// directly to v's owning shard and use the CPLDS lock-free linearizable
+// read protocol there: reads never block on updates, exactly as in the
+// single-engine case.
+//
+// # Scheduling
+//
+// Updates are submitted via Apply/Insert/Delete, which may be called
+// concurrently. Each submission is split into per-shard sub-batches and
+// enqueued; per shard, a combining lock drains everything queued, coalesces
+// it into one CPLDS batch (deduping opposing insert/delete pairs of the
+// same edge — the latest submission wins), and applies it under that
+// shard's one-updater contract. Sub-batches of distinct shards are applied
+// in parallel. A caller's submission is thus folded into at most one CPLDS
+// batch per shard together with every other submission that queued behind
+// the same in-flight batch.
+//
+// Cross-shard enqueue of one submission is atomic and globally ordered, so
+// the two mirror copies of a cut edge always converge to the same presence
+// state even when racing submissions touch the same edge.
+//
+// # Semantics
+//
+// Each shard maintains the paper's (2+3/λ)(1+δ)-approximation over its
+// local subgraph (the edges incident to its owned vertices). For P = 1 the
+// engine is semantically identical to a single CPLDS. For P > 1 the
+// estimate returned for v approximates v's coreness in its owning shard's
+// subgraph. The subgraph's exact coreness never exceeds the global
+// coreness, so the estimate still respects the upper side of the bound
+// against the global value (est ≤ factor × global coreness), but it may
+// undershoot the global coreness by more than the factor; reads remain
+// per-vertex linearizable at shard granularity. This is the
+// throughput-for-globality trade the sharded deployment makes; callers
+// that need the full global guarantee run with P = 1.
+package shard
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"kcore/internal/cplds"
+	"kcore/internal/exact"
+	"kcore/internal/graph"
+	"kcore/internal/lds"
+	"kcore/internal/parallel"
+)
+
+// opKind distinguishes the two edge operations in a coalesced batch.
+type opKind uint8
+
+const (
+	opInsert opKind = iota
+	opDelete
+)
+
+// entry is one (edge, operation) pair routed to a shard. primary marks the
+// copy that owns accounting for the edge (the owner shard of the canonical
+// lower endpoint), so mirrored cut edges are counted exactly once.
+type entry struct {
+	e       graph.Edge
+	kind    opKind
+	primary bool
+}
+
+// subOp is the portion of one caller submission routed to one shard.
+type subOp struct {
+	entries []entry
+	op      *pendingOp
+	done    atomic.Bool
+}
+
+// pendingOp aggregates the per-shard results of one caller submission.
+type pendingOp struct {
+	inserted atomic.Int64
+	deleted  atomic.Int64
+}
+
+// shardState is one shard: a CPLDS over the local subgraph plus its
+// scheduler queue and combining lock.
+type shardState struct {
+	c *cplds.CPLDS
+
+	qmu   sync.Mutex
+	queue []*subOp
+
+	applyMu sync.Mutex // held while draining + applying (the one updater)
+
+	batches atomic.Uint64 // coalesced batches applied on this shard
+}
+
+// Engine is the sharded CPLDS engine.
+//
+// Concurrency contract: Apply, Insert and Delete may be called from any
+// number of goroutines; Read, ReadNonSync and ReadSync from any goroutine
+// at any time. Quiescent operations (Snapshot, GlobalEdges, Degree,
+// CheckInvariants, LocalGraph) must not run concurrently with updates.
+type Engine struct {
+	n      int
+	p      int
+	params lds.Params
+	shards []*shardState
+
+	// submitMu makes cross-shard enqueue atomic: every shard queue sees
+	// submissions appended in the same global order, which is what the
+	// latest-submission-wins coalescing relies on for mirror convergence.
+	submitMu sync.Mutex
+
+	numEdges atomic.Int64 // global (deduplicated) edge count
+}
+
+// New returns an engine over n vertices partitioned across p shards
+// (p < 1 is treated as 1).
+func New(n, p int, params lds.Params) *Engine {
+	if p < 1 {
+		p = 1
+	}
+	e := &Engine{n: n, p: p, params: params, shards: make([]*shardState, p)}
+	for i := range e.shards {
+		e.shards[i] = &shardState{c: cplds.New(n, params)}
+	}
+	return e
+}
+
+// NumVertices returns the (fixed) number of vertices.
+func (e *Engine) NumVertices() int { return e.n }
+
+// NumShards returns the shard count P.
+func (e *Engine) NumShards() int { return e.p }
+
+// Params returns the approximation parameters.
+func (e *Engine) Params() lds.Params { return e.params }
+
+// ApproxFactor returns the per-shard theoretical approximation factor.
+func (e *Engine) ApproxFactor() float64 { return e.params.ApproxFactor() }
+
+// NumEdges returns the number of distinct edges currently in the global
+// graph (mirrored copies counted once). It is safe to call concurrently
+// with updates; the value is the count as of the last completed accounting.
+func (e *Engine) NumEdges() int64 { return e.numEdges.Load() }
+
+// Batches returns the total number of coalesced batches applied across all
+// shards.
+func (e *Engine) Batches() uint64 {
+	var total uint64
+	for _, s := range e.shards {
+		total += s.batches.Load()
+	}
+	return total
+}
+
+// ShardOf returns the shard owning vertex v. Fibonacci (multiplicative)
+// hashing decorrelates ownership from vertex-id locality so that id-ordered
+// workloads still spread across shards; the high half of the product is
+// used because the low bits of v*K are not mixed (taking v*K mod a
+// power-of-two p would degenerate to v mod p).
+func (e *Engine) ShardOf(v uint32) int {
+	if e.p == 1 {
+		return 0
+	}
+	h := (uint64(v) + 1) * 11400714819323198485
+	return int((h >> 32) % uint64(e.p))
+}
+
+// --- reads (lock-free, routed to the owning shard) ---
+
+// Read returns the linearizable coreness estimate of v from its owning
+// shard. Lock-free; safe concurrently with updates.
+func (e *Engine) Read(v uint32) float64 { return e.shards[e.ShardOf(v)].c.Read(v) }
+
+// ReadNonSync returns the non-linearizable instantaneous estimate of v.
+func (e *Engine) ReadNonSync(v uint32) float64 { return e.shards[e.ShardOf(v)].c.ReadNonSync(v) }
+
+// ReadSync returns the blocking (SyncReads baseline) estimate of v: it
+// waits for the owning shard's in-flight batch, if any.
+func (e *Engine) ReadSync(v uint32) float64 { return e.shards[e.ShardOf(v)].c.ReadSync(v) }
+
+// --- update submission ---
+
+// Insert submits a batch of insertions and returns the number of edges
+// actually added. Safe for concurrent callers.
+func (e *Engine) Insert(edges []graph.Edge) int {
+	ins, _ := e.Apply(edges, nil)
+	return ins
+}
+
+// Delete submits a batch of deletions and returns the number of edges
+// actually removed. Safe for concurrent callers.
+func (e *Engine) Delete(edges []graph.Edge) int {
+	_, del := e.Apply(nil, edges)
+	return del
+}
+
+// Apply submits a mixed batch. Within one call, a deletion of an edge
+// overrides an insertion of the same edge (deletions are the later
+// sub-batch, as in the single-engine ApplyBatch). Returns the number of
+// edges this call actually inserted and deleted. Safe for concurrent
+// callers; concurrent submissions to the same shard are coalesced into one
+// CPLDS batch.
+func (e *Engine) Apply(insertions, deletions []graph.Edge) (inserted, deleted int) {
+	// Normalize and dedupe within the call: canonical form, in-range,
+	// no self-loops; delete-after-insert of the same edge leaves a delete.
+	ops := make(map[graph.Edge]opKind, len(insertions)+len(deletions))
+	n := uint32(e.n)
+	addAll := func(edges []graph.Edge, k opKind) {
+		for _, ed := range edges {
+			if ed.IsSelfLoop() || ed.U >= n || ed.V >= n {
+				continue
+			}
+			ops[ed.Canon()] = k
+		}
+	}
+	addAll(insertions, opInsert)
+	addAll(deletions, opDelete)
+	if len(ops) == 0 {
+		return 0, 0
+	}
+
+	// Split into per-shard sub-batches with cut-edge mirroring.
+	perShard := make(map[int][]entry, e.p)
+	for ed, k := range ops {
+		su, sv := e.ShardOf(ed.U), e.ShardOf(ed.V)
+		perShard[su] = append(perShard[su], entry{e: ed, kind: k, primary: true})
+		if sv != su {
+			perShard[sv] = append(perShard[sv], entry{e: ed, kind: k})
+		}
+	}
+	op := &pendingOp{}
+	subs := make(map[int]*subOp, len(perShard))
+
+	// Enqueue atomically across shards so every shard queue observes
+	// submissions in the same global order (mirror convergence).
+	e.submitMu.Lock()
+	for si, entries := range perShard {
+		sub := &subOp{entries: entries, op: op}
+		subs[si] = sub
+		s := e.shards[si]
+		s.qmu.Lock()
+		s.queue = append(s.queue, sub)
+		s.qmu.Unlock()
+	}
+	e.submitMu.Unlock()
+
+	// Flush the touched shards in parallel. Each flush loops until this
+	// call's sub-batch has been applied — by us or by whichever caller
+	// currently holds the shard's combining lock.
+	thunks := make([]func(), 0, len(subs))
+	for si, sub := range subs {
+		s, sub := e.shards[si], sub
+		thunks = append(thunks, func() {
+			for !sub.done.Load() {
+				s.applyMu.Lock()
+				s.drainAndApplyLocked(e)
+				s.applyMu.Unlock()
+			}
+		})
+	}
+	parallel.Do(thunks...)
+	return int(op.inserted.Load()), int(op.deleted.Load())
+}
+
+// drainAndApplyLocked drains the shard's queue, coalesces the drained
+// sub-batches into one insert batch and one delete batch (latest
+// submission wins per edge), applies them to the shard's CPLDS, and
+// completes the drained sub-ops. Caller holds s.applyMu.
+func (s *shardState) drainAndApplyLocked(e *Engine) {
+	s.qmu.Lock()
+	subs := s.queue
+	s.queue = nil
+	s.qmu.Unlock()
+	if len(subs) == 0 {
+		return
+	}
+
+	// Coalesce: the queue is in global submission order, so iterating in
+	// order and overwriting implements latest-submission-wins.
+	type winner struct {
+		ent entry
+		sub *subOp
+	}
+	final := make(map[graph.Edge]winner, len(subs[0].entries))
+	for _, sub := range subs {
+		for _, ent := range sub.entries {
+			final[ent.e] = winner{ent: ent, sub: sub}
+		}
+	}
+
+	var ins, del []graph.Edge
+	g := s.c.Graph() // quiescent: we are this shard's only updater
+	for ed, w := range final {
+		present := g.HasEdge(ed.U, ed.V)
+		if w.ent.kind == opInsert {
+			ins = append(ins, ed)
+			if w.ent.primary && !present {
+				w.sub.op.inserted.Add(1)
+				e.numEdges.Add(1)
+			}
+		} else {
+			del = append(del, ed)
+			if w.ent.primary && present {
+				w.sub.op.deleted.Add(1)
+				e.numEdges.Add(-1)
+			}
+		}
+	}
+	if len(ins) > 0 {
+		s.c.InsertBatch(ins)
+	}
+	if len(del) > 0 {
+		s.c.DeleteBatch(del)
+	}
+	s.batches.Add(1)
+	for _, sub := range subs {
+		sub.done.Store(true)
+	}
+}
+
+// --- quiescent inspection ---
+
+// Degree returns v's degree in the global graph (equal to its degree in
+// its owning shard's subgraph). Quiescent use only.
+func (e *Engine) Degree(v uint32) int {
+	return e.shards[e.ShardOf(v)].c.Graph().Degree(v)
+}
+
+// IncidentEdges returns the edges incident to v (from its owning shard,
+// which holds all of them). Quiescent use only: it iterates the shard's
+// adjacency maps, which concurrent update submissions mutate.
+func (e *Engine) IncidentEdges(v uint32) []graph.Edge {
+	var out []graph.Edge
+	e.shards[e.ShardOf(v)].c.Graph().Neighbors(v, func(w uint32) bool {
+		out = append(out, graph.Edge{U: v, V: w})
+		return true
+	})
+	return out
+}
+
+// GlobalEdges returns every distinct edge of the global graph in canonical
+// order, reassembled from the shards' primary copies. Quiescent use only.
+func (e *Engine) GlobalEdges() []graph.Edge {
+	var out []graph.Edge
+	for si, s := range e.shards {
+		for _, ed := range s.c.Graph().Edges() {
+			if e.ShardOf(ed.U) == si {
+				out = append(out, ed)
+			}
+		}
+	}
+	parallel.Sort(out, func(a, b graph.Edge) bool {
+		if a.U != b.U {
+			return a.U < b.U
+		}
+		return a.V < b.V
+	})
+	return out
+}
+
+// Snapshot builds a CSR snapshot of the global graph. Quiescent use only.
+func (e *Engine) Snapshot() *graph.CSR {
+	return graph.CSRFromEdges(e.n, e.GlobalEdges())
+}
+
+// ExactCoreness computes exact global coreness by static parallel peeling
+// of the reassembled global graph. Quiescent use only.
+func (e *Engine) ExactCoreness() []int32 { return exact.Parallel(e.Snapshot()) }
+
+// LocalGraph exposes shard s's local subgraph. Quiescent use only;
+// intended for tests and diagnostics.
+func (e *Engine) LocalGraph(s int) *graph.Dynamic { return e.shards[s].c.Graph() }
+
+// LocalCPLDS exposes shard s's CPLDS. Intended for tests.
+func (e *Engine) LocalCPLDS(s int) *cplds.CPLDS { return e.shards[s].c }
+
+// CheckInvariants verifies the level-structure invariants of every shard
+// and the cross-shard mirroring invariants: mirrored copies of each cut
+// edge agree, each shard holds exactly the edges incident to its owned
+// vertices, and the global edge counter matches. Quiescent use only.
+func (e *Engine) CheckInvariants() error {
+	for si, s := range e.shards {
+		if err := s.c.CheckInvariants(); err != nil {
+			return fmt.Errorf("shard %d: %w", si, err)
+		}
+	}
+	var count int64
+	for si, s := range e.shards {
+		for _, ed := range s.c.Graph().Edges() {
+			su, sv := e.ShardOf(ed.U), e.ShardOf(ed.V)
+			if su != si && sv != si {
+				return fmt.Errorf("shard %d holds foreign edge (%d,%d)", si, ed.U, ed.V)
+			}
+			if su != sv {
+				other := su
+				if si == su {
+					other = sv
+				}
+				if !e.shards[other].c.Graph().HasEdge(ed.U, ed.V) {
+					return fmt.Errorf("cut edge (%d,%d) present in shard %d, missing in shard %d",
+						ed.U, ed.V, si, other)
+				}
+			}
+			if su == si {
+				count++
+			}
+		}
+	}
+	if got := e.numEdges.Load(); got != count {
+		return fmt.Errorf("edge counter drift: counted %d, recorded %d", count, got)
+	}
+	return nil
+}

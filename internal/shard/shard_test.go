@@ -1,0 +1,333 @@
+package shard
+
+import (
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"kcore/internal/cplds"
+	"kcore/internal/exact"
+	"kcore/internal/gen"
+	"kcore/internal/graph"
+	"kcore/internal/lds"
+)
+
+func defaultP() lds.Params { return lds.DefaultParams() }
+
+// provableBound is the end-to-end bound on the ratio between an estimate
+// and the exact coreness: the (2+3/λ)(1+δ) approximation factor times the
+// extra (1+δ) slack of the level-to-estimate rounding (same bound the PLDS
+// tests assert).
+func provableBound(p lds.Params) float64 {
+	return p.ApproxFactor() * (1 + p.Delta)
+}
+
+func ratioError(est float64, k int32) float64 {
+	kk := math.Max(float64(k), 1)
+	ee := math.Max(est, 1)
+	return math.Max(ee/kk, kk/ee)
+}
+
+func TestShardOfInRangeAndStable(t *testing.T) {
+	for _, p := range []int{1, 2, 3, 8} {
+		e := New(1000, p, defaultP())
+		for v := uint32(0); v < 1000; v++ {
+			s := e.ShardOf(v)
+			if s < 0 || s >= p {
+				t.Fatalf("P=%d: ShardOf(%d) = %d out of range", p, v, s)
+			}
+			if s != e.ShardOf(v) {
+				t.Fatalf("P=%d: ShardOf(%d) unstable", p, v)
+			}
+		}
+	}
+	// The hash should actually spread vertices across shards.
+	e := New(1000, 4, defaultP())
+	counts := make([]int, 4)
+	for v := uint32(0); v < 1000; v++ {
+		counts[e.ShardOf(v)]++
+	}
+	for s, c := range counts {
+		if c < 100 {
+			t.Fatalf("shard %d owns only %d of 1000 vertices", s, c)
+		}
+	}
+}
+
+func TestSingleShardMatchesCPLDS(t *testing.T) {
+	const n = 300
+	edges := gen.ChungLu(n, 2500, 2.3, 7)
+	e := New(n, 1, defaultP())
+	c := cplds.New(n, defaultP())
+	for _, b := range gen.Batches(edges, 400) {
+		e.Insert(b)
+		c.InsertBatch(b)
+	}
+	e.Delete(edges[:800])
+	c.DeleteBatch(edges[:800])
+	for v := uint32(0); v < n; v++ {
+		if got, want := e.Read(v), c.Read(v); got != want {
+			t.Fatalf("vertex %d: sharded P=1 estimate %v, single engine %v", v, got, want)
+		}
+	}
+	if got, want := e.NumEdges(), c.Graph().NumEdges(); got != want {
+		t.Fatalf("edge count %d, want %d", got, want)
+	}
+	if err := e.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAppliedCountsMatchSingleEngineSemantics(t *testing.T) {
+	const n = 200
+	e := New(n, 4, defaultP())
+
+	if got := e.Insert([]graph.Edge{{U: 1, V: 2}, {U: 2, V: 1}, {U: 3, V: 3}, {U: 5, V: 9999}}); got != 1 {
+		t.Fatalf("insert with dup/self-loop/out-of-range applied %d, want 1", got)
+	}
+	if got := e.Insert([]graph.Edge{{U: 1, V: 2}, {U: 2, V: 3}}); got != 1 {
+		t.Fatalf("re-insert applied %d, want 1", got)
+	}
+	if got := e.Delete([]graph.Edge{{U: 1, V: 2}, {U: 7, V: 8}}); got != 1 {
+		t.Fatalf("delete applied %d, want 1", got)
+	}
+	if got := e.NumEdges(); got != 1 {
+		t.Fatalf("NumEdges %d, want 1", got)
+	}
+	if err := e.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestApplyDedupesInsertDeletePairs(t *testing.T) {
+	const n = 100
+	e := New(n, 4, defaultP())
+
+	// Same edge inserted and deleted in one submission: the deletion
+	// sub-batch wins (matching the single-engine insert-then-delete order),
+	// and since the edge was never present, neither side counts.
+	ins, del := e.Apply([]graph.Edge{{U: 1, V: 2}}, []graph.Edge{{U: 2, V: 1}})
+	if ins != 0 || del != 0 {
+		t.Fatalf("insert+delete of absent edge applied (%d,%d), want (0,0)", ins, del)
+	}
+	if e.LocalGraph(e.ShardOf(1)).HasEdge(1, 2) {
+		t.Fatal("edge survived an insert+delete pair")
+	}
+
+	// Present edge: the pair nets out to a deletion.
+	e.Insert([]graph.Edge{{U: 1, V: 2}})
+	ins, del = e.Apply([]graph.Edge{{U: 1, V: 2}}, []graph.Edge{{U: 1, V: 2}})
+	if ins != 0 || del != 1 {
+		t.Fatalf("insert+delete of present edge applied (%d,%d), want (0,1)", ins, del)
+	}
+	if got := e.NumEdges(); got != 0 {
+		t.Fatalf("NumEdges %d, want 0", got)
+	}
+	if err := e.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMixedStreamMirrorsStayConsistent(t *testing.T) {
+	const n = 250
+	rng := rand.New(rand.NewSource(11))
+	for _, p := range []int{2, 4} {
+		e := New(n, p, defaultP())
+		for round := 0; round < 12; round++ {
+			var ins, del []graph.Edge
+			for i := 0; i < 120; i++ {
+				ed := graph.Edge{U: uint32(rng.Intn(n)), V: uint32(rng.Intn(n))}
+				if rng.Intn(3) == 0 {
+					del = append(del, ed)
+				} else {
+					ins = append(ins, ed)
+				}
+			}
+			e.Apply(ins, del)
+			if err := e.CheckInvariants(); err != nil {
+				t.Fatalf("P=%d round %d: %v", p, round, err)
+			}
+		}
+		// The reassembled global graph must be internally consistent too.
+		g := graph.FromEdges(n, e.GlobalEdges())
+		if err := g.Validate(); err != nil {
+			t.Fatalf("P=%d: global graph: %v", p, err)
+		}
+		if g.NumEdges() != e.NumEdges() {
+			t.Fatalf("P=%d: global %d edges, counter %d", p, g.NumEdges(), e.NumEdges())
+		}
+	}
+}
+
+// TestShardedApproximationBounds is the determinism/equivalence harness:
+// one fixed update stream is replayed at P = 1, 2, 4 and 8, and at every
+// shard count the estimate of each vertex must satisfy the paper's
+// provable bound against the exact coreness of its owning shard's
+// subgraph (for P = 1 that is the global graph), and must never exceed
+// the bound times the global exact coreness (the local coreness of a
+// subgraph lower-bounds the global one).
+func TestShardedApproximationBounds(t *testing.T) {
+	const n = 400
+	edges := gen.ChungLu(n, 3200, 2.3, 42)
+	bound := provableBound(defaultP()) + 1e-9
+
+	for _, p := range []int{1, 2, 4, 8} {
+		e := New(n, p, defaultP())
+		for _, b := range gen.Batches(edges, 500) {
+			e.Insert(b)
+		}
+		e.Delete(edges[:1000])
+		if err := e.CheckInvariants(); err != nil {
+			t.Fatalf("P=%d: %v", p, err)
+		}
+		globalCore := exact.Parallel(e.Snapshot())
+		for s := 0; s < p; s++ {
+			localCore := exact.Parallel(e.LocalGraph(s).Snapshot())
+			for v := uint32(0); v < n; v++ {
+				if e.ShardOf(v) != s || localCore[v] == 0 {
+					continue
+				}
+				est := e.Read(v)
+				if r := ratioError(est, localCore[v]); r > bound {
+					t.Fatalf("P=%d shard %d vertex %d: estimate %.2f vs local coreness %d (ratio %.2f > %.2f)",
+						p, s, v, est, localCore[v], r, bound)
+				}
+				if est > bound*math.Max(float64(globalCore[v]), 1) {
+					t.Fatalf("P=%d vertex %d: estimate %.2f exceeds bound×global coreness %d",
+						p, v, est, globalCore[v])
+				}
+			}
+		}
+	}
+}
+
+// TestConcurrentReadersVsBatchWriters is the race/linearizability stress
+// harness: goroutine readers race concurrent batch writers (run it under
+// -race). Throughout the run every read must return a well-formed estimate
+// — a value the level structure can actually produce, i.e. never a torn
+// level — and at quiescent checkpoints the estimates must satisfy the
+// paper's error bound against exact coreness of the shard subgraphs.
+func TestConcurrentReadersVsBatchWriters(t *testing.T) {
+	const n = 200
+	rounds, writers, readers := 16, 3, 4
+	if testing.Short() {
+		rounds = 6
+	}
+	e := New(n, 4, defaultP())
+
+	// The lattice of estimates the level structure can emit: one value per
+	// level. Any read outside this set observed a torn/intermediate state.
+	valid := make(map[float64]bool)
+	s := e.LocalCPLDS(0).S
+	for l := int32(0); l <= s.MaxLevel(); l++ {
+		valid[s.EstimateFromLevel(l)] = true
+	}
+
+	stop := make(chan struct{})
+	var readerWG sync.WaitGroup
+	for r := 0; r < readers; r++ {
+		readerWG.Add(1)
+		rng := rand.New(rand.NewSource(int64(100 + r)))
+		go func() {
+			defer readerWG.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				v := uint32(rng.Intn(n))
+				est := e.Read(v)
+				if !valid[est] {
+					t.Errorf("torn read: vertex %d returned %v, not a level estimate", v, est)
+					return
+				}
+			}
+		}()
+	}
+
+	var writerWG sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		writerWG.Add(1)
+		rng := rand.New(rand.NewSource(int64(7 + w)))
+		go func() {
+			defer writerWG.Done()
+			for round := 0; round < rounds; round++ {
+				var ins, del []graph.Edge
+				for i := 0; i < 100; i++ {
+					ed := graph.Edge{U: uint32(rng.Intn(n)), V: uint32(rng.Intn(n))}
+					if rng.Intn(4) == 0 {
+						del = append(del, ed)
+					} else {
+						ins = append(ins, ed)
+					}
+				}
+				e.Apply(ins, del)
+			}
+		}()
+	}
+	writerWG.Wait()
+	close(stop)
+	readerWG.Wait()
+	if t.Failed() {
+		return
+	}
+
+	// Quiescent checkpoint: structural invariants plus the paper's error
+	// bound for every vertex against its shard subgraph.
+	if err := e.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	bound := provableBound(defaultP()) + 1e-9
+	for si := 0; si < e.NumShards(); si++ {
+		localCore := exact.Parallel(e.LocalGraph(si).Snapshot())
+		for v := uint32(0); v < n; v++ {
+			if e.ShardOf(v) != si || localCore[v] == 0 {
+				continue
+			}
+			if r := ratioError(e.Read(v), localCore[v]); r > bound {
+				t.Fatalf("shard %d vertex %d: ratio %.2f > %.2f after stress", si, v, r, bound)
+			}
+		}
+	}
+}
+
+// TestConcurrentDisjointInsertsAllLand checks that racing submissions are
+// all applied exactly once: writers insert disjoint edge sets concurrently
+// and the union must come out, with per-caller counts adding up.
+func TestConcurrentDisjointInsertsAllLand(t *testing.T) {
+	const n = 600
+	const perWriter = 120
+	const writers = 5
+	e := New(n, 4, defaultP())
+	counts := make([]int, writers)
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			edges := make([]graph.Edge, 0, perWriter)
+			for i := 0; i < perWriter; i++ {
+				// Disjoint vertex ranges per writer => disjoint edges.
+				base := uint32(w * perWriter)
+				edges = append(edges, graph.Edge{U: base + uint32(i%perWriter), V: base + uint32((i+1)%perWriter)})
+			}
+			counts[w] = e.Insert(edges)
+		}(w)
+	}
+	wg.Wait()
+	total := 0
+	for _, c := range counts {
+		total += c
+	}
+	if int64(total) != e.NumEdges() {
+		t.Fatalf("per-caller counts sum to %d, engine has %d edges", total, e.NumEdges())
+	}
+	if got := len(e.GlobalEdges()); int64(got) != e.NumEdges() {
+		t.Fatalf("global edge list has %d edges, counter %d", got, e.NumEdges())
+	}
+	if err := e.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -29,6 +29,7 @@ import (
 	"kcore/internal/graph"
 	"kcore/internal/lds"
 	"kcore/internal/parallel"
+	"kcore/internal/shard"
 )
 
 // Edge is an undirected edge between two vertex ids in [0, NumVertices).
@@ -53,6 +54,7 @@ func DefaultParams() Params {
 type options struct {
 	params  lds.Params
 	workers int
+	shards  int
 }
 
 // Option configures a Decomposition.
@@ -70,20 +72,43 @@ func WithWorkers(n int) Option {
 	return func(o *options) { o.workers = n }
 }
 
+// WithShards partitions the vertices across p independent CPLDS shards
+// fronted by a batch-coalescing scheduler (default 1: a single engine).
+//
+// With p > 1, InsertEdges, DeleteEdges and ApplyBatch become safe for
+// concurrent callers — submissions queued behind an in-flight batch are
+// coalesced into per-shard sub-batches and applied to the shards in
+// parallel. Coreness reads stay lock-free and route directly to the
+// vertex's owning shard. The estimate returned for v is then the
+// (2+ε)-approximate coreness of v in its owning shard's subgraph (all
+// edges incident to the shard's vertices). Because that subgraph's exact
+// coreness never exceeds the global one, the estimate still respects the
+// upper side of the approximation bound against v's global coreness, but
+// it may undershoot the global value by more than the factor; run with
+// p = 1 when the full global guarantee is required.
+func WithShards(p int) Option {
+	return func(o *options) { o.shards = p }
+}
+
 // Decomposition maintains an approximate k-core decomposition of a dynamic
 // undirected graph.
 //
-// Concurrency: InsertEdges and DeleteEdges must be called by a single
-// updater goroutine at a time (each call is internally parallel). Coreness,
+// Concurrency: without sharding (the default), InsertEdges and DeleteEdges
+// must be called by a single updater goroutine at a time (each call is
+// internally parallel). With WithShards(p > 1), the edge-batch update
+// methods (InsertEdges, DeleteEdges, ApplyBatch — not RemoveVertex) are
+// safe for concurrent callers and are coalesced by the sharded engine.
+// Coreness,
 // CorenessNonLinearizable and CorenessBlocking may be called from any
-// goroutine at any time.
+// goroutine at any time in either mode.
 type Decomposition struct {
-	c *cplds.CPLDS
+	c  *cplds.CPLDS // single-engine mode (nil when sharded)
+	sh *shard.Engine
 }
 
 // New creates an empty decomposition over n vertices.
 func New(n int, opts ...Option) (*Decomposition, error) {
-	o := options{params: lds.DefaultParams()}
+	o := options{params: lds.DefaultParams(), shards: 1}
 	for _, opt := range opts {
 		opt(&o)
 	}
@@ -96,22 +121,55 @@ func New(n int, opts ...Option) (*Decomposition, error) {
 	if o.workers > 0 {
 		parallel.SetWorkers(o.workers)
 	}
+	if o.shards > 1 {
+		return &Decomposition{sh: shard.New(n, o.shards, o.params)}, nil
+	}
 	return &Decomposition{c: cplds.New(n, o.params)}, nil
 }
 
-// NumVertices returns the (fixed) number of vertices.
-func (d *Decomposition) NumVertices() int { return d.c.NumVertices() }
+// Shards returns the number of shards (1 unless WithShards was used).
+func (d *Decomposition) Shards() int {
+	if d.sh != nil {
+		return d.sh.NumShards()
+	}
+	return 1
+}
 
-// NumEdges returns the number of edges currently in the graph. It must not
-// be called concurrently with an update batch.
-func (d *Decomposition) NumEdges() int64 { return d.c.Graph().NumEdges() }
+// NumVertices returns the (fixed) number of vertices.
+func (d *Decomposition) NumVertices() int {
+	if d.sh != nil {
+		return d.sh.NumVertices()
+	}
+	return d.c.NumVertices()
+}
+
+// NumEdges returns the number of edges currently in the graph. Without
+// sharding it must not be called concurrently with an update batch; with
+// sharding it is safe at any time.
+func (d *Decomposition) NumEdges() int64 {
+	if d.sh != nil {
+		return d.sh.NumEdges()
+	}
+	return d.c.Graph().NumEdges()
+}
 
 // ApproxFactor returns the theoretical approximation factor of coreness
-// estimates.
-func (d *Decomposition) ApproxFactor() float64 { return d.c.S.ApproxFactor() }
+// estimates (per shard, when sharded).
+func (d *Decomposition) ApproxFactor() float64 {
+	if d.sh != nil {
+		return d.sh.ApproxFactor()
+	}
+	return d.c.S.ApproxFactor()
+}
 
-// BatchNumber returns the number of update batches processed so far.
-func (d *Decomposition) BatchNumber() uint64 { return d.c.BatchNumber() }
+// BatchNumber returns the number of update batches processed so far
+// (summed across shards, when sharded).
+func (d *Decomposition) BatchNumber() uint64 {
+	if d.sh != nil {
+		return d.sh.Batches()
+	}
+	return d.c.BatchNumber()
+}
 
 // toInternal converts public edges to the internal representation.
 func toInternal(edges []Edge) []graph.Edge {
@@ -127,6 +185,9 @@ func toInternal(edges []Edge) []graph.Edge {
 // batch, already-present edges and out-of-range endpoints are ignored).
 // Concurrent Coreness reads remain linearizable throughout the batch.
 func (d *Decomposition) InsertEdges(edges []Edge) int {
+	if d.sh != nil {
+		return d.sh.Insert(toInternal(edges))
+	}
 	return d.c.InsertBatch(toInternal(edges))
 }
 
@@ -134,6 +195,9 @@ func (d *Decomposition) InsertEdges(edges []Edge) int {
 // number of edges actually removed. Concurrent Coreness reads remain
 // linearizable throughout the batch.
 func (d *Decomposition) DeleteEdges(edges []Edge) int {
+	if d.sh != nil {
+		return d.sh.Delete(toInternal(edges))
+	}
 	return d.c.DeleteBatch(toInternal(edges))
 }
 
@@ -143,8 +207,11 @@ func (d *Decomposition) DeleteEdges(edges []Edge) int {
 // and deletions, which are separated into insertion and deletion
 // sub-batches during pre-processing", §2). It returns the number of edges
 // inserted and deleted. Concurrent reads remain linearizable; each
-// sub-batch is its own atomicity unit.
+// sub-batch is its own atomicity unit (per shard, when sharded).
 func (d *Decomposition) ApplyBatch(insertions, deletions []Edge) (inserted, deleted int) {
+	if d.sh != nil {
+		return d.sh.Apply(toInternal(insertions), toInternal(deletions))
+	}
 	if len(insertions) > 0 {
 		inserted = d.InsertEdges(insertions)
 	}
@@ -158,11 +225,16 @@ func (d *Decomposition) ApplyBatch(insertions, deletions []Edge) (inserted, dele
 // removing v from the graph (vertex ids are never recycled). This is the
 // vertex-deletion operation the paper notes batch-dynamic structures
 // support via edge updates (footnote 1). It returns the number of edges
-// removed. Like the edge-batch operations it must be called from the
-// single updater goroutine; concurrent reads stay linearizable.
+// removed. It must not run concurrently with any other update call — even
+// in sharded mode, where the edge-batch operations accept concurrent
+// callers — because the incident-edge snapshot and the deletion batch are
+// two steps; concurrent reads stay linearizable throughout.
 func (d *Decomposition) RemoveVertex(v uint32) int {
 	if int(v) >= d.NumVertices() {
 		return 0
+	}
+	if d.sh != nil {
+		return d.sh.Delete(d.sh.IncidentEdges(v))
 	}
 	var incident []graph.Edge
 	d.c.Graph().Neighbors(v, func(w uint32) bool {
@@ -176,23 +248,43 @@ func (d *Decomposition) RemoveVertex(v uint32) int {
 // v. It is lock-free and safe to call concurrently with update batches:
 // the returned value always corresponds to the state at a batch boundary,
 // never to an intermediate state mid-batch.
-func (d *Decomposition) Coreness(v uint32) float64 { return d.c.Read(v) }
+func (d *Decomposition) Coreness(v uint32) float64 {
+	if d.sh != nil {
+		return d.sh.Read(v)
+	}
+	return d.c.Read(v)
+}
 
 // CorenessNonLinearizable returns the estimate computed from v's
 // instantaneous level. It is faster than Coreness but, when called during
 // a batch, may reflect an intermediate state whose error is unbounded
 // (the paper's NonSync baseline). Use only when linearizability does not
 // matter.
-func (d *Decomposition) CorenessNonLinearizable(v uint32) float64 { return d.c.ReadNonSync(v) }
+func (d *Decomposition) CorenessNonLinearizable(v uint32) float64 {
+	if d.sh != nil {
+		return d.sh.ReadNonSync(v)
+	}
+	return d.c.ReadNonSync(v)
+}
 
 // CorenessBlocking waits for any in-flight batch to complete before
 // reading (the paper's SyncReads baseline). Its latency is bounded below
 // by the remaining batch time.
-func (d *Decomposition) CorenessBlocking(v uint32) float64 { return d.c.ReadSync(v) }
+func (d *Decomposition) CorenessBlocking(v uint32) float64 {
+	if d.sh != nil {
+		return d.sh.ReadSync(v)
+	}
+	return d.c.ReadSync(v)
+}
 
 // Degree returns v's current degree. It must not be called concurrently
 // with an update batch.
-func (d *Decomposition) Degree(v uint32) int { return d.c.Graph().Degree(uint32(v)) }
+func (d *Decomposition) Degree(v uint32) int {
+	if d.sh != nil {
+		return d.sh.Degree(v)
+	}
+	return d.c.Graph().Degree(uint32(v))
+}
 
 // ExactCoreness computes the exact coreness of every vertex by static
 // parallel peeling of the current graph. It is a quiescent operation: it
@@ -200,13 +292,22 @@ func (d *Decomposition) Degree(v uint32) int { return d.c.Graph().Degree(uint32(
 // the approximation quality of estimates, or when exact values are needed
 // occasionally.
 func (d *Decomposition) ExactCoreness() []int32 {
+	if d.sh != nil {
+		return d.sh.ExactCoreness()
+	}
 	return exact.Parallel(d.c.Graph().Snapshot())
 }
 
-// Check verifies the internal level-structure invariants. It is a
+// Check verifies the internal level-structure invariants (of every shard,
+// when sharded, plus the cross-shard mirroring invariants). It is a
 // quiescent operation intended for tests and debugging; it returns nil on
 // a healthy structure.
-func (d *Decomposition) Check() error { return d.c.CheckInvariants() }
+func (d *Decomposition) Check() error {
+	if d.sh != nil {
+		return d.sh.CheckInvariants()
+	}
+	return d.c.CheckInvariants()
+}
 
 // Static computes the exact k-core decomposition (coreness of every
 // vertex) of a static edge list on n vertices using parallel bucket

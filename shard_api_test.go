@@ -1,0 +1,82 @@
+package kcore
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestWithShardsPublicAPI exercises the sharded decomposition through the
+// public API: concurrent mixed batches from several goroutines, reads
+// routed to owning shards, and the quiescent helpers.
+func TestWithShardsPublicAPI(t *testing.T) {
+	const n = 300
+	d, err := New(n, WithShards(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Shards() != 4 {
+		t.Fatalf("Shards() = %d, want 4", d.Shards())
+	}
+
+	// Concurrent writers: each inserts a disjoint path, legal only in
+	// sharded mode.
+	var wg sync.WaitGroup
+	for w := 0; w < 3; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			base := uint32(w * 100)
+			edges := make([]Edge, 0, 99)
+			for i := uint32(0); i < 99; i++ {
+				edges = append(edges, Edge{U: base + i, V: base + i + 1})
+			}
+			if got := d.InsertEdges(edges); got != 99 {
+				t.Errorf("writer %d inserted %d, want 99", w, got)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := d.NumEdges(); got != 297 {
+		t.Fatalf("NumEdges = %d, want 297", got)
+	}
+	if err := d.Check(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Path interiors have coreness 1; estimates must be ≥ 1 under every
+	// read protocol.
+	for _, v := range []uint32{1, 101, 201} {
+		for name, read := range map[string]func(uint32) float64{
+			"linearizable": d.Coreness,
+			"nonsync":      d.CorenessNonLinearizable,
+			"blocking":     d.CorenessBlocking,
+		} {
+			if est := read(v); est < 1 {
+				t.Fatalf("%s read of %d = %v, want >= 1", name, v, est)
+			}
+		}
+	}
+
+	// Mixed batch with an insert+delete pair that nets out.
+	ins, del := d.ApplyBatch([]Edge{{U: 0, V: 2}, {U: 10, V: 12}}, []Edge{{U: 10, V: 12}})
+	if ins != 1 || del != 0 {
+		t.Fatalf("ApplyBatch = (%d,%d), want (1,0)", ins, del)
+	}
+
+	// Exact coreness of the reassembled global graph: a path has max core 1,
+	// plus the (0,1,2) triangle closed above has core 2.
+	core := d.ExactCoreness()
+	if core[1] != 2 {
+		t.Fatalf("exact coreness of vertex 1 = %d, want 2", core[1])
+	}
+
+	if got := d.Degree(1); got != 2 {
+		t.Fatalf("Degree(1) = %d, want 2", got)
+	}
+	if removed := d.RemoveVertex(1); removed != 2 {
+		t.Fatalf("RemoveVertex(1) removed %d, want 2", removed)
+	}
+	if err := d.Check(); err != nil {
+		t.Fatal(err)
+	}
+}
