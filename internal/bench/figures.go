@@ -175,7 +175,7 @@ func Figure7(w io.Writer, datasets []string, threadCounts []int, cfg Config) err
 			}
 		}
 		fmt.Fprintf(w, "Figure 7 (%s batches): writer scalability (readers=%d)\n", kind, cfg.Readers)
-		fmt.Fprintf(w, "%-10s %-10s %8s %14s\n", "graph", "algo", "writers", "edges/s")
+		fmt.Fprintf(w, "%-10s %-10s %8s %14s %12s\n", "graph", "algo", "writers", "edges/s", "allocs/edge")
 		for _, ds := range datasets {
 			for _, wc := range threadCounts {
 				for _, a := range Algos {
@@ -187,7 +187,7 @@ func Figure7(w io.Writer, datasets []string, threadCounts []int, cfg Config) err
 					if err != nil {
 						return err
 					}
-					fmt.Fprintf(w, "%-10s %-10s %8d %14.0f\n", ds, a, wc, r.WritesPerS)
+					fmt.Fprintf(w, "%-10s %-10s %8d %14.0f %12.3f\n", ds, a, wc, r.WritesPerS, r.AllocsPerEdge())
 				}
 			}
 		}

@@ -17,14 +17,23 @@ import (
 // at a given shard count, with cfg.Writers concurrent client goroutines
 // submitting insertion batches through the coalescing scheduler.
 type ShardScalingResult struct {
-	Dataset    string
-	Shards     int
-	Writers    int
-	Readers    int
-	Edges      int64
-	Elapsed    time.Duration
-	WritesPerS float64
-	ReadsPerS  float64
+	Dataset     string
+	Shards      int
+	Writers     int
+	Readers     int
+	Edges       int64
+	Elapsed     time.Duration
+	WriteAllocs uint64 // heap allocations during the write phase
+	WritesPerS  float64
+	ReadsPerS   float64
+}
+
+// AllocsPerEdge is the write-phase allocation count per applied edge.
+func (r ShardScalingResult) AllocsPerEdge() float64 {
+	if r.Edges == 0 {
+		return 0
+	}
+	return float64(r.WriteAllocs) / float64(r.Edges)
 }
 
 // RunShardScaling measures batch-update throughput of the sharded engine
@@ -77,6 +86,7 @@ func RunShardScaling(cfg Config, shards int) (ShardScalingResult, error) {
 		var next atomic.Int64
 		var edges atomic.Int64
 		var writerWG sync.WaitGroup
+		m0 := mallocs()
 		t0 := time.Now()
 		for w := 0; w < cfg.Writers; w++ {
 			writerWG.Add(1)
@@ -93,6 +103,7 @@ func RunShardScaling(cfg Config, shards int) (ShardScalingResult, error) {
 		}
 		writerWG.Wait()
 		elapsed := time.Since(t0)
+		res.WriteAllocs += mallocs() - m0
 		close(stop)
 		readerWG.Wait()
 
@@ -128,7 +139,7 @@ func FigureShards(w io.Writer, datasets []string, shardCounts []int, cfg Config)
 	cfg = cfg.withDefaults()
 	fmt.Fprintf(w, "Figure 8: shard scaling — batch-update throughput vs shard count (writers=%d, readers=%d)\n",
 		cfg.Writers, cfg.Readers)
-	fmt.Fprintf(w, "%-10s %8s %14s %10s %14s\n", "graph", "shards", "edges/s", "speedup", "reads/s")
+	fmt.Fprintf(w, "%-10s %8s %14s %10s %14s %12s\n", "graph", "shards", "edges/s", "speedup", "reads/s", "allocs/edge")
 	for _, ds := range datasets {
 		c := cfg
 		c.Dataset = ds
@@ -147,8 +158,8 @@ func FigureShards(w io.Writer, datasets []string, shardCounts []int, cfg Config)
 			if base > 0 {
 				speedup = r.WritesPerS / base
 			}
-			fmt.Fprintf(w, "%-10s %8d %14.0f %9.2fx %14.0f\n",
-				ds, r.Shards, r.WritesPerS, speedup, r.ReadsPerS)
+			fmt.Fprintf(w, "%-10s %8d %14.0f %9.2fx %14.0f %12.3f\n",
+				ds, r.Shards, r.WritesPerS, speedup, r.ReadsPerS, r.AllocsPerEdge())
 		}
 	}
 	fmt.Fprintln(w)

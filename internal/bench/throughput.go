@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -12,17 +13,35 @@ import (
 )
 
 // ThroughputResult is one point of Fig. 7: reader and writer throughput
-// (operations per second) at a given reader/writer thread count.
+// (operations per second) at a given reader/writer thread count, plus the
+// allocation count of the write phase (the -benchmem analogue for the
+// batch hot path; it includes the readers' allocations, which are ~0).
 type ThroughputResult struct {
-	Dataset    string
-	Kind       plds.Kind
-	Algo       Algo
-	Readers    int
-	Writers    int
-	ReadOps    int64
-	WriteEdges int64
-	ReadsPerS  float64
-	WritesPerS float64
+	Dataset     string
+	Kind        plds.Kind
+	Algo        Algo
+	Readers     int
+	Writers     int
+	ReadOps     int64
+	WriteEdges  int64
+	WriteAllocs uint64 // heap allocations during the write phase
+	ReadsPerS   float64
+	WritesPerS  float64
+}
+
+// AllocsPerEdge is the write-phase allocation count per applied edge.
+func (r ThroughputResult) AllocsPerEdge() float64 {
+	if r.WriteEdges == 0 {
+		return 0
+	}
+	return float64(r.WriteAllocs) / float64(r.WriteEdges)
+}
+
+// mallocs returns the process-lifetime heap allocation count.
+func mallocs() uint64 {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return ms.Mallocs
 }
 
 // RunThroughput measures reader and writer throughput for one algorithm at
@@ -68,6 +87,7 @@ func RunThroughput(cfg Config, algo Algo) (ThroughputResult, error) {
 				}
 			}()
 		}
+		m0 := mallocs()
 		t0 := time.Now()
 		var edges int64
 		for _, b := range batches {
@@ -78,6 +98,7 @@ func RunThroughput(cfg Config, algo Algo) (ThroughputResult, error) {
 			}
 		}
 		writeTime := time.Since(t0)
+		res.WriteAllocs += mallocs() - m0
 		close(stop)
 		wg.Wait()
 		res.ReadOps += reads.Load()

@@ -82,8 +82,8 @@ func TestDeletionDescriptorsRecordPreBatchLevels(t *testing.T) {
 				t.Errorf("marked %d missing descriptor", v)
 				continue
 			}
-			if d.OldLevel != pre[v] {
-				t.Errorf("deletion: vertex %d OldLevel %d != pre %d", v, d.OldLevel, pre[v])
+			if d.OldLevel() != pre[v] {
+				t.Errorf("deletion: vertex %d OldLevel %d != pre %d", v, d.OldLevel(), pre[v])
 			}
 			if c.P.Level(v) >= pre[v] {
 				t.Errorf("deletion mover %d did not move down (pre %d, now %d)", v, pre[v], c.P.Level(v))
@@ -119,8 +119,8 @@ func TestUnionManyConcurrentMarkers(t *testing.T) {
 	const n = 2000
 	c := newC(n)
 	for v := uint32(0); v < n; v++ {
-		d := &Descriptor{}
-		d.parent.Store(Root)
+		d := &c.pool[v]
+		d.word.Store(packWord(c.stamp, Root))
 		c.desc[v].Store(d)
 	}
 	var wg sync.WaitGroup

@@ -28,6 +28,8 @@
 package cplds
 
 import (
+	"cmp"
+	"slices"
 	"sync"
 	"sync/atomic"
 
@@ -43,14 +45,45 @@ const Root int32 = -1
 
 // Descriptor is an operation descriptor for a vertex that is changing
 // levels in the current batch.
+//
+// Descriptors are pooled: every vertex owns one Descriptor for its whole
+// lifetime and the same object is re-installed each time the vertex moves
+// in a batch (a degenerate free list with guaranteed-free reuse, since a
+// vertex is marked at most once per batch). Reuse is what the stamp in the
+// parent word exists for: a reader that loaded the descriptor just before
+// it was unmarked may still attempt a path-compression write after the
+// object has been recycled into a later batch's DAG. The write is a CAS
+// whose expected value carries the stamp of the batch the reader started
+// from, so it fails harmlessly against a recycled descriptor. Result-side
+// safety needs no stamp because ReadLevel loads the old level inside its
+// batch-number double collect: a recycle can only rewrite `old` after the
+// recycling batch bumped the batch number, which forces that read to
+// retry.
 type Descriptor struct {
-	// parent is the vertex id of this node's parent in the dependency DAG,
-	// or Root. It changes under CAS (union) and atomic store (path
+	// word packs (stamp << 32) | uint32(parent): stamp is the low 32 bits
+	// of the batch number the descriptor was installed in, parent is the
+	// vertex id of this node's parent in the dependency DAG, or Root
+	// (encoded as 0xFFFFFFFF). It changes under CAS (union, reader-side
+	// path compression) and atomic store (install, updater-side path
 	// compression).
-	parent atomic.Int32
-	// OldLevel is the vertex's level before the current batch of updates.
-	OldLevel int32
+	word atomic.Uint64
+	// old is the vertex's level before the current batch of updates,
+	// atomic because a stale reader may load it while the updater of a
+	// later batch re-installs the descriptor.
+	old atomic.Int32
 }
+
+// packWord builds a parent word from a batch stamp and a parent id.
+func packWord(stamp uint32, parent int32) uint64 {
+	return uint64(stamp)<<32 | uint64(uint32(parent))
+}
+
+// parentOf extracts the parent id (or Root) from a parent word.
+func parentOf(w uint64) int32 { return int32(uint32(w)) }
+
+// OldLevel returns the vertex's level before the batch that installed this
+// descriptor.
+func (d *Descriptor) OldLevel() int32 { return d.old.Load() }
 
 // Status is the result of inspecting a vertex's dependency DAG.
 type Status int
@@ -73,14 +106,25 @@ type CPLDS struct {
 	S *lds.Structure
 
 	desc     []atomic.Pointer[Descriptor]
+	pool     []Descriptor // per-vertex descriptor pool (see Descriptor)
 	batchNum atomic.Uint64
 
 	// Batch-scoped state (owned by the updater between BatchStart/BatchEnd).
-	kind     plds.Kind
-	batchAdj map[uint32][]uint32 // endpoints of batch edges, per vertex
+	kind  plds.Kind
+	stamp uint32 // low 32 bits of the current batch number
 
-	markedMu sync.Mutex
-	marked   []uint32 // vertices marked in the current batch
+	// batchDir is the flat batch-edge index: both directed copies of every
+	// applied batch edge, sorted by (U, V). Endpoint lookups binary-search
+	// it; the buffer is truncated and reused across batches instead of
+	// rebuilding a map.
+	batchDir []graph.Edge
+
+	// marked is the lock-free marked-vertex arena: VertexMoving claims a
+	// slot with an atomic cursor bump (a vertex is marked at most once per
+	// batch, so n slots always suffice). This replaces a global
+	// mutex-guarded append that serialized concurrent markers.
+	marked    []uint32
+	markedLen atomic.Int64
 
 	// gate implements the SyncReads baseline: the updater write-locks it
 	// for the duration of each batch, so ReadSync blocks until the batch
@@ -113,7 +157,11 @@ func (c *CPLDS) ReadRetries() uint64 { return c.readRetries.Load() }
 
 // New returns an empty CPLDS over n vertices with the given parameters.
 func New(n int, p lds.Params) *CPLDS {
-	c := &CPLDS{desc: make([]atomic.Pointer[Descriptor], n)}
+	c := &CPLDS{
+		desc:   make([]atomic.Pointer[Descriptor], n),
+		pool:   make([]Descriptor, n),
+		marked: make([]uint32, n),
+	}
 	c.P = plds.New(n, p, c)
 	c.S = c.P.S
 	return c
@@ -140,23 +188,35 @@ func (c *CPLDS) DeleteBatch(edges []graph.Edge) int { return c.P.DeleteBatch(edg
 // --- plds.Tracker implementation (update-side protocol) ---
 
 // BatchStart begins a batch: takes the sync gate, bumps the batch number
-// and indexes the batch edges by endpoint for marked-batch-neighbour
-// lookups.
+// and rebuilds the flat batch-edge index (in the reused buffer) for
+// marked-batch-neighbour lookups.
 func (c *CPLDS) BatchStart(kind plds.Kind, applied []graph.Edge) {
 	c.gate.Lock()
-	c.batchNum.Add(1)
+	c.stamp = uint32(c.batchNum.Add(1))
 	c.kind = kind
-	if len(applied) > 0 {
-		adj := make(map[uint32][]uint32, 2*len(applied))
-		for _, e := range applied {
-			adj[e.U] = append(adj[e.U], e.V)
-			adj[e.V] = append(adj[e.V], e.U)
-		}
-		c.batchAdj = adj
-	} else {
-		c.batchAdj = nil
+	dir := c.batchDir[:0]
+	for _, e := range applied {
+		dir = append(dir, e, graph.Edge{U: e.V, V: e.U})
 	}
-	c.marked = c.marked[:0]
+	slices.SortFunc(dir, func(a, b graph.Edge) int {
+		if a.U != b.U {
+			return cmp.Compare(a.U, b.U)
+		}
+		return cmp.Compare(a.V, b.V)
+	})
+	c.batchDir = dir
+	c.markedLen.Store(0)
+}
+
+// forEachBatchNeighbor calls f for every endpoint w such that (v, w) is an
+// applied edge of the current batch, via binary search on the flat index.
+func (c *CPLDS) forEachBatchNeighbor(v uint32, f func(w uint32)) {
+	i, _ := slices.BinarySearchFunc(c.batchDir, v, func(e graph.Edge, v uint32) int {
+		return cmp.Compare(e.U, v)
+	})
+	for ; i < len(c.batchDir) && c.batchDir[i].U == v; i++ {
+		f(c.batchDir[i].V)
+	}
 }
 
 // VertexMoving marks v: it installs a descriptor carrying v's pre-batch
@@ -164,12 +224,11 @@ func (c *CPLDS) BatchStart(kind plds.Kind, applied []graph.Edge) {
 // neighbours. Called concurrently by the batch engine, once per vertex per
 // batch, before v's first level change.
 func (c *CPLDS) VertexMoving(v uint32, oldLevel int32, kind plds.Kind) {
-	d := &Descriptor{OldLevel: oldLevel}
-	d.parent.Store(Root)
+	d := &c.pool[v]
+	d.old.Store(oldLevel)
+	d.word.Store(packWord(c.stamp, Root))
 	c.desc[v].Store(d)
-	c.markedMu.Lock()
-	c.marked = append(c.marked, v)
-	c.markedMu.Unlock()
+	c.marked[c.markedLen.Add(1)-1] = v
 
 	// Triggers: marked graph neighbours that may have caused v's move.
 	// Insertions: marked neighbours at v's level or above (a vertex that
@@ -194,31 +253,31 @@ func (c *CPLDS) VertexMoving(v uint32, oldLevel int32, kind plds.Kind) {
 	})
 	// Marked batch neighbours: endpoints of updated edges incident to v
 	// must share v's DAG regardless of level (Lemma 6.3).
-	for _, w := range c.batchAdj[v] {
+	c.forEachBatchNeighbor(v, func(w uint32) {
 		if c.desc[w].Load() != nil {
 			c.union(v, w)
 		}
-	}
+	})
 }
 
 // BatchEnd unmarks every descriptor — roots first, then the rest — and
 // releases the sync gate.
 func (c *CPLDS) BatchEnd(kind plds.Kind) {
+	marked := c.marked[:c.markedLen.Load()]
 	if c.beforeUnmark != nil {
-		c.beforeUnmark(kind, c.marked)
+		c.beforeUnmark(kind, marked)
 	}
 	// Pass 1: unmark all DAG roots.
-	parallel.For(len(c.marked), func(i int) {
-		v := c.marked[i]
-		if d := c.desc[v].Load(); d != nil && d.parent.Load() == Root {
+	parallel.For(len(marked), func(i int) {
+		v := marked[i]
+		if d := c.desc[v].Load(); d != nil && parentOf(d.word.Load()) == Root {
 			c.desc[v].Store(nil)
 		}
 	})
 	// Pass 2: unmark all remaining marked vertices.
-	parallel.For(len(c.marked), func(i int) {
-		c.desc[c.marked[i]].Store(nil)
+	parallel.For(len(marked), func(i int) {
+		c.desc[marked[i]].Store(nil)
 	})
-	c.batchAdj = nil
 	c.gate.Unlock()
 }
 
@@ -236,7 +295,7 @@ func (c *CPLDS) findRoot(v uint32) (uint32, bool) {
 	}
 	// Walk to the root.
 	for {
-		p := d.parent.Load()
+		p := parentOf(d.word.Load())
 		if p == Root {
 			break
 		}
@@ -252,18 +311,20 @@ func (c *CPLDS) findRoot(v uint32) (uint32, bool) {
 	}
 	// Compress: point every node on v's path directly at x. A non-root
 	// descriptor's parent is only ever rewritten to another ancestor, so
-	// racing stores are benign.
+	// racing stores are benign. Only the updater runs findRoot, and every
+	// non-nil descriptor belongs to the current batch, so stores carry the
+	// current stamp.
 	for w := v; w != x; {
 		dw := c.desc[w].Load()
 		if dw == nil {
 			break
 		}
-		p := dw.parent.Load()
+		p := parentOf(dw.word.Load())
 		if p == Root {
 			break
 		}
 		if uint32(p) != x {
-			dw.parent.Store(int32(x))
+			dw.word.Store(packWord(c.stamp, int32(x)))
 		}
 		w = uint32(p)
 	}
@@ -294,7 +355,7 @@ func (c *CPLDS) union(u, w uint32) {
 		if d == nil {
 			return
 		}
-		if d.parent.CompareAndSwap(Root, int32(lo)) {
+		if d.word.CompareAndSwap(packWord(c.stamp, Root), packWord(c.stamp, int32(lo))) {
 			return
 		}
 		// hi stopped being a root (a concurrent union won); retry.
@@ -310,7 +371,8 @@ func (c *CPLDS) checkDAG(d *Descriptor) Status {
 		return Unmarked
 	}
 	first := d
-	firstParent := d.parent.Load()
+	firstWord := d.word.Load()
+	firstParent := parentOf(firstWord)
 	if firstParent == Root {
 		return Marked
 	}
@@ -322,13 +384,16 @@ func (c *CPLDS) checkDAG(d *Descriptor) Status {
 			// implies the root is unmarked too.
 			return Unmarked
 		}
-		p := nd.parent.Load()
+		p := parentOf(nd.word.Load())
 		if p == Root {
 			// Reader-side path compression: shortcut the entry node to the
-			// root. A non-root parent pointer is only ever rewritten to
-			// another ancestor, so the racing store is benign.
+			// root. Within one batch a non-root parent is only ever
+			// rewritten to another ancestor, so the write is benign; the
+			// CAS against the originally observed word makes it a no-op if
+			// the descriptor was recycled into a later batch (the stamp
+			// half of the word has changed) or already re-compressed.
 			if last != firstParent && !c.noPathCompression {
-				first.parent.Store(last)
+				first.word.CompareAndSwap(firstWord, packWord(uint32(firstWord>>32), last))
 			}
 			return Marked
 		}
@@ -353,6 +418,14 @@ func (c *CPLDS) ReadLevel(v uint32) int32 {
 		l1 := c.P.Level(v)
 		d := c.desc[v].Load()
 		status := c.checkDAG(d)
+		// Load the old level before validating the batch number: a pooled
+		// descriptor recycled by a later batch can only change `old` after
+		// that batch bumped the batch number, so a load inside a passing
+		// double collect is guaranteed to be this batch's value.
+		var oldLevel int32
+		if status == Marked {
+			oldLevel = d.OldLevel()
+		}
 		l2 := c.P.Level(v)
 		b2 := c.batchNum.Load()
 		if b1 != b2 {
@@ -360,7 +433,7 @@ func (c *CPLDS) ReadLevel(v uint32) int32 {
 			continue // a new batch started: state may mix batches
 		}
 		if status == Marked {
-			return d.OldLevel
+			return oldLevel
 		}
 		if l1 == l2 {
 			return l1
@@ -397,7 +470,7 @@ func (c *CPLDS) DescriptorOf(v uint32) *Descriptor { return c.desc[v].Load() }
 // Parent returns the parent vertex of d's DAG node and whether d is a root.
 // Intended for tests.
 func (d *Descriptor) Parent() (int32, bool) {
-	p := d.parent.Load()
+	p := parentOf(d.word.Load())
 	return p, p == Root
 }
 

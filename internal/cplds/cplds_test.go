@@ -72,8 +72,8 @@ func TestDescriptorLifecycleAndOldLevels(t *testing.T) {
 				t.Errorf("marked vertex %d has nil descriptor", v)
 				continue
 			}
-			if d.OldLevel != pre[v] {
-				t.Errorf("vertex %d: OldLevel %d != pre-batch level %d", v, d.OldLevel, pre[v])
+			if d.OldLevel() != pre[v] {
+				t.Errorf("vertex %d: OldLevel %d != pre-batch level %d", v, d.OldLevel(), pre[v])
 			}
 			if c.P.Level(v) == pre[v] {
 				t.Errorf("marked vertex %d did not actually change level", v)
@@ -124,12 +124,11 @@ func TestDAGRootsAreMinimumAndLemma63(t *testing.T) {
 			checked = true
 		}
 		// Lemma 6.3: no batch edge with both endpoints moved crosses DAGs.
-		for u, ws := range c.batchAdj {
-			for _, w := range ws {
-				if movedSet[u] && movedSet[w] && root[u] != root[w] {
-					t.Errorf("batch edge (%d,%d) crosses DAGs: roots %d vs %d",
-						u, w, root[u], root[w])
-				}
+		for _, de := range c.batchDir {
+			u, w := de.U, de.V
+			if movedSet[u] && movedSet[w] && root[u] != root[w] {
+				t.Errorf("batch edge (%d,%d) crosses DAGs: roots %d vs %d",
+					u, w, root[u], root[w])
 			}
 		}
 	}
@@ -162,11 +161,10 @@ func TestLemma63UnderDeletions(t *testing.T) {
 				root[v] = r
 			}
 		}
-		for u, ws := range c.batchAdj {
-			for _, w := range ws {
-				if movedSet[u] && movedSet[w] && root[u] != root[w] {
-					t.Errorf("deleted edge (%d,%d) crosses DAGs", u, w)
-				}
+		for _, de := range c.batchDir {
+			u, w := de.U, de.V
+			if movedSet[u] && movedSet[w] && root[u] != root[w] {
+				t.Errorf("deleted edge (%d,%d) crosses DAGs", u, w)
 			}
 		}
 	}
@@ -428,10 +426,11 @@ func TestConcurrentReadersManyBatches(t *testing.T) {
 
 func TestUnionDeterministicRoot(t *testing.T) {
 	c := newC(10)
-	// Manually mark three vertices and union them pairwise.
+	// Manually mark three vertices (via their pooled descriptors) and
+	// union them pairwise.
 	for _, v := range []uint32{3, 5, 7} {
-		d := &Descriptor{OldLevel: 0}
-		d.parent.Store(Root)
+		d := &c.pool[v]
+		d.word.Store(packWord(c.stamp, Root))
 		c.desc[v].Store(d)
 	}
 	c.union(5, 7)
@@ -459,12 +458,12 @@ func TestCheckDAGPathCompression(t *testing.T) {
 	c := newC(10)
 	// Chain 0 <- 1 <- 2 (2's parent is 1, 1's parent is 0).
 	for _, v := range []uint32{0, 1, 2} {
-		d := &Descriptor{}
-		d.parent.Store(Root)
+		d := &c.pool[v]
+		d.word.Store(packWord(c.stamp, Root))
 		c.desc[v].Store(d)
 	}
-	c.desc[1].Load().parent.Store(0)
-	c.desc[2].Load().parent.Store(1)
+	c.desc[1].Load().word.Store(packWord(c.stamp, 0))
+	c.desc[2].Load().word.Store(packWord(c.stamp, 1))
 	if c.checkDAG(c.desc[2].Load()) != Marked {
 		t.Fatal("chain should be marked")
 	}

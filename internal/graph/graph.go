@@ -1,16 +1,23 @@
 // Package graph provides the dynamic undirected graph substrate used by the
 // level data structures, plus static CSR snapshots and edge-list I/O.
 //
-// The dynamic representation is a per-vertex hash set of neighbours. Batch
-// insertions and deletions are deduplicated, canonicalized and applied with
-// one goroutine per group of endpoints, so each adjacency set is mutated by
-// exactly one worker. This mirrors how the paper's GBBS-based implementation
-// applies each update batch in parallel before the level-maintenance phase.
+// The dynamic representation is a hybrid adjacency engine: each vertex
+// stores its neighbours in a sorted flat []uint32 block, so Neighbors is a
+// cache-friendly linear scan and batch mutation is an amortized O(deg+b)
+// sorted merge. Membership tests are O(log deg) binary searches; vertices
+// whose degree crosses promoteDegree additionally maintain a hash side
+// index that makes HasEdge O(1) — the index is never the iteration path.
+// Batch insertions and deletions are deduplicated, canonicalized and applied
+// with one goroutine per group of endpoints, so each adjacency block is
+// mutated by exactly one worker. This mirrors how the paper's GBBS-based
+// implementation applies each update batch in parallel before the
+// level-maintenance phase.
 package graph
 
 import (
+	"cmp"
 	"fmt"
-	"sort"
+	"slices"
 
 	"kcore/internal/parallel"
 )
@@ -34,6 +41,100 @@ func (e Edge) Canon() Edge {
 // IsSelfLoop reports whether the edge connects a vertex to itself.
 func (e Edge) IsSelfLoop() bool { return e.U == e.V }
 
+// cmpEdge orders edges by (U, V).
+func cmpEdge(a, b Edge) int {
+	if a.U != b.U {
+		return cmp.Compare(a.U, b.U)
+	}
+	return cmp.Compare(a.V, b.V)
+}
+
+// promoteDegree is the degree above which a vertex maintains a hash side
+// index for O(1) HasEdge; demoteDegree is the hysteresis floor below which
+// the index is dropped again. Between the two, a promoted vertex keeps its
+// index. Only pathological high-degree vertices ever cross the threshold;
+// iteration always walks the flat sorted block regardless.
+const (
+	promoteDegree = 1024
+	demoteDegree  = promoteDegree / 4
+)
+
+// adjacency is one vertex's neighbourhood: a sorted flat block, plus an
+// optional hash index once the vertex is promoted.
+type adjacency struct {
+	nbrs []uint32            // sorted ascending
+	idx  map[uint32]struct{} // non-nil iff promoted; mirrors nbrs exactly
+}
+
+// has reports membership using the hash index when promoted, binary search
+// otherwise.
+func (a *adjacency) has(v uint32) bool {
+	if a.idx != nil {
+		_, ok := a.idx[v]
+		return ok
+	}
+	_, found := slices.BinarySearch(a.nbrs, v)
+	return found
+}
+
+// mergeInsert merges the sorted, deduplicated, guaranteed-absent values
+// vals into the sorted block in place (backward merge after a single
+// amortized grow), maintaining the hash index and the promotion state.
+func (a *adjacency) mergeInsert(vals []Edge) {
+	n0, m := len(a.nbrs), len(vals)
+	nbrs := slices.Grow(a.nbrs, m)[:n0+m]
+	i, k := n0-1, n0+m-1
+	for j := m - 1; j >= 0; k-- {
+		if i >= 0 && nbrs[i] > vals[j].V {
+			nbrs[k] = nbrs[i]
+			i--
+		} else {
+			nbrs[k] = vals[j].V
+			j--
+		}
+	}
+	a.nbrs = nbrs
+	if a.idx == nil && len(nbrs) > promoteDegree {
+		a.idx = make(map[uint32]struct{}, len(nbrs))
+		for _, w := range nbrs {
+			a.idx[w] = struct{}{}
+		}
+	} else if a.idx != nil {
+		for _, e := range vals {
+			a.idx[e.V] = struct{}{}
+		}
+	}
+}
+
+// mergeDelete removes the sorted, guaranteed-present values vals from the
+// sorted block with one compacting sweep, maintaining the hash index and
+// demoting when the degree falls below the hysteresis floor.
+func (a *adjacency) mergeDelete(vals []Edge) {
+	nbrs := a.nbrs
+	w, j := 0, 0
+	for i := 0; i < len(nbrs); i++ {
+		for j < len(vals) && vals[j].V < nbrs[i] {
+			j++
+		}
+		if j < len(vals) && vals[j].V == nbrs[i] {
+			j++
+			continue
+		}
+		nbrs[w] = nbrs[i]
+		w++
+	}
+	a.nbrs = nbrs[:w]
+	if a.idx != nil {
+		if w < demoteDegree {
+			a.idx = nil
+		} else {
+			for _, e := range vals {
+				delete(a.idx, e.V)
+			}
+		}
+	}
+}
+
 // Dynamic is an undirected dynamic graph over a fixed vertex set
 // [0, NumVertices). It tolerates duplicate and missing edges in batches
 // (they are filtered) and rejects self-loops.
@@ -43,13 +144,19 @@ func (e Edge) IsSelfLoop() bool { return e.U == e.V }
 // the paper's model, where a single parallel batch owns the graph during
 // its execution and coreness readers never touch adjacency.
 type Dynamic struct {
-	adj      []map[uint32]struct{}
+	adj      []adjacency
 	numEdges int64
+
+	// Scratch buffers reused across batches by the single updater, so
+	// steady-state batch application allocates (almost) nothing.
+	normBuf   []Edge
+	dirBuf    []Edge
+	startsBuf []int
 }
 
 // NewDynamic returns an empty dynamic graph on n vertices.
 func NewDynamic(n int) *Dynamic {
-	return &Dynamic{adj: make([]map[uint32]struct{}, n)}
+	return &Dynamic{adj: make([]adjacency, n)}
 }
 
 // FromEdges builds a dynamic graph on n vertices containing the given
@@ -67,21 +174,15 @@ func (g *Dynamic) NumVertices() int { return len(g.adj) }
 func (g *Dynamic) NumEdges() int64 { return g.numEdges }
 
 // Degree returns the degree of v.
-func (g *Dynamic) Degree(v uint32) int { return len(g.adj[v]) }
+func (g *Dynamic) Degree(v uint32) int { return len(g.adj[v].nbrs) }
 
 // HasEdge reports whether the edge (u, v) is present.
-func (g *Dynamic) HasEdge(u, v uint32) bool {
-	if g.adj[u] == nil {
-		return false
-	}
-	_, ok := g.adj[u][v]
-	return ok
-}
+func (g *Dynamic) HasEdge(u, v uint32) bool { return g.adj[u].has(v) }
 
 // Neighbors calls f for each neighbour of v until f returns false.
-// Iteration order is unspecified.
+// Neighbours are visited in ascending order.
 func (g *Dynamic) Neighbors(v uint32, f func(w uint32) bool) {
-	for w := range g.adj[v] {
+	for _, w := range g.adj[v].nbrs {
 		if !f(w) {
 			return
 		}
@@ -91,31 +192,22 @@ func (g *Dynamic) Neighbors(v uint32, f func(w uint32) bool) {
 // NeighborSlice returns v's neighbours as a freshly allocated slice in
 // ascending order. Intended for tests and deterministic iteration.
 func (g *Dynamic) NeighborSlice(v uint32) []uint32 {
-	out := make([]uint32, 0, len(g.adj[v]))
-	for w := range g.adj[v] {
-		out = append(out, w)
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
-	return out
+	return slices.Clone(g.adj[v].nbrs)
 }
 
 // normalizeBatch canonicalizes, sorts, and deduplicates a batch, dropping
-// self-loops and out-of-range endpoints. The returned slice is fresh.
+// self-loops and out-of-range endpoints. The returned slice aliases the
+// graph's scratch buffer and is valid until the next batch operation.
 func (g *Dynamic) normalizeBatch(batch []Edge) []Edge {
 	n := uint32(len(g.adj))
-	out := make([]Edge, 0, len(batch))
+	out := g.normBuf[:0]
 	for _, e := range batch {
 		if e.IsSelfLoop() || e.U >= n || e.V >= n {
 			continue
 		}
 		out = append(out, e.Canon())
 	}
-	parallel.Sort(out, func(a, b Edge) bool {
-		if a.U != b.U {
-			return a.U < b.U
-		}
-		return a.V < b.V
-	})
+	slices.SortFunc(out, cmpEdge)
 	// In-place dedup.
 	w := 0
 	for i, e := range out {
@@ -124,12 +216,14 @@ func (g *Dynamic) normalizeBatch(batch []Edge) []Edge {
 			w++
 		}
 	}
+	g.normBuf = out
 	return out[:w]
 }
 
 // InsertEdges inserts the batch into the graph and returns the canonical
 // edges that were actually new (not already present, not duplicated within
-// the batch, not self-loops). The returned slice is sorted by (U, V).
+// the batch, not self-loops). The returned slice is fresh and sorted by
+// (U, V).
 func (g *Dynamic) InsertEdges(batch []Edge) []Edge {
 	norm := g.normalizeBatch(batch)
 	fresh := parallel.Filter(norm, func(e Edge) bool { return !g.HasEdge(e.U, e.V) })
@@ -139,7 +233,8 @@ func (g *Dynamic) InsertEdges(batch []Edge) []Edge {
 }
 
 // DeleteEdges removes the batch from the graph and returns the canonical
-// edges that were actually present and removed, sorted by (U, V).
+// edges that were actually present and removed, sorted by (U, V). The
+// returned slice is fresh.
 func (g *Dynamic) DeleteEdges(batch []Edge) []Edge {
 	norm := g.normalizeBatch(batch)
 	present := parallel.Filter(norm, func(e Edge) bool { return g.HasEdge(e.U, e.V) })
@@ -149,93 +244,81 @@ func (g *Dynamic) DeleteEdges(batch []Edge) []Edge {
 }
 
 // apply mutates adjacency for the given canonical deduplicated edges. Each
-// vertex's adjacency set is touched by exactly one worker: the directed
-// copies of the batch are grouped by source vertex and groups are processed
-// in parallel.
+// vertex's adjacency block is touched by exactly one worker: the directed
+// copies of the batch are grouped by source vertex and groups are merged
+// into the flat blocks in parallel.
 func (g *Dynamic) apply(edges []Edge, insert bool) {
 	if len(edges) == 0 {
 		return
 	}
 	// Directed copies, sorted by source.
-	dir := make([]Edge, 0, 2*len(edges))
+	dir := g.dirBuf[:0]
 	for _, e := range edges {
 		dir = append(dir, e, Edge{e.V, e.U})
 	}
-	parallel.Sort(dir, func(a, b Edge) bool {
-		if a.U != b.U {
-			return a.U < b.U
-		}
-		return a.V < b.V
-	})
+	g.dirBuf = dir
+	slices.SortFunc(dir, cmpEdge)
 	// Group boundaries: positions where the source changes.
-	starts := groupStarts(dir)
+	starts := g.groupStarts(dir)
 	parallel.For(len(starts), func(gi int) {
 		lo := starts[gi]
 		hi := len(dir)
 		if gi+1 < len(starts) {
 			hi = starts[gi+1]
 		}
-		src := dir[lo].U
-		set := g.adj[src]
+		a := &g.adj[dir[lo].U]
 		if insert {
-			if set == nil {
-				set = make(map[uint32]struct{}, hi-lo)
-				g.adj[src] = set
-			}
-			for _, d := range dir[lo:hi] {
-				set[d.V] = struct{}{}
-			}
-		} else if set != nil {
-			for _, d := range dir[lo:hi] {
-				delete(set, d.V)
-			}
+			a.mergeInsert(dir[lo:hi])
+		} else {
+			a.mergeDelete(dir[lo:hi])
 		}
 	})
 }
 
 // groupStarts returns the index of the first directed edge of each distinct
-// source vertex in the sorted directed edge list.
-func groupStarts(dir []Edge) []int {
-	starts := make([]int, 0, 64)
+// source vertex in the sorted directed edge list. The result aliases the
+// graph's scratch buffer.
+func (g *Dynamic) groupStarts(dir []Edge) []int {
+	starts := g.startsBuf[:0]
 	for i := range dir {
 		if i == 0 || dir[i].U != dir[i-1].U {
 			starts = append(starts, i)
 		}
 	}
+	g.startsBuf = starts
 	return starts
 }
 
-// Edges returns all edges in canonical form, sorted by (U, V).
+// Edges returns all edges in canonical form, sorted by (U, V). Since every
+// adjacency block is sorted, the output needs no extra sorting pass.
 func (g *Dynamic) Edges() []Edge {
 	out := make([]Edge, 0, g.numEdges)
 	for u := range g.adj {
-		for v := range g.adj[u] {
+		for _, v := range g.adj[u].nbrs {
 			if uint32(u) < v {
 				out = append(out, Edge{uint32(u), v})
 			}
 		}
 	}
-	parallel.Sort(out, func(a, b Edge) bool {
-		if a.U != b.U {
-			return a.U < b.U
-		}
-		return a.V < b.V
-	})
 	return out
 }
 
 // Clone returns a deep copy of the graph.
 func (g *Dynamic) Clone() *Dynamic {
-	c := &Dynamic{adj: make([]map[uint32]struct{}, len(g.adj)), numEdges: g.numEdges}
+	c := &Dynamic{adj: make([]adjacency, len(g.adj)), numEdges: g.numEdges}
 	parallel.For(len(g.adj), func(i int) {
-		if g.adj[i] == nil {
+		a := &g.adj[i]
+		if len(a.nbrs) == 0 {
 			return
 		}
-		m := make(map[uint32]struct{}, len(g.adj[i]))
-		for w := range g.adj[i] {
-			m[w] = struct{}{}
+		ca := adjacency{nbrs: slices.Clone(a.nbrs)}
+		if a.idx != nil {
+			ca.idx = make(map[uint32]struct{}, len(ca.nbrs))
+			for _, w := range ca.nbrs {
+				ca.idx[w] = struct{}{}
+			}
 		}
-		c.adj[i] = m
+		c.adj[i] = ca
 	})
 	return c
 }
@@ -264,27 +347,20 @@ func (c *CSR) Neighbors(v uint32) []uint32 {
 	return c.Targets[c.Offsets[v]:c.Offsets[v+1]]
 }
 
-// Snapshot builds a CSR snapshot of the current graph state.
+// Snapshot builds a CSR snapshot of the current graph state. Adjacency
+// blocks are already sorted, so this is a straight parallel copy.
 func (g *Dynamic) Snapshot() *CSR {
 	n := len(g.adj)
 	offs := make([]int64, n+1)
-	degs := make([]int, n)
-	parallel.For(n, func(i int) { degs[i] = len(g.adj[i]) })
 	var total int64
 	for i := 0; i < n; i++ {
 		offs[i] = total
-		total += int64(degs[i])
+		total += int64(len(g.adj[i].nbrs))
 	}
 	offs[n] = total
 	targets := make([]uint32, total)
 	parallel.For(n, func(i int) {
-		pos := offs[i]
-		for w := range g.adj[i] {
-			targets[pos] = w
-			pos++
-		}
-		seg := targets[offs[i]:offs[i+1]]
-		sort.Slice(seg, func(a, b int) bool { return seg[a] < seg[b] })
+		copy(targets[offs[i]:offs[i+1]], g.adj[i].nbrs)
 	})
 	return &CSR{Offsets: offs, Targets: targets}
 }
@@ -295,19 +371,34 @@ func CSRFromEdges(n int, edges []Edge) *CSR {
 	return FromEdges(n, edges).Snapshot()
 }
 
-// Validate checks internal consistency (symmetry of adjacency and the edge
-// count); it is used by tests and returns a descriptive error on failure.
+// Validate checks internal consistency: sortedness and uniqueness of every
+// adjacency block, symmetry, the edge count, and the promotion side index.
+// It is used by tests and returns a descriptive error on failure.
 func (g *Dynamic) Validate() error {
 	var count int64
 	for u := range g.adj {
-		for v := range g.adj[u] {
+		a := &g.adj[u]
+		for i, v := range a.nbrs {
 			if v == uint32(u) {
 				return fmt.Errorf("self-loop at %d", u)
+			}
+			if i > 0 && a.nbrs[i-1] >= v {
+				return fmt.Errorf("adjacency of %d unsorted or duplicated at %d", u, v)
 			}
 			if !g.HasEdge(v, uint32(u)) {
 				return fmt.Errorf("asymmetric edge (%d,%d)", u, v)
 			}
 			count++
+		}
+		if a.idx != nil {
+			if len(a.idx) != len(a.nbrs) {
+				return fmt.Errorf("vertex %d: index size %d != degree %d", u, len(a.idx), len(a.nbrs))
+			}
+			for _, v := range a.nbrs {
+				if _, ok := a.idx[v]; !ok {
+					return fmt.Errorf("vertex %d: neighbour %d missing from index", u, v)
+				}
+			}
 		}
 	}
 	if count%2 != 0 {

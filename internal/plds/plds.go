@@ -18,6 +18,9 @@
 package plds
 
 import (
+	"cmp"
+	"slices"
+	"sync"
 	"sync/atomic"
 
 	"kcore/internal/graph"
@@ -56,6 +59,42 @@ type Tracker interface {
 	BatchEnd(kind Kind)
 }
 
+// decision is the re-validation outcome for one desire-bucket candidate in
+// a deletion sweep: whether the vertex moves this round, and otherwise the
+// bucket to requeue it into, offset by one so that zero means "drop".
+type decision struct {
+	move bool
+	dl   int32
+}
+
+// levelBufPool holds neighbour-level gather buffers for desireLevel, which
+// runs concurrently from the parallel re-validation loop; pooling keeps the
+// deletion hot path allocation-free without threading worker identities.
+var levelBufPool = sync.Pool{New: func() any { b := make([]int32, 0, 1024); return &b }}
+
+// growScratch returns buf resized to n, reallocating only when capacity is
+// insufficient; contents are unspecified.
+func growScratch[T any](buf []T, n int) []T {
+	if cap(buf) < n {
+		return make([]T, n, n+n/2)
+	}
+	return buf[:n]
+}
+
+// extraScratch returns n per-mover neighbour buffers truncated to zero
+// length; the outer slice and the inner backing arrays are reused across
+// rounds and batches (workers write back grown buffers by index).
+func (p *PLDS) extraScratch(n int) [][]uint32 {
+	for len(p.extraBufs) < n {
+		p.extraBufs = append(p.extraBufs, nil)
+	}
+	extra := p.extraBufs[:n]
+	for i := range extra {
+		extra[i] = extra[i][:0]
+	}
+	return extra
+}
+
 // PLDS is the parallel batch-dynamic level data structure.
 //
 // Concurrency contract: InsertBatch and DeleteBatch must be called from a
@@ -78,6 +117,15 @@ type PLDS struct {
 
 	dirty   [][]uint32 // per-level dirty lists (insertion phase), reused
 	buckets [][]uint32 // per-level desire buckets (deletion phase), reused
+
+	// Per-round scratch arenas, reused across rounds and batches by the
+	// single updater so the steady-state batch hot path allocates nothing.
+	moversBuf    []uint32
+	targetsBuf   []int32
+	oldLevelsBuf []int32
+	decBuf       []decision
+	extraBufs    [][]uint32
+	seedBuf      []uint32
 
 	// jump is the maximum number of levels a violating vertex may rise in
 	// one step during the insertion phase (default 1). This mirrors the
@@ -171,8 +219,9 @@ func (p *PLDS) desireLevel(v uint32) int32 {
 		return 0
 	}
 	// Gather neighbour levels clamped to lv (levels >= lv are equivalent
-	// for every threshold we test) and sort descending.
-	ls := make([]int32, 0, p.g.Degree(v))
+	// for every threshold we test) into a pooled buffer, sort descending.
+	bufp := levelBufPool.Get().(*[]int32)
+	ls := (*bufp)[:0]
 	p.g.Neighbors(v, func(w uint32) bool {
 		l := p.level[w].Load()
 		if l > lv {
@@ -181,8 +230,8 @@ func (p *PLDS) desireLevel(v uint32) int32 {
 		ls = append(ls, l)
 		return true
 	})
-	parallel.SortWith(1, ls, func(a, b int32) bool { return a > b })
-	idx, cnt := 0, int32(0)
+	slices.SortFunc(ls, func(a, b int32) int { return cmp.Compare(b, a) })
+	idx, cnt, out := 0, int32(0), int32(0)
 	for d := lv - 1; d >= 1; d-- {
 		thr := d - 1
 		for idx < len(ls) && ls[idx] >= thr {
@@ -190,10 +239,13 @@ func (p *PLDS) desireLevel(v uint32) int32 {
 			idx++
 		}
 		if float64(cnt) >= p.S.LowerBound(d) {
-			return d
+			out = d
+			break
 		}
 	}
-	return 0
+	*bufp = ls
+	levelBufPool.Put(bufp)
+	return out
 }
 
 // jumpTarget returns the level a violating vertex at level l should rise
@@ -234,10 +286,24 @@ func (p *PLDS) batchEnd(kind Kind) {
 	}
 }
 
+// noteGrain is the mover count below which noteFirstMoves runs inline: the
+// sequential loop avoids allocating a dispatch closure for the (typical)
+// small rounds, while large cascades still fan out.
+const noteGrain = 512
+
 // noteFirstMoves invokes the tracker's VertexMoving hook for every mover
 // that has not yet moved in this batch. movers must be duplicate-free.
 func (p *PLDS) noteFirstMoves(movers []uint32, kind Kind) {
 	if p.tracker == nil {
+		return
+	}
+	if len(movers) < noteGrain {
+		for _, v := range movers {
+			if p.moveStamp[v] != p.batchID {
+				p.moveStamp[v] = p.batchID
+				p.tracker.VertexMoving(v, p.level[v].Load(), kind)
+			}
+		}
 		return
 	}
 	parallel.For(len(movers), func(i int) {
@@ -280,67 +346,88 @@ func (p *PLDS) InsertBatch(edges []graph.Edge) int {
 			}
 		}
 	}
-	// Level-synchronous upward sweep.
+	// Level-synchronous upward sweep. Candidate lists are truncated, not
+	// nilled, so their backing arrays are reused across rounds and batches
+	// (appends during a round only ever target levels above l, so the
+	// drained list's backing is never overwritten while cand is live).
+	//
+	// The phase bodies are hoisted out of the round loop and capture the
+	// cur* locals by reference: one closure allocation per batch instead of
+	// four per round, which matters because sweeps run many small rounds.
+	var (
+		curL       int32
+		curRound   int64
+		curMovers  []uint32
+		curTargets []int32
+		curExtra   [][]uint32
+	)
+	// Phase A: compute each mover's target (one level up, or a jump of up
+	// to p.jump levels when the optimization is on) before any level
+	// changes, so targets are deterministic; then raise all movers.
+	phaseA := func(i int) { curTargets[i] = p.jumpTarget(curMovers[i], curL) }
+	phaseRaise := func(i int) { p.level[curMovers[i]].Store(curTargets[i]) }
+	// Phase B: recompute movers' up counters against settled levels.
+	phaseB := func(i int) {
+		v := curMovers[i]
+		p.up[v].Store(p.countAtLeast(v, curTargets[i]))
+	}
+	// Phase C: a non-mover neighbour w gains an up-neighbour if v rose
+	// past it: l < level(w) <= target(v). Mark such neighbours dirty at
+	// their own level; movers are recognized by their round claim and
+	// were fully recomputed in Phase B.
+	phaseC := func(i int) {
+		v := curMovers[i]
+		t := curTargets[i]
+		l, round := curL, curRound
+		local := curExtra[i]
+		p.g.Neighbors(v, func(w uint32) bool {
+			lw := p.level[w].Load()
+			if lw > l && lw <= t && p.claim[w].Load() != round {
+				p.up[w].Add(1)
+				local = append(local, w)
+			}
+			return true
+		})
+		curExtra[i] = local
+	}
 	for l := int32(0); l <= maxDirty && l < p.S.MaxLevel(); l++ {
 		cand := p.dirty[l]
 		if len(cand) == 0 {
 			continue
 		}
-		p.dirty[l] = nil
+		p.dirty[l] = cand[:0]
 		p.round++
 		round := p.round
 		// Movers: at level l, violating Invariant 1, claimed exactly once.
-		movers := parallel.Filter(cand, func(v uint32) bool {
-			return p.level[v].Load() == l && p.violatesInv1(v) &&
-				p.claim[v].Swap(round) != round
-		})
+		// The claim swap is a side effect, so this filter stays sequential;
+		// the predicate is O(1) loads and the scan reuses the arena.
+		movers := p.moversBuf[:0]
+		for _, v := range cand {
+			if p.level[v].Load() == l && p.violatesInv1(v) &&
+				p.claim[v].Swap(round) != round {
+				movers = append(movers, v)
+			}
+		}
+		p.moversBuf = movers
 		if len(movers) == 0 {
 			continue
 		}
 		p.noteFirstMoves(movers, Insert)
-		// Phase A: compute each mover's target (one level up, or a jump of
-		// up to p.jump levels when the optimization is on), then raise all
-		// movers. Targets are computed before any level changes so they
-		// are deterministic.
-		targets := make([]int32, len(movers))
-		parallel.For(len(movers), func(i int) {
-			targets[i] = p.jumpTarget(movers[i], l)
-		})
-		parallel.For(len(movers), func(i int) {
-			p.level[movers[i]].Store(targets[i])
-		})
-		// Phase B: recompute movers' up counters against settled levels.
-		parallel.For(len(movers), func(i int) {
-			v := movers[i]
-			p.up[v].Store(p.countAtLeast(v, targets[i]))
-		})
-		// Phase C: a non-mover neighbour w gains an up-neighbour if v rose
-		// past it: l < level(w) <= target(v). Mark such neighbours dirty at
-		// their own level; movers are recognized by their round claim and
-		// were fully recomputed in Phase B.
-		extra := make([][]uint32, len(movers))
-		parallel.For(len(movers), func(i int) {
-			v := movers[i]
-			t := targets[i]
-			var local []uint32
-			p.g.Neighbors(v, func(w uint32) bool {
-				lw := p.level[w].Load()
-				if lw > l && lw <= t && p.claim[w].Load() != round {
-					p.up[w].Add(1)
-					local = append(local, w)
-				}
-				return true
-			})
-			extra[i] = local
-		})
+		p.targetsBuf = growScratch(p.targetsBuf, len(movers))
+		curL, curRound, curMovers, curTargets = l, round, movers, p.targetsBuf
+		curExtra = p.extraScratch(len(movers))
+		parallel.For(len(movers), phaseA)
+		parallel.For(len(movers), phaseRaise)
+		parallel.For(len(movers), phaseB)
+		parallel.For(len(movers), phaseC)
 		for i, v := range movers {
-			t := targets[i]
+			t := curTargets[i]
 			p.dirty[t] = append(p.dirty[t], v)
 			if t > maxDirty {
 				maxDirty = t
 			}
 		}
-		for _, loc := range extra {
+		for _, loc := range curExtra {
 			for _, w := range loc {
 				lw := p.level[w].Load()
 				p.dirty[lw] = append(p.dirty[lw], w)
@@ -350,6 +437,10 @@ func (p *PLDS) InsertBatch(edges []graph.Edge) int {
 			}
 		}
 	}
+	// Vertices can be parked at MaxLevel, which the sweep never visits
+	// (Invariant 1 cannot be violated there); drop them so stale entries
+	// don't accumulate across batches.
+	p.dirty[p.S.MaxLevel()] = p.dirty[p.S.MaxLevel()][:0]
 	return len(fresh)
 }
 
@@ -375,10 +466,11 @@ func (p *PLDS) DeleteBatch(edges []graph.Edge) int {
 	})
 	// Seed the desire buckets with violating endpoints.
 	maxBucket := int32(-1)
-	seed := make([]uint32, 0, 2*len(removed))
+	seed := p.seedBuf[:0]
 	for _, e := range removed {
 		seed = append(seed, e.U, e.V)
 	}
+	p.seedBuf = seed
 	for _, v := range seed {
 		if p.queued[v].Load() == p.batchID {
 			continue
@@ -393,37 +485,84 @@ func (p *PLDS) DeleteBatch(edges []graph.Edge) int {
 			maxBucket = dl
 		}
 	}
-	// Upward sweep over desire levels.
+	// Upward sweep over desire levels. As in the insertion sweep, drained
+	// bucket lists are truncated rather than nilled so their backing
+	// arrays are reused; cand is only read before the phases run, so
+	// re-appending into the drained bucket (possible via Phase C) is safe.
+	// As in the insertion sweep, the parallel bodies are hoisted out of the
+	// round loop and capture the cur* locals: one closure allocation per
+	// batch instead of four per round.
+	var (
+		curTarget int32
+		curCand   []uint32
+		curDec    []decision
+		curMovers []uint32
+		curOld    []int32
+		curExtra  [][]uint32
+	)
+	// Re-validate candidates: their desire level may have risen since
+	// they were bucketed (it cannot drop to a processed level — a
+	// property the PLDS paper proves; requeueing handles both
+	// directions defensively).
+	validate := func(i int) {
+		v := curCand[i]
+		if !p.violatesInv2(v) {
+			p.queued[v].Store(0)
+			curDec[i] = decision{}
+			return
+		}
+		dl := p.desireLevel(v)
+		if dl == curTarget {
+			curDec[i] = decision{move: true, dl: dl}
+		} else {
+			curDec[i] = decision{move: false, dl: dl + 1} // +1 flags requeue
+		}
+	}
+	// Phase A: record old levels, then drop all movers to the target.
+	readOld := func(i int) { curOld[i] = p.level[curMovers[i]].Load() }
+	phaseDrop := func(i int) { p.level[curMovers[i]].Store(curTarget) }
+	// Phase B: recompute movers' up counters; movers satisfy their
+	// desire level by construction, so they leave the queue.
+	phaseB := func(i int) {
+		v := curMovers[i]
+		p.up[v].Store(p.countAtLeast(v, curTarget))
+		p.queued[v].Store(0)
+	}
+	// Phase C: adjust neighbours above the target level. A neighbour w
+	// loses an up-neighbour if target < level(w) <= old(v), and loses an
+	// Invariant 2 neighbour if target+1 < level(w) <= old(v)+1.
+	phaseC := func(i int) {
+		v := curMovers[i]
+		old := curOld[i]
+		target := curTarget
+		local := curExtra[i]
+		p.g.Neighbors(v, func(w uint32) bool {
+			lw := p.level[w].Load()
+			if lw <= target {
+				return true // movers and settled-below neighbours
+			}
+			if lw <= old {
+				p.up[w].Add(-1)
+			}
+			if lw > target+1 && lw <= old+1 {
+				local = append(local, w)
+			}
+			return true
+		})
+		curExtra[i] = local
+	}
 	for l := int32(0); l <= maxBucket; l++ {
 		target := l
 		cand := p.buckets[target]
 		if len(cand) == 0 {
 			continue
 		}
-		p.buckets[target] = nil
-		// Re-validate candidates: their desire level may have risen since
-		// they were bucketed (it cannot drop to a processed level — a
-		// property the PLDS paper proves; requeueing handles both
-		// directions defensively).
-		type decision struct {
-			move bool
-			dl   int32
-		}
-		dec := make([]decision, len(cand))
-		parallel.For(len(cand), func(i int) {
-			v := cand[i]
-			if !p.violatesInv2(v) {
-				p.queued[v].Store(0)
-				return
-			}
-			dl := p.desireLevel(v)
-			if dl == target {
-				dec[i] = decision{move: true, dl: dl}
-			} else {
-				dec[i] = decision{move: false, dl: dl + 1} // +1 flags requeue
-			}
-		})
-		var movers []uint32
+		p.buckets[target] = cand[:0]
+		p.decBuf = growScratch(p.decBuf, len(cand))
+		curTarget, curCand, curDec = target, cand, p.decBuf
+		dec := p.decBuf
+		parallel.For(len(cand), validate)
+		movers := p.moversBuf[:0]
 		for i, d := range dec {
 			switch {
 			case d.move:
@@ -440,50 +579,20 @@ func (p *PLDS) DeleteBatch(edges []graph.Edge) int {
 				}
 			}
 		}
+		p.moversBuf = movers
 		if len(movers) == 0 {
 			continue
 		}
 		p.noteFirstMoves(movers, Delete)
-		// Phase A: record old levels, then drop all movers to the target.
-		oldLevels := make([]int32, len(movers))
-		parallel.For(len(movers), func(i int) {
-			oldLevels[i] = p.level[movers[i]].Load()
-		})
-		parallel.For(len(movers), func(i int) {
-			p.level[movers[i]].Store(target)
-		})
-		// Phase B: recompute movers' up counters; movers satisfy their
-		// desire level by construction, so they leave the queue.
-		parallel.For(len(movers), func(i int) {
-			v := movers[i]
-			p.up[v].Store(p.countAtLeast(v, target))
-			p.queued[v].Store(0)
-		})
-		// Phase C: adjust neighbours above the target level. A neighbour w
-		// loses an up-neighbour if target < level(w) <= old(v), and loses an
-		// Invariant 2 neighbour if target+1 < level(w) <= old(v)+1.
-		extra := make([][]uint32, len(movers))
-		parallel.For(len(movers), func(i int) {
-			v := movers[i]
-			old := oldLevels[i]
-			var local []uint32
-			p.g.Neighbors(v, func(w uint32) bool {
-				lw := p.level[w].Load()
-				if lw <= target {
-					return true // movers and settled-below neighbours
-				}
-				if lw <= old {
-					p.up[w].Add(-1)
-				}
-				if lw > target+1 && lw <= old+1 {
-					local = append(local, w)
-				}
-				return true
-			})
-			extra[i] = local
-		})
+		p.oldLevelsBuf = growScratch(p.oldLevelsBuf, len(movers))
+		curMovers, curOld = movers, p.oldLevelsBuf
+		curExtra = p.extraScratch(len(movers))
+		parallel.For(len(movers), readOld)
+		parallel.For(len(movers), phaseDrop)
+		parallel.For(len(movers), phaseB)
+		parallel.For(len(movers), phaseC)
 		// Enqueue affected neighbours that now violate Invariant 2.
-		for _, loc := range extra {
+		for _, loc := range curExtra {
 			for _, w := range loc {
 				if p.queued[w].Load() == p.batchID {
 					continue
@@ -497,7 +606,11 @@ func (p *PLDS) DeleteBatch(edges []graph.Edge) int {
 				if dl > maxBucket {
 					maxBucket = dl
 				}
-				if dl < target && dl-1 < l {
+				if dl <= target && dl-1 < l {
+					// Defensive, like the requeue branch — and dl == target
+					// must rewind too: the bucket being processed has
+					// already been drained, so an entry landing in it now
+					// would otherwise be stranded for the rest of the batch.
 					l = dl - 1
 				}
 			}

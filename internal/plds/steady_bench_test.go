@@ -1,0 +1,32 @@
+package plds
+
+import (
+	"testing"
+
+	"kcore/internal/gen"
+)
+
+// BenchmarkBatchSteadyState measures the steady-state batch hot path: a
+// fixed block of edges is alternately deleted and re-inserted, so levels,
+// adjacency capacity and the engine's scratch arenas all reach a fixed
+// point. allocs/op here is the per-batch-pair steady-state allocation count
+// the zero-allocation work targets.
+func BenchmarkBatchSteadyState(b *testing.B) {
+	const n = 20000
+	edges := gen.ChungLu(n, 60000, 2.4, 7)
+	p := New(n, defaultP(), nil)
+	p.InsertBatch(edges)
+	block := edges[:10000]
+	// Warm one cycle so slice capacities settle before measurement.
+	p.DeleteBatch(block)
+	p.InsertBatch(block)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.DeleteBatch(block)
+		p.InsertBatch(block)
+	}
+	b.StopTimer()
+	edgesPerOp := float64(2 * len(block))
+	b.ReportMetric(edgesPerOp*float64(b.N)/b.Elapsed().Seconds(), "edges/s")
+}

@@ -154,26 +154,30 @@ func (s *Server) handleTop(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, topResponse{K: k, Vertices: apps.TopSpreaders(scores, k)})
 }
 
-// statsResponse is the JSON body of /stats.
+// statsResponse is the JSON body of /stats. ShardLoad carries the per-shard
+// load breakdown (owned vertices, edges, applied batches) that shard
+// rebalancing decisions are driven by.
 type statsResponse struct {
-	Vertices int    `json:"vertices"`
-	Shards   int    `json:"shards"`
-	Edges    int64  `json:"edges"`
-	Batches  uint64 `json:"batches"`
-	Inserted int64  `json:"edges_inserted"`
-	Deleted  int64  `json:"edges_deleted"`
-	Reads    int64  `json:"reads_served"`
+	Vertices  int           `json:"vertices"`
+	Shards    int           `json:"shards"`
+	Edges     int64         `json:"edges"`
+	Batches   uint64        `json:"batches"`
+	Inserted  int64         `json:"edges_inserted"`
+	Deleted   int64         `json:"edges_deleted"`
+	Reads     int64         `json:"reads_served"`
+	ShardLoad []shard.Stats `json:"shard_load"`
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, statsResponse{
-		Vertices: s.eng.NumVertices(),
-		Shards:   s.eng.NumShards(),
-		Edges:    s.eng.NumEdges(),
-		Batches:  s.eng.Batches(),
-		Inserted: s.inserted.Load(),
-		Deleted:  s.deleted.Load(),
-		Reads:    s.reads.Load(),
+		Vertices:  s.eng.NumVertices(),
+		Shards:    s.eng.NumShards(),
+		Edges:     s.eng.NumEdges(),
+		Batches:   s.eng.Batches(),
+		Inserted:  s.inserted.Load(),
+		Deleted:   s.deleted.Load(),
+		Reads:     s.reads.Load(),
+		ShardLoad: s.eng.Stats(),
 	})
 }
 

@@ -249,6 +249,21 @@ func TestShardedServer(t *testing.T) {
 	if st.Edges != 3 || st.Inserted != 3 {
 		t.Fatalf("sharded stats %+v", st)
 	}
+	if len(st.ShardLoad) != 4 {
+		t.Fatalf("shard_load has %d entries, want 4", len(st.ShardLoad))
+	}
+	var owned int
+	var primary int64
+	for _, sl := range st.ShardLoad {
+		owned += sl.OwnedVertices
+		primary += sl.PrimaryEdges
+	}
+	if owned != st.Vertices {
+		t.Fatalf("shard_load owned vertices sum %d != %d", owned, st.Vertices)
+	}
+	if primary != st.Edges {
+		t.Fatalf("shard_load primary edges sum %d != %d", primary, st.Edges)
+	}
 }
 
 func TestConcurrentReadsDuringUpdates(t *testing.T) {

@@ -87,7 +87,7 @@ type pendingOp struct {
 }
 
 // shardState is one shard: a CPLDS over the local subgraph plus its
-// scheduler queue and combining lock.
+// scheduler queue, combining lock and load counters.
 type shardState struct {
 	c *cplds.CPLDS
 
@@ -97,6 +97,13 @@ type shardState struct {
 	applyMu sync.Mutex // held while draining + applying (the one updater)
 
 	batches atomic.Uint64 // coalesced batches applied on this shard
+
+	// Load counters, maintained atomically by the shard's updater so that
+	// Stats can be served concurrently with updates.
+	inserted     atomic.Int64 // edges applied to the local subgraph, total
+	deleted      atomic.Int64
+	localEdges   atomic.Int64 // edges currently in the local subgraph (incl. mirrors)
+	primaryEdges atomic.Int64 // distinct global edges owned by this shard
 }
 
 // Engine is the sharded CPLDS engine.
@@ -110,6 +117,7 @@ type Engine struct {
 	p      int
 	params lds.Params
 	shards []*shardState
+	owned  []int // owned vertex count per shard (fixed by the hash)
 
 	// submitMu makes cross-shard enqueue atomic: every shard queue sees
 	// submissions appended in the same global order, which is what the
@@ -128,6 +136,10 @@ func New(n, p int, params lds.Params) *Engine {
 	e := &Engine{n: n, p: p, params: params, shards: make([]*shardState, p)}
 	for i := range e.shards {
 		e.shards[i] = &shardState{c: cplds.New(n, params)}
+	}
+	e.owned = make([]int, p)
+	for v := 0; v < n; v++ {
+		e.owned[e.ShardOf(uint32(v))]++
 	}
 	return e
 }
@@ -304,25 +316,61 @@ func (s *shardState) drainAndApplyLocked(e *Engine) {
 			if w.ent.primary && !present {
 				w.sub.op.inserted.Add(1)
 				e.numEdges.Add(1)
+				s.primaryEdges.Add(1)
 			}
 		} else {
 			del = append(del, ed)
 			if w.ent.primary && present {
 				w.sub.op.deleted.Add(1)
 				e.numEdges.Add(-1)
+				s.primaryEdges.Add(-1)
 			}
 		}
 	}
 	if len(ins) > 0 {
-		s.c.InsertBatch(ins)
+		applied := int64(s.c.InsertBatch(ins))
+		s.inserted.Add(applied)
+		s.localEdges.Add(applied)
 	}
 	if len(del) > 0 {
-		s.c.DeleteBatch(del)
+		applied := int64(s.c.DeleteBatch(del))
+		s.deleted.Add(applied)
+		s.localEdges.Add(-applied)
 	}
 	s.batches.Add(1)
 	for _, sub := range subs {
 		sub.done.Store(true)
 	}
+}
+
+// Stats is a point-in-time snapshot of one shard's load — the observability
+// surface shard rebalancing will be driven by.
+type Stats struct {
+	Shard         int    `json:"shard"`
+	OwnedVertices int    `json:"owned_vertices"` // vertices hashed to this shard
+	PrimaryEdges  int64  `json:"primary_edges"`  // distinct global edges it owns
+	LocalEdges    int64  `json:"local_edges"`    // edges in its subgraph (incl. mirrored cut edges)
+	Batches       uint64 `json:"batches"`        // coalesced CPLDS batches applied
+	Inserted      int64  `json:"edges_inserted"` // cumulative edges applied locally
+	Deleted       int64  `json:"edges_deleted"`
+}
+
+// Stats returns per-shard load statistics. It is safe to call concurrently
+// with updates and reads; counters are point-in-time atomic loads.
+func (e *Engine) Stats() []Stats {
+	out := make([]Stats, e.p)
+	for si, s := range e.shards {
+		out[si] = Stats{
+			Shard:         si,
+			OwnedVertices: e.owned[si],
+			PrimaryEdges:  s.primaryEdges.Load(),
+			LocalEdges:    s.localEdges.Load(),
+			Batches:       s.batches.Load(),
+			Inserted:      s.inserted.Load(),
+			Deleted:       s.deleted.Load(),
+		}
+	}
+	return out
 }
 
 // --- quiescent inspection ---
@@ -393,6 +441,7 @@ func (e *Engine) CheckInvariants() error {
 	}
 	var count int64
 	for si, s := range e.shards {
+		var localPrimary, localTotal int64
 		for _, ed := range s.c.Graph().Edges() {
 			su, sv := e.ShardOf(ed.U), e.ShardOf(ed.V)
 			if su != si && sv != si {
@@ -410,7 +459,17 @@ func (e *Engine) CheckInvariants() error {
 			}
 			if su == si {
 				count++
+				localPrimary++
 			}
+			localTotal++
+		}
+		if got := s.primaryEdges.Load(); got != localPrimary {
+			return fmt.Errorf("shard %d primary-edge stat drift: counted %d, recorded %d",
+				si, localPrimary, got)
+		}
+		if got := s.localEdges.Load(); got != localTotal {
+			return fmt.Errorf("shard %d local-edge stat drift: counted %d, recorded %d",
+				si, localTotal, got)
 		}
 	}
 	if got := e.numEdges.Load(); got != count {

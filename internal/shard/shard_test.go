@@ -331,3 +331,87 @@ func TestConcurrentDisjointInsertsAllLand(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestShardStats(t *testing.T) {
+	const n = 600
+	edges := gen.ChungLu(n, 3000, 2.3, 41)
+	e := New(n, 4, defaultP())
+	e.Insert(edges)
+	half := edges[:len(edges)/2]
+	e.Delete(half)
+
+	stats := e.Stats()
+	if len(stats) != 4 {
+		t.Fatalf("got %d stats entries, want 4", len(stats))
+	}
+	var owned int
+	var primary, local, inserted, deleted int64
+	var batches uint64
+	for i, s := range stats {
+		if s.Shard != i {
+			t.Fatalf("entry %d has shard id %d", i, s.Shard)
+		}
+		if s.OwnedVertices != e.owned[i] {
+			t.Fatalf("shard %d owned %d != %d", i, s.OwnedVertices, e.owned[i])
+		}
+		if s.LocalEdges < s.PrimaryEdges {
+			t.Fatalf("shard %d local %d < primary %d", i, s.LocalEdges, s.PrimaryEdges)
+		}
+		owned += s.OwnedVertices
+		primary += s.PrimaryEdges
+		local += s.LocalEdges
+		inserted += s.Inserted
+		deleted += s.Deleted
+		batches += s.Batches
+	}
+	if owned != n {
+		t.Fatalf("owned vertices sum %d != %d", owned, n)
+	}
+	if primary != e.NumEdges() {
+		t.Fatalf("primary edges sum %d != global %d", primary, e.NumEdges())
+	}
+	if inserted == 0 || deleted == 0 || batches < 2 {
+		t.Fatalf("cumulative counters not maintained: ins=%d del=%d batches=%d",
+			inserted, deleted, batches)
+	}
+	// local >= primary overall, with equality only if no cut edges exist.
+	if local < primary {
+		t.Fatalf("local edges sum %d < primary sum %d", local, primary)
+	}
+	// CheckInvariants cross-checks the stats counters against a recount.
+	if err := e.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestShardStatsConcurrentWithUpdates(t *testing.T) {
+	// Stats must be safe to read while submissions race (exercised under
+	// -race in CI).
+	const n = 400
+	edges := gen.ChungLu(n, 2000, 2.3, 42)
+	e := New(n, 2, defaultP())
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			for _, s := range e.Stats() {
+				_ = s.LocalEdges
+			}
+		}
+	}()
+	for i := 0; i+100 <= len(edges); i += 100 {
+		e.Insert(edges[i : i+100])
+	}
+	close(stop)
+	wg.Wait()
+	if err := e.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}

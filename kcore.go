@@ -23,6 +23,7 @@ package kcore
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"kcore/internal/cplds"
 	"kcore/internal/exact"
@@ -104,6 +105,11 @@ func WithShards(p int) Option {
 type Decomposition struct {
 	c  *cplds.CPLDS // single-engine mode (nil when sharded)
 	sh *shard.Engine
+
+	// Cumulative applied-edge counters for single-engine mode, so
+	// ShardStats reports the same metrics in both modes (the sharded
+	// engine tracks its own per-shard counters).
+	ins, del atomic.Int64
 }
 
 // New creates an empty decomposition over n vertices.
@@ -133,6 +139,51 @@ func (d *Decomposition) Shards() int {
 		return d.sh.NumShards()
 	}
 	return 1
+}
+
+// ShardLoad is a point-in-time load snapshot of one shard: the
+// observability surface for spotting hot shards and (eventually) driving
+// vertex migration between them.
+type ShardLoad struct {
+	Shard         int    // shard index
+	OwnedVertices int    // vertices hashed to this shard
+	PrimaryEdges  int64  // distinct global edges it owns
+	LocalEdges    int64  // edges in its local subgraph (incl. mirrored cut edges)
+	Batches       uint64 // coalesced update batches applied
+	Inserted      int64  // cumulative edges applied locally
+	Deleted       int64
+}
+
+// ShardStats returns per-shard load statistics. With sharding it is safe to
+// call concurrently with updates and reads; without sharding the single
+// entry reflects the whole engine and must not race an update batch (the
+// edge count is not synchronized in that mode).
+func (d *Decomposition) ShardStats() []ShardLoad {
+	if d.sh == nil {
+		return []ShardLoad{{
+			Shard:         0,
+			OwnedVertices: d.c.NumVertices(),
+			PrimaryEdges:  d.c.Graph().NumEdges(),
+			LocalEdges:    d.c.Graph().NumEdges(),
+			Batches:       d.c.BatchNumber(),
+			Inserted:      d.ins.Load(),
+			Deleted:       d.del.Load(),
+		}}
+	}
+	stats := d.sh.Stats()
+	out := make([]ShardLoad, len(stats))
+	for i, s := range stats {
+		out[i] = ShardLoad{
+			Shard:         s.Shard,
+			OwnedVertices: s.OwnedVertices,
+			PrimaryEdges:  s.PrimaryEdges,
+			LocalEdges:    s.LocalEdges,
+			Batches:       s.Batches,
+			Inserted:      s.Inserted,
+			Deleted:       s.Deleted,
+		}
+	}
+	return out
 }
 
 // NumVertices returns the (fixed) number of vertices.
@@ -188,7 +239,9 @@ func (d *Decomposition) InsertEdges(edges []Edge) int {
 	if d.sh != nil {
 		return d.sh.Insert(toInternal(edges))
 	}
-	return d.c.InsertBatch(toInternal(edges))
+	applied := d.c.InsertBatch(toInternal(edges))
+	d.ins.Add(int64(applied))
+	return applied
 }
 
 // DeleteEdges applies a batch of edge deletions in parallel and returns the
@@ -198,7 +251,9 @@ func (d *Decomposition) DeleteEdges(edges []Edge) int {
 	if d.sh != nil {
 		return d.sh.Delete(toInternal(edges))
 	}
-	return d.c.DeleteBatch(toInternal(edges))
+	applied := d.c.DeleteBatch(toInternal(edges))
+	d.del.Add(int64(applied))
+	return applied
 }
 
 // ApplyBatch applies a mixed batch of insertions and deletions. Following
@@ -241,7 +296,9 @@ func (d *Decomposition) RemoveVertex(v uint32) int {
 		incident = append(incident, graph.Edge{U: v, V: w})
 		return true
 	})
-	return d.c.DeleteBatch(incident)
+	removed := d.c.DeleteBatch(incident)
+	d.del.Add(int64(removed))
+	return removed
 }
 
 // Coreness returns a linearizable (2+ε)-approximate coreness estimate for

@@ -80,3 +80,55 @@ func TestWithShardsPublicAPI(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestShardStatsPublicAPI exercises the per-shard load-stats surface in
+// both engine modes.
+func TestShardStatsPublicAPI(t *testing.T) {
+	// Sharded mode: entries per shard, sums consistent with the globals.
+	d, err := New(200, WithShards(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	edges := make([]Edge, 0, 199)
+	for i := uint32(0); i < 199; i++ {
+		edges = append(edges, Edge{U: i, V: i + 1})
+	}
+	d.InsertEdges(edges)
+	stats := d.ShardStats()
+	if len(stats) != 4 {
+		t.Fatalf("ShardStats has %d entries, want 4", len(stats))
+	}
+	var owned int
+	var primary int64
+	for _, s := range stats {
+		owned += s.OwnedVertices
+		primary += s.PrimaryEdges
+	}
+	if owned != d.NumVertices() {
+		t.Fatalf("owned sum %d != %d", owned, d.NumVertices())
+	}
+	if primary != d.NumEdges() {
+		t.Fatalf("primary sum %d != NumEdges %d", primary, d.NumEdges())
+	}
+
+	// Single-engine mode: one entry covering everything.
+	s1, err := New(50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1.InsertEdges([]Edge{{U: 0, V: 1}, {U: 1, V: 2}})
+	stats = s1.ShardStats()
+	if len(stats) != 1 {
+		t.Fatalf("single-engine ShardStats has %d entries", len(stats))
+	}
+	if stats[0].OwnedVertices != 50 || stats[0].LocalEdges != 2 || stats[0].Batches != 1 {
+		t.Fatalf("single-engine stats %+v", stats[0])
+	}
+	if stats[0].Inserted != 2 || stats[0].Deleted != 0 {
+		t.Fatalf("single-engine cumulative counters %+v", stats[0])
+	}
+	s1.DeleteEdges([]Edge{{U: 0, V: 1}})
+	if got := s1.ShardStats()[0]; got.Deleted != 1 || got.LocalEdges != 1 {
+		t.Fatalf("single-engine stats after delete %+v", got)
+	}
+}
