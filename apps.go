@@ -10,9 +10,12 @@ import (
 // directions (§9): low out-degree orientation, densest-subgraph
 // approximation, influential spreaders, coloring and maximal matching.
 //
-// The static functions operate on an explicit edge list; the Decomposition
-// methods operate on the current dynamic graph and are quiescent (they
-// must not run concurrently with an update batch).
+// The static functions operate on an explicit edge list. The Decomposition
+// methods operate on the current dynamic graph through the engine
+// interface's snapshot, so they work identically in single-engine and
+// sharded mode (the sharded engine reassembles the global graph from its
+// shards' primary edge copies). Except for TopSpreaders, they are quiescent
+// operations: they must not run concurrently with an update batch.
 
 // Orientation is an acyclic edge orientation with provably low out-degree:
 // Out[v] lists v's out-neighbours, and the maximum out-degree is at most
@@ -40,9 +43,9 @@ func OrientLowOutDegree(n int, edges []Edge) *Orientation {
 }
 
 // Orient computes a low out-degree orientation of the decomposition's
-// current graph. Quiescent operation.
+// current graph (the global graph, when sharded). Quiescent operation.
 func (d *Decomposition) Orient() *Orientation {
-	o := apps.LowOutDegreeOrientation(d.c.Graph().Snapshot())
+	o := apps.LowOutDegreeOrientation(d.eng.Snapshot())
 	return &Orientation{Out: o.Out}
 }
 
@@ -54,37 +57,36 @@ type DenseSubgraph struct {
 	Density  float64
 }
 
-// DensestSubgraph returns the maximum-coreness core of the current graph,
-// a 2-approximation of the densest subgraph. Quiescent operation.
+// DensestSubgraph returns the maximum-coreness core of the current graph
+// (the global graph, when sharded), a 2-approximation of the densest
+// subgraph. Quiescent operation.
 func (d *Decomposition) DensestSubgraph() DenseSubgraph {
-	r := apps.ApproxDensestSubgraph(d.c.Graph().Snapshot())
+	r := apps.ApproxDensestSubgraph(d.eng.Snapshot())
 	return DenseSubgraph{Vertices: r.Vertices, Density: r.Density}
 }
 
 // TopSpreaders returns the k vertices with the highest approximate
-// coreness (the k-shell heuristic for influential spreaders). It uses
-// linearizable reads, so it is safe to call concurrently with update
-// batches.
+// coreness (the k-shell heuristic for influential spreaders). It is served
+// through an epoch-pinned View, so it is safe to call concurrently with
+// update batches and the ranking reflects one committed batch boundary;
+// use View.TopK directly to also learn which epoch was served.
 func (d *Decomposition) TopSpreaders(k int) []uint32 {
-	n := d.NumVertices()
-	scores := make([]float64, n)
-	for v := 0; v < n; v++ {
-		scores[v] = d.Coreness(uint32(v))
-	}
-	return apps.TopSpreaders(scores, k)
+	return d.View().TopK(k)
 }
 
-// Color greedily colors the current graph in reverse degeneracy order,
-// using at most degeneracy+1 colors. It returns the per-vertex colors and
-// the number of colors used. Quiescent operation.
+// Color greedily colors the current graph (the global graph, when sharded)
+// in reverse degeneracy order, using at most degeneracy+1 colors. It
+// returns the per-vertex colors and the number of colors used. Quiescent
+// operation.
 func (d *Decomposition) Color() ([]int32, int) {
-	return apps.GreedyColoring(d.c.Graph().Snapshot())
+	return apps.GreedyColoring(d.eng.Snapshot())
 }
 
-// MaximalMatching computes a maximal matching of the current graph with
-// parallel greedy edge claiming. Quiescent operation.
+// MaximalMatching computes a maximal matching of the current graph (the
+// global graph, when sharded) with parallel greedy edge claiming.
+// Quiescent operation.
 func (d *Decomposition) MaximalMatching() []Edge {
-	m := apps.MaximalMatching(d.c.Graph().Snapshot())
+	m := apps.MaximalMatching(d.eng.Snapshot())
 	out := make([]Edge, len(m))
 	for i, e := range m {
 		out[i] = Edge{U: e.U, V: e.V}

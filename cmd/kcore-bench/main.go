@@ -11,10 +11,11 @@
 //	kcore-bench -exp fig6 -datasets tiny,dblp
 //	kcore-bench -exp fig7 -datasets dblp,lj -threads 1,2,4,8,15
 //	kcore-bench -exp shardscale -datasets dblp -shards 1,2,4,8
+//	kcore-bench -exp viewreads -datasets dblp -shards 1,4
 //
 // Every run prints the same rows/series the paper reports, plus the
-// shard-scaling experiment added by this repo (Figure 8). See
-// EXPERIMENTS.md for the paper-vs-measured record.
+// shard-scaling and epoch-pinned view-reads experiments added by this
+// repo. See EXPERIMENTS.md for the paper-vs-measured record.
 package main
 
 import (
@@ -30,7 +31,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: all, table1, fig3, fig4, fig5, fig6, fig7, shardscale, ablation")
+	exp := flag.String("exp", "all", "experiment: all, table1, fig3, fig4, fig5, fig6, fig7, shardscale, viewreads, ablation")
 	datasets := flag.String("datasets", "", "comma-separated dataset profiles (default per experiment)")
 	batchSizes := flag.String("batchsizes", "100,1000,10000,50000", "comma-separated batch sizes (fig4)")
 	threads := flag.String("threads", "1,2,4,8,15", "comma-separated thread counts (fig7)")
@@ -122,6 +123,8 @@ func run(exp string, datasets []string, batchSizes, threads, shards []int, cfg b
 		return bench.Figure7(w, pick(scaleDefault), threads, cfg)
 	case "shardscale":
 		return bench.FigureShards(w, pick(scaleDefault), shards, cfg)
+	case "viewreads":
+		return bench.FigureViewReads(w, pick(scaleDefault), shards, cfg)
 	case "ablation":
 		return bench.Ablation(w, pick(errorDefault), cfg)
 	case "all":
@@ -147,6 +150,9 @@ func run(exp string, datasets []string, batchSizes, threads, shards []int, cfg b
 			return err
 		}
 		if err := bench.FigureShards(w, pick(scaleDefault), shards, cfg); err != nil {
+			return err
+		}
+		if err := bench.FigureViewReads(w, pick(scaleDefault), shards, cfg); err != nil {
 			return err
 		}
 		return bench.Ablation(w, pick(errorDefault), cfg)

@@ -1,0 +1,138 @@
+package kcore
+
+import (
+	"sync/atomic"
+
+	"kcore/internal/cplds"
+	"kcore/internal/exact"
+	"kcore/internal/graph"
+	"kcore/internal/lds"
+	"kcore/internal/shard"
+)
+
+// engine is the single dispatch point between the two Decomposition
+// backends: the single-CPLDS engine (the paper's data structure, full
+// global approximation guarantee, one updater at a time) and the sharded
+// engine (hash-partitioned CPLDS instances behind a batch-coalescing
+// scheduler, concurrent updaters, per-shard guarantee). Every public
+// Decomposition and View method routes through this interface; no method
+// branches on the backend.
+//
+// The read triple mirrors the paper's three protocols (linearizable
+// lock-free, instantaneous NonSync, blocking SyncReads); the pinned
+// variants additionally certify that the returned values belong to one
+// committed epoch — the consistency unit Views are built on. The quiescent
+// group (Degree, IncidentEdges, Snapshot, ExactCoreness, CheckInvariants)
+// must not run concurrently with update batches in either backend.
+type engine interface {
+	NumVertices() int
+	NumShards() int
+	NumEdges() int64
+	ApproxFactor() float64
+	Batches() uint64
+	Epoch() uint64
+
+	Insert(edges []graph.Edge) int
+	Delete(edges []graph.Edge) int
+	Apply(insertions, deletions []graph.Edge) (inserted, deleted int)
+
+	Read(v uint32) float64
+	ReadNonSync(v uint32) float64
+	ReadSync(v uint32) float64
+	ReadPinned(v uint32) (float64, uint64)
+	ReadManyPinned(vs []uint32, out []float64) uint64
+	ReadAllPinned(out []float64) uint64
+
+	Degree(v uint32) int
+	IncidentEdges(v uint32) []graph.Edge
+	Snapshot() *graph.CSR
+	ExactCoreness() []int32
+	CheckInvariants() error
+	Stats() []shard.Stats
+}
+
+// Both backends must satisfy the engine contract.
+var (
+	_ engine = (*singleEngine)(nil)
+	_ engine = (*shard.Engine)(nil)
+)
+
+// singleEngine adapts one CPLDS to the engine interface. It also keeps the
+// cumulative applied-edge counters the sharded engine tracks per shard, so
+// Stats reports the same metrics in both modes.
+type singleEngine struct {
+	c        *cplds.CPLDS
+	ins, del atomic.Int64
+}
+
+func newSingleEngine(n int, params lds.Params) *singleEngine {
+	return &singleEngine{c: cplds.New(n, params)}
+}
+
+func (s *singleEngine) NumVertices() int      { return s.c.NumVertices() }
+func (s *singleEngine) NumShards() int        { return 1 }
+func (s *singleEngine) NumEdges() int64       { return s.c.Graph().NumEdges() }
+func (s *singleEngine) ApproxFactor() float64 { return s.c.S.ApproxFactor() }
+func (s *singleEngine) Batches() uint64       { return s.c.BatchNumber() }
+func (s *singleEngine) Epoch() uint64         { return s.c.Epoch() }
+
+func (s *singleEngine) Insert(edges []graph.Edge) int {
+	applied := s.c.InsertBatch(edges)
+	s.ins.Add(int64(applied))
+	return applied
+}
+
+func (s *singleEngine) Delete(edges []graph.Edge) int {
+	applied := s.c.DeleteBatch(edges)
+	s.del.Add(int64(applied))
+	return applied
+}
+
+func (s *singleEngine) Apply(insertions, deletions []graph.Edge) (inserted, deleted int) {
+	if len(insertions) > 0 {
+		inserted = s.Insert(insertions)
+	}
+	if len(deletions) > 0 {
+		deleted = s.Delete(deletions)
+	}
+	return inserted, deleted
+}
+
+func (s *singleEngine) Read(v uint32) float64        { return s.c.Read(v) }
+func (s *singleEngine) ReadNonSync(v uint32) float64 { return s.c.ReadNonSync(v) }
+func (s *singleEngine) ReadSync(v uint32) float64    { return s.c.ReadSync(v) }
+
+func (s *singleEngine) ReadPinned(v uint32) (float64, uint64) { return s.c.ReadPinned(v) }
+func (s *singleEngine) ReadManyPinned(vs []uint32, out []float64) uint64 {
+	return s.c.ReadManyPinned(vs, out)
+}
+func (s *singleEngine) ReadAllPinned(out []float64) uint64 { return s.c.ReadAllPinned(out) }
+
+func (s *singleEngine) Degree(v uint32) int { return s.c.Graph().Degree(v) }
+
+func (s *singleEngine) IncidentEdges(v uint32) []graph.Edge {
+	var out []graph.Edge
+	s.c.Graph().Neighbors(v, func(w uint32) bool {
+		out = append(out, graph.Edge{U: v, V: w})
+		return true
+	})
+	return out
+}
+
+func (s *singleEngine) Snapshot() *graph.CSR { return s.c.Graph().Snapshot() }
+
+func (s *singleEngine) ExactCoreness() []int32 { return exact.Parallel(s.Snapshot()) }
+
+func (s *singleEngine) CheckInvariants() error { return s.c.CheckInvariants() }
+
+func (s *singleEngine) Stats() []shard.Stats {
+	return []shard.Stats{{
+		Shard:         0,
+		OwnedVertices: s.c.NumVertices(),
+		PrimaryEdges:  s.c.Graph().NumEdges(),
+		LocalEdges:    s.c.Graph().NumEdges(),
+		Batches:       s.c.BatchNumber(),
+		Inserted:      s.ins.Load(),
+		Deleted:       s.del.Load(),
+	}}
+}

@@ -38,6 +38,14 @@ func main() {
 	fmt.Printf("coreness estimate of ring vertex 500:   %.2f (exact: 1)\n", d.Coreness(500))
 	fmt.Printf("approximation factor: %.2f\n", d.ApproxFactor())
 
+	// Multi-vertex reads go through an epoch-pinned View: every value is
+	// served from one committed batch boundary (reported by Epoch), never a
+	// torn mix of concurrent batches.
+	view := d.View()
+	many := view.CorenessMany([]uint32{7, 13, 500})
+	fmt.Printf("bulk estimates at epoch %d: %v\n", view.Epoch(), many)
+	fmt.Printf("top-3 by coreness: %v\n", view.TopK(3))
+
 	// Exact values are available as a quiescent operation.
 	exact := d.ExactCoreness()
 	fmt.Printf("exact coreness of vertex 7: %d, vertex 500: %d\n", exact[7], exact[500])

@@ -75,11 +75,25 @@ func main() {
 			}
 		}
 
-		coreSeeds := topBy(func(v uint32) float64 { return d.Coreness(v) })
+		// An epoch-pinned view ranks every vertex against one committed
+		// batch boundary — per-vertex Coreness calls could straddle a
+		// boundary and rank a torn mix of waves.
+		view := d.View()
+		coreScores := view.CorenessMany(allVertices())
+		coreSeeds := topBy(func(v uint32) float64 { return coreScores[v] })
 		degSeeds := topBy(func(v uint32) float64 { return float64(len(adj[v])) })
-		fmt.Printf("wave %d: %7d contacts | cascade from top-%d by coreness: %5d, by degree: %5d\n",
-			w+1, d.NumEdges(), topK, cascade(adj, coreSeeds, rng), cascade(adj, degSeeds, rng))
+		fmt.Printf("wave %d: %7d contacts (epoch %d) | cascade from top-%d by coreness: %5d, by degree: %5d\n",
+			w+1, d.NumEdges(), view.Epoch(), topK, cascade(adj, coreSeeds, rng), cascade(adj, degSeeds, rng))
 	}
+}
+
+// allVertices returns the full vertex id range.
+func allVertices() []uint32 {
+	vs := make([]uint32, people)
+	for i := range vs {
+		vs[i] = uint32(i)
+	}
+	return vs
 }
 
 // topBy returns the topK vertices by the given score, ties by id.

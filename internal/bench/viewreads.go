@@ -1,0 +1,149 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"kcore/internal/gen"
+	"kcore/internal/shard"
+	"kcore/internal/stats"
+)
+
+// viewBulkSize is the number of vertices per epoch-pinned bulk read in the
+// viewreads experiment — the shape of a typical multi-vertex API request
+// (a /coreness/bulk call or a View.CorenessMany over one client's watch
+// list).
+const viewBulkSize = 64
+
+// ViewReadsResult is one row of the view-reads experiment: throughput of
+// epoch-pinned multi-vertex reads (view creation + CorenessMany) against an
+// engine under concurrent batch updates.
+type ViewReadsResult struct {
+	Dataset    string
+	Shards     int
+	Readers    int
+	Writers    int
+	Views      int64         // pinned bulk reads completed
+	ViewVerts  int64         // vertices served through pinned reads
+	Edges      int64         // edges applied by the write phase
+	Elapsed    time.Duration // write-phase duration (measurement window)
+	Epochs     uint64        // epochs committed during the window
+	ViewsPerS  float64
+	VertsPerS  float64
+	WritesPerS float64
+}
+
+// RunViewReads measures the epoch-pinned read path at one shard count:
+// cfg.Writers concurrent clients submit insertion batches through the
+// scheduler while cfg.Readers goroutines repeatedly pin a view and bulk-
+// read viewBulkSize random vertices from one consistent cut. Throughput is
+// views (pinned bulk reads) and vertices per second over the write window —
+// the epoch-validation analogue of the lock-free single-read series.
+func RunViewReads(cfg Config, shards int) (ViewReadsResult, error) {
+	cfg = cfg.withDefaults()
+	res := ViewReadsResult{
+		Dataset: cfg.Dataset, Shards: shards,
+		Readers: cfg.Readers, Writers: cfg.Writers,
+	}
+	for trial := 0; trial < cfg.Trials; trial++ {
+		p, err := prepare(cfg)
+		if err != nil {
+			return res, err
+		}
+		batches := p.stream.Insertions
+		if cfg.MaxBatches > 0 && len(batches) > cfg.MaxBatches {
+			batches = batches[:cfg.MaxBatches]
+		}
+		eng := shard.New(p.n, shards, cfg.Params)
+		eng.Insert(p.stream.Base)
+		epoch0 := eng.Epoch()
+
+		var views, viewVerts atomic.Int64
+		stop := make(chan struct{})
+		var readerWG sync.WaitGroup
+		for r := 0; r < cfg.Readers; r++ {
+			readerWG.Add(1)
+			w := gen.NewUniformReads(p.n, cfg.Seed+int64(trial*100+r))
+			go func() {
+				defer readerWG.Done()
+				vs := make([]uint32, viewBulkSize)
+				out := make([]float64, viewBulkSize)
+				for {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+					for i := range vs {
+						vs[i] = w.Next()
+					}
+					eng.ReadManyPinned(vs, out)
+					views.Add(1)
+					viewVerts.Add(viewBulkSize)
+				}
+			}()
+		}
+
+		var next, edges atomic.Int64
+		var writerWG sync.WaitGroup
+		t0 := time.Now()
+		for w := 0; w < cfg.Writers; w++ {
+			writerWG.Add(1)
+			go func() {
+				defer writerWG.Done()
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= len(batches) {
+						return
+					}
+					edges.Add(int64(eng.Insert(batches[i])))
+				}
+			}()
+		}
+		writerWG.Wait()
+		elapsed := time.Since(t0)
+		close(stop)
+		readerWG.Wait()
+
+		res.Views += views.Load()
+		res.ViewVerts += viewVerts.Load()
+		res.Edges += edges.Load()
+		res.Elapsed += elapsed
+		res.Epochs += eng.Epoch() - epoch0
+		res.ViewsPerS += stats.Throughput(views.Load(), elapsed)
+		res.VertsPerS += stats.Throughput(viewVerts.Load(), elapsed)
+		res.WritesPerS += stats.Throughput(edges.Load(), elapsed)
+	}
+	res.ViewsPerS /= float64(cfg.Trials)
+	res.VertsPerS /= float64(cfg.Trials)
+	res.WritesPerS /= float64(cfg.Trials)
+	return res, nil
+}
+
+// FigureViewReads runs and prints the view-reads experiment: epoch-pinned
+// bulk-read throughput versus shard count under concurrent batch updates.
+// A regression on the pinned path (validation retries, fallback to the
+// blocking gates) shows up directly in the views/s and verts/s columns.
+func FigureViewReads(w io.Writer, datasets []string, shardCounts []int, cfg Config) error {
+	cfg = cfg.withDefaults()
+	fmt.Fprintf(w, "View reads: epoch-pinned bulk reads (%d vertices each) vs shard count (writers=%d, readers=%d)\n",
+		viewBulkSize, cfg.Writers, cfg.Readers)
+	fmt.Fprintf(w, "%-10s %8s %12s %14s %14s %10s\n", "graph", "shards", "views/s", "verts/s", "edges/s", "epochs")
+	for _, ds := range datasets {
+		c := cfg
+		c.Dataset = ds
+		for _, p := range shardCounts {
+			r, err := RunViewReads(c, p)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(w, "%-10s %8d %12.0f %14.0f %14.0f %10d\n",
+				ds, r.Shards, r.ViewsPerS, r.VertsPerS, r.WritesPerS, r.Epochs)
+		}
+	}
+	fmt.Fprintln(w)
+	return nil
+}

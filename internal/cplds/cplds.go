@@ -29,6 +29,7 @@ package cplds
 
 import (
 	"cmp"
+	"fmt"
 	"slices"
 	"sync"
 	"sync/atomic"
@@ -108,6 +109,18 @@ type CPLDS struct {
 	desc     []atomic.Pointer[Descriptor]
 	pool     []Descriptor // per-vertex descriptor pool (see Descriptor)
 	batchNum atomic.Uint64
+
+	// commitSeq is the commit sequence lock for epoch-pinned multi-vertex
+	// reads. It is 2*epoch while the structure is outside an unmark phase
+	// (epoch = committed batches) and odd while BatchEnd is unmarking
+	// descriptors. The single-vertex read protocol never needs it; it exists
+	// because the *visibility* of a batch's new levels to readers is not a
+	// single instant — it spreads across the unmark passes — so a reader
+	// collecting many vertices can only certify "all my values are from one
+	// batch boundary" if no unmark phase started, ran, or ended during its
+	// collection. An even, unchanged commitSeq across the collection
+	// certifies exactly that (see ReadManyPinned).
+	commitSeq atomic.Uint64
 
 	// Batch-scoped state (owned by the updater between BatchStart/BatchEnd).
 	kind  plds.Kind
@@ -267,6 +280,12 @@ func (c *CPLDS) BatchEnd(kind plds.Kind) {
 	if c.beforeUnmark != nil {
 		c.beforeUnmark(kind, marked)
 	}
+	// Enter the unmark phase: commitSeq goes odd, telling epoch-pinned
+	// multi-reads that batch-boundary visibility is in flux. Mid-batch (up
+	// to here) every read returns the pre-batch value, so pinned readers
+	// need no signal; it is only while descriptors disappear that a
+	// multi-read could mix pre- and post-batch values.
+	c.commitSeq.Add(1)
 	// Pass 1: unmark all DAG roots.
 	parallel.For(len(marked), func(i int) {
 		v := marked[i]
@@ -278,6 +297,9 @@ func (c *CPLDS) BatchEnd(kind plds.Kind) {
 	parallel.For(len(marked), func(i int) {
 		c.desc[marked[i]].Store(nil)
 	})
+	// Leave the unmark phase: commitSeq becomes 2*(epoch+1) — the batch is
+	// committed and uniformly visible.
+	c.commitSeq.Add(1)
 	c.gate.Unlock()
 }
 
@@ -459,6 +481,116 @@ func (c *CPLDS) ReadSync(v uint32) float64 {
 	return est
 }
 
+// --- epoch-pinned reads (consistent multi-vertex cuts) ---
+
+// pinnedAttempts bounds the optimistic retries of a pinned multi-read
+// before it degrades to the blocking gate path. Each failed attempt implies
+// a batch committed during the collection, so in the common regime (batches
+// are orders of magnitude longer than reads) the first attempt succeeds;
+// the bound only matters for pathological scan-length/batch-length ratios,
+// where unbounded optimism could livelock.
+const pinnedAttempts = 8
+
+// Epoch returns the number of committed update batches. Values returned by
+// the linearizable read protocol always correspond to the state at one of
+// these epochs' boundaries.
+func (c *CPLDS) Epoch() uint64 { return c.commitSeq.Load() >> 1 }
+
+// CommitSeq exposes the raw commit sequence (2*epoch, or odd during a
+// commit's unmark phase). Intended for multi-engine coordinators (the
+// sharded engine validates a vector of these around its cross-shard pinned
+// reads).
+func (c *CPLDS) CommitSeq() uint64 { return c.commitSeq.Load() }
+
+// GateRLock acquires the batch gate in read mode: while held, no batch can
+// start or commit, so live levels are a frozen committed cut. It is the
+// blocking fallback used by pinned multi-reads (and the building block for
+// cross-shard coordinators); pair with GateRUnlock.
+func (c *CPLDS) GateRLock() { c.gate.RLock() }
+
+// GateRUnlock releases the batch gate taken by GateRLock.
+func (c *CPLDS) GateRUnlock() { c.gate.RUnlock() }
+
+// ReadPinned returns v's linearizable coreness estimate together with the
+// epoch whose boundary state the value belongs to.
+func (c *CPLDS) ReadPinned(v uint32) (float64, uint64) {
+	for attempt := 0; attempt < pinnedAttempts; attempt++ {
+		s1 := c.commitSeq.Load()
+		if s1&1 != 0 {
+			continue // an unmark phase is in flight; visibility is mixed
+		}
+		est := c.Read(v)
+		if c.commitSeq.Load() == s1 {
+			return est, s1 >> 1
+		}
+	}
+	c.gate.RLock()
+	est := c.S.EstimateFromLevel(c.P.Level(v))
+	epoch := c.commitSeq.Load() >> 1
+	c.gate.RUnlock()
+	return est, epoch
+}
+
+// ReadManyPinned fills out[i] with the coreness estimate of vs[i] such that
+// every value belongs to one batch boundary — the returned epoch — rather
+// than a torn mix of boundaries. len(out) must equal len(vs).
+//
+// The protocol is optimistic and read-only: collect all values with the
+// linearizable single-vertex protocol, and validate that the commit
+// sequence was even and unchanged across the whole collection. Mid-batch
+// every single-vertex read returns the pre-batch (last committed) value, so
+// an unchanged even commitSeq proves all values are the state at epoch
+// commitSeq/2. A failed validation means a batch committed meanwhile —
+// update progress, as in the paper's lock-freedom argument — and the
+// collection restarts; after pinnedAttempts failures it falls back to a
+// bounded blocking read under the batch gate (SyncReads-style latency).
+func (c *CPLDS) ReadManyPinned(vs []uint32, out []float64) uint64 {
+	for attempt := 0; attempt < pinnedAttempts; attempt++ {
+		s1 := c.commitSeq.Load()
+		if s1&1 != 0 {
+			continue
+		}
+		for i, v := range vs {
+			out[i] = c.S.EstimateFromLevel(c.ReadLevel(v))
+		}
+		if c.commitSeq.Load() == s1 {
+			return s1 >> 1
+		}
+	}
+	c.gate.RLock()
+	for i, v := range vs {
+		out[i] = c.S.EstimateFromLevel(c.P.Level(v))
+	}
+	epoch := c.commitSeq.Load() >> 1
+	c.gate.RUnlock()
+	return epoch
+}
+
+// ReadAllPinned fills out[v] with the coreness estimate of every vertex v,
+// all from the single batch boundary it returns. len(out) must be
+// NumVertices().
+func (c *CPLDS) ReadAllPinned(out []float64) uint64 {
+	for attempt := 0; attempt < pinnedAttempts; attempt++ {
+		s1 := c.commitSeq.Load()
+		if s1&1 != 0 {
+			continue
+		}
+		for v := range out {
+			out[v] = c.S.EstimateFromLevel(c.ReadLevel(uint32(v)))
+		}
+		if c.commitSeq.Load() == s1 {
+			return s1 >> 1
+		}
+	}
+	c.gate.RLock()
+	for v := range out {
+		out[v] = c.S.EstimateFromLevel(c.P.Level(uint32(v)))
+	}
+	epoch := c.commitSeq.Load() >> 1
+	c.gate.RUnlock()
+	return epoch
+}
+
 // IsMarked reports whether v currently has an active descriptor. Intended
 // for tests and diagnostics.
 func (c *CPLDS) IsMarked(v uint32) bool { return c.desc[v].Load() != nil }
@@ -474,9 +606,22 @@ func (d *Descriptor) Parent() (int32, bool) {
 	return p, p == Root
 }
 
-// CheckInvariants verifies the LDS invariants of the underlying PLDS. Must
-// not run concurrently with a batch.
-func (c *CPLDS) CheckInvariants() error { return c.P.CheckInvariants() }
+// CheckInvariants verifies the LDS invariants of the underlying PLDS, plus
+// the epoch bookkeeping: at quiescence the commit sequence must be even
+// (no unmark phase in flight) and in lockstep with the PLDS's committed-
+// batch epoch — the two counters are published by the same batch commit
+// and drifting apart would silently break epoch-pinned reads. Must not run
+// concurrently with a batch.
+func (c *CPLDS) CheckInvariants() error {
+	seq := c.commitSeq.Load()
+	if seq&1 != 0 {
+		return fmt.Errorf("cplds: commit sequence %d odd at quiescence (unmark phase never closed)", seq)
+	}
+	if got, want := seq>>1, c.P.Epoch(); got != want {
+		return fmt.Errorf("cplds: commit epoch %d out of lockstep with PLDS epoch %d", got, want)
+	}
+	return c.P.CheckInvariants()
+}
 
 // Estimate returns the live (non-linearizable) estimate; exposed for
 // harness symmetry with PLDS.

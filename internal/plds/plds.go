@@ -110,6 +110,7 @@ type PLDS struct {
 	tracker Tracker
 
 	batchID   int64          // current batch number (engine-internal)
+	epoch     atomic.Uint64  // committed (fully applied) batches, published at batch end
 	round     int64          // global level-iteration counter
 	moveStamp []int64        // batch in which v last moved (first-move hook)
 	claim     []atomic.Int64 // round-claim stamps for mover dedup
@@ -284,7 +285,16 @@ func (p *PLDS) batchEnd(kind Kind) {
 	if p.tracker != nil {
 		p.tracker.BatchEnd(kind)
 	}
+	p.epoch.Add(1)
 }
+
+// Epoch returns the number of committed update batches: the epoch counter
+// is published once per batch, after every level change of the batch has
+// been applied (and after the tracker's BatchEnd hook has run). It is the
+// plain-PLDS analogue of the CPLDS commit epoch — the CPLDS publishes its
+// own commit sequence from its BatchEnd hook for consistent-cut validation
+// and cross-checks the two counters' lockstep in CheckInvariants.
+func (p *PLDS) Epoch() uint64 { return p.epoch.Load() }
 
 // noteGrain is the mover count below which noteFirstMoves runs inline: the
 // sequential loop avoids allocating a dispatch closure for the (typical)

@@ -57,6 +57,44 @@ func TestEmptyBatches(t *testing.T) {
 	}
 }
 
+// epochTracker records the epoch observed inside each BatchEnd hook, to pin
+// down the publication point: the epoch must advance after the hook (i.e.
+// after all level changes), exactly once per batch.
+type epochTracker struct {
+	p      *PLDS
+	atEnds []uint64
+}
+
+func (tr *epochTracker) BatchStart(Kind, []graph.Edge)    {}
+func (tr *epochTracker) VertexMoving(uint32, int32, Kind) {}
+func (tr *epochTracker) BatchEnd(Kind)                    { tr.atEnds = append(tr.atEnds, tr.p.Epoch()) }
+
+func TestEpochPublishedAtCommit(t *testing.T) {
+	tr := &epochTracker{}
+	p := New(10, defaultP(), tr)
+	tr.p = p
+	if p.Epoch() != 0 {
+		t.Fatalf("fresh epoch = %d", p.Epoch())
+	}
+	p.InsertBatch([]graph.Edge{graph.E(0, 1), graph.E(1, 2)})
+	p.InsertBatch(nil) // empty batches are batches too: a boundary commits
+	p.DeleteBatch([]graph.Edge{graph.E(0, 1)})
+	if got := p.Epoch(); got != 3 {
+		t.Fatalf("epoch after 3 batches = %d, want 3", got)
+	}
+	// Inside each BatchEnd hook the epoch of that batch was not yet
+	// published (commit = publication happens after the hook).
+	want := []uint64{0, 1, 2}
+	if len(tr.atEnds) != len(want) {
+		t.Fatalf("BatchEnd ran %d times, want %d", len(tr.atEnds), len(want))
+	}
+	for i, e := range tr.atEnds {
+		if e != want[i] {
+			t.Fatalf("epoch inside BatchEnd #%d = %d, want %d (published before commit)", i, e, want[i])
+		}
+	}
+}
+
 func TestInvariantsAfterInsertionBatches(t *testing.T) {
 	const n = 500
 	edges := gen.ChungLu(n, 4000, 2.3, 61)

@@ -6,6 +6,7 @@
 // Endpoints:
 //
 //	GET  /coreness?v=<id>[&mode=linearizable|nonsync|blocking]
+//	POST /coreness/bulk              — JSON vertex list, one consistent cut
 //	GET  /top?k=<n>                  — top-k vertices by coreness estimate
 //	GET  /stats                      — graph and batch counters
 //	POST /edges/insert               — body: "u v" per line; one batch
@@ -17,6 +18,16 @@
 // clients are handed to the sharded engine's batch-coalescing scheduler,
 // which folds them into per-shard sub-batches and applies sub-batches of
 // distinct shards in parallel.
+//
+// Every read response carries an "epoch" field: the committed batch
+// boundary (cross-shard, when sharded) the response was served from.
+// Multi-vertex responses (/coreness/bulk, /top) are epoch-pinned — all
+// values belong to that single boundary, never a torn mix of concurrent
+// batches — so two responses reporting the same epoch observed the
+// identical committed state. Single-vertex /coreness responses report the
+// boundary the linearizable read belongs to (for the nonsync and blocking
+// modes the field is the current committed epoch, which those protocols do
+// not pin).
 package server
 
 import (
@@ -90,6 +101,7 @@ func (s *Server) InsertBatch(edges []graph.Edge) int {
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /coreness", s.handleCoreness)
+	mux.HandleFunc("POST /coreness/bulk", s.handleCorenessBulk)
 	mux.HandleFunc("GET /top", s.handleTop)
 	mux.HandleFunc("GET /stats", s.handleStats)
 	mux.HandleFunc("POST /edges/insert", s.handleUpdate(true))
@@ -98,12 +110,15 @@ func (s *Server) Handler() http.Handler {
 	return mux
 }
 
-// corenessResponse is the JSON body of /coreness.
+// corenessResponse is the JSON body of /coreness. Epoch is the committed
+// batch boundary the value belongs to (current epoch for the unpinned
+// nonsync/blocking modes).
 type corenessResponse struct {
 	Vertex   uint32  `json:"vertex"`
 	Coreness float64 `json:"coreness"`
 	Mode     string  `json:"mode"`
 	Batch    uint64  `json:"batch"`
+	Epoch    uint64  `json:"epoch"`
 }
 
 func (s *Server) handleCoreness(w http.ResponseWriter, r *http.Request) {
@@ -118,25 +133,82 @@ func (s *Server) handleCoreness(w http.ResponseWriter, r *http.Request) {
 		mode = "linearizable"
 	}
 	var est float64
+	var epoch uint64
 	switch mode {
 	case "linearizable":
-		est = s.eng.Read(v)
+		est, epoch = s.eng.ReadPinned(v)
 	case "nonsync":
-		est = s.eng.ReadNonSync(v)
+		est, epoch = s.eng.ReadNonSync(v), s.eng.Epoch()
 	case "blocking":
-		est = s.eng.ReadSync(v)
+		est, epoch = s.eng.ReadSync(v), s.eng.Epoch()
 	default:
 		http.Error(w, "unknown mode (want linearizable, nonsync or blocking)", http.StatusBadRequest)
 		return
 	}
 	s.reads.Add(1)
-	writeJSON(w, corenessResponse{Vertex: v, Coreness: est, Mode: mode, Batch: s.eng.Batches()})
+	writeJSON(w, corenessResponse{Vertex: v, Coreness: est, Mode: mode, Batch: s.eng.Batches(), Epoch: epoch})
 }
 
-// topResponse is the JSON body of /top.
+// bulkRequest is the JSON body of POST /coreness/bulk: the vertices to
+// read. The response values are epoch-pinned: all estimates belong to the
+// single committed batch boundary reported in the response.
+type bulkRequest struct {
+	Vertices []uint32 `json:"vertices"`
+}
+
+// bulkResponse is the JSON body of the bulk coreness endpoint. Coreness[i]
+// is the estimate of Vertices[i] at Epoch.
+type bulkResponse struct {
+	Vertices []uint32  `json:"vertices"`
+	Coreness []float64 `json:"coreness"`
+	Epoch    uint64    `json:"epoch"`
+}
+
+func (s *Server) handleCorenessBulk(w http.ResponseWriter, r *http.Request) {
+	// The vertex-count cap also bounds decode memory, as in /edges/batch.
+	body := http.MaxBytesReader(w, r.Body, int64(s.maxBatchEdges)*16+4096)
+	var req bulkRequest
+	dec := json.NewDecoder(body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			http.Error(w, fmt.Sprintf("bulk body exceeds %d bytes", tooLarge.Limit),
+				http.StatusRequestEntityTooLarge)
+			return
+		}
+		http.Error(w, fmt.Sprintf("bad bulk JSON: %v", err), http.StatusBadRequest)
+		return
+	}
+	if len(req.Vertices) == 0 {
+		http.Error(w, "empty vertex list", http.StatusBadRequest)
+		return
+	}
+	if len(req.Vertices) > s.maxBatchEdges {
+		http.Error(w, fmt.Sprintf("bulk read of %d vertices exceeds limit %d",
+			len(req.Vertices), s.maxBatchEdges), http.StatusRequestEntityTooLarge)
+		return
+	}
+	n := uint32(s.eng.NumVertices())
+	for _, v := range req.Vertices {
+		if v >= n {
+			http.Error(w, fmt.Sprintf("vertex %d out of range, have %d vertices", v, n),
+				http.StatusBadRequest)
+			return
+		}
+	}
+	out := make([]float64, len(req.Vertices))
+	epoch := s.eng.ReadManyPinned(req.Vertices, out)
+	s.reads.Add(int64(len(req.Vertices)))
+	writeJSON(w, bulkResponse{Vertices: req.Vertices, Coreness: out, Epoch: epoch})
+}
+
+// topResponse is the JSON body of /top. The ranking is computed over the
+// single committed cut identified by Epoch.
 type topResponse struct {
 	K        int      `json:"k"`
 	Vertices []uint32 `json:"vertices"`
+	Epoch    uint64   `json:"epoch"`
 }
 
 func (s *Server) handleTop(w http.ResponseWriter, r *http.Request) {
@@ -147,11 +219,9 @@ func (s *Server) handleTop(w http.ResponseWriter, r *http.Request) {
 	}
 	n := s.eng.NumVertices()
 	scores := make([]float64, n)
-	for v := 0; v < n; v++ {
-		scores[v] = s.eng.Read(uint32(v))
-	}
+	epoch := s.eng.ReadAllPinned(scores)
 	s.reads.Add(int64(n))
-	writeJSON(w, topResponse{K: k, Vertices: apps.TopSpreaders(scores, k)})
+	writeJSON(w, topResponse{K: k, Vertices: apps.TopSpreaders(scores, k), Epoch: epoch})
 }
 
 // statsResponse is the JSON body of /stats. ShardLoad carries the per-shard
@@ -162,6 +232,7 @@ type statsResponse struct {
 	Shards    int           `json:"shards"`
 	Edges     int64         `json:"edges"`
 	Batches   uint64        `json:"batches"`
+	Epoch     uint64        `json:"epoch"`
 	Inserted  int64         `json:"edges_inserted"`
 	Deleted   int64         `json:"edges_deleted"`
 	Reads     int64         `json:"reads_served"`
@@ -174,6 +245,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		Shards:    s.eng.NumShards(),
 		Edges:     s.eng.NumEdges(),
 		Batches:   s.eng.Batches(),
+		Epoch:     s.eng.Epoch(),
 		Inserted:  s.inserted.Load(),
 		Deleted:   s.deleted.Load(),
 		Reads:     s.reads.Load(),

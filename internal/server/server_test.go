@@ -266,6 +266,91 @@ func TestShardedServer(t *testing.T) {
 	}
 }
 
+func TestBulkCorenessEndpoint(t *testing.T) {
+	for _, shards := range []int{1, 4} {
+		t.Run(fmt.Sprintf("shards=%d", shards), func(t *testing.T) {
+			ts := newTestServer(t, WithShards(shards))
+			post(t, ts.URL+"/edges/insert", triangleBody())
+			resp := post(t, ts.URL+"/coreness/bulk", `{"vertices":[0,1,2,50]}`)
+			if resp.StatusCode != http.StatusOK {
+				t.Fatalf("bulk status %d", resp.StatusCode)
+			}
+			br := decode[bulkResponse](t, resp)
+			if len(br.Coreness) != 4 {
+				t.Fatalf("bulk returned %d values", len(br.Coreness))
+			}
+			for i := 0; i < 3; i++ {
+				if br.Coreness[i] < 1 {
+					t.Fatalf("triangle vertex %d coreness %v", i, br.Coreness[i])
+				}
+			}
+			if br.Coreness[3] != 1 {
+				t.Fatalf("isolated vertex coreness %v, want floor estimate 1", br.Coreness[3])
+			}
+			// One batch per touched shard committed; the bulk read reports
+			// the single epoch it was served from.
+			if br.Epoch == 0 {
+				t.Fatal("bulk response missing epoch")
+			}
+		})
+	}
+}
+
+func TestBulkCorenessErrorPaths(t *testing.T) {
+	tests := []struct {
+		name       string
+		body       string
+		wantStatus int
+		opts       []Option
+	}{
+		{name: "malformed JSON", body: `{"vertices":[0`, wantStatus: http.StatusBadRequest},
+		{name: "unknown field", body: `{"ids":[0]}`, wantStatus: http.StatusBadRequest},
+		{name: "empty list", body: `{"vertices":[]}`, wantStatus: http.StatusBadRequest},
+		{name: "missing list", body: `{}`, wantStatus: http.StatusBadRequest},
+		{name: "out of range", body: `{"vertices":[0,100]}`, wantStatus: http.StatusBadRequest},
+		{name: "negative id", body: `{"vertices":[-1]}`, wantStatus: http.StatusBadRequest},
+		{
+			name:       "oversized list",
+			body:       `{"vertices":[0,1,2]}`,
+			wantStatus: http.StatusRequestEntityTooLarge,
+			opts:       []Option{WithMaxBatchEdges(2)},
+		},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			ts := newTestServer(t, tc.opts...)
+			resp := post(t, ts.URL+"/coreness/bulk", tc.body)
+			if resp.StatusCode != tc.wantStatus {
+				t.Fatalf("status %d, want %d", resp.StatusCode, tc.wantStatus)
+			}
+		})
+	}
+}
+
+// TestEpochFieldsReported checks that every read surface reports the epoch
+// of the cut it served: single reads, bulk reads, rankings and stats.
+func TestEpochFieldsReported(t *testing.T) {
+	ts := newTestServer(t, WithShards(2))
+	post(t, ts.URL+"/edges/insert", triangleBody())
+	post(t, ts.URL+"/edges/delete", "0 1\n")
+
+	st := decode[statsResponse](t, get(t, ts.URL+"/stats"))
+	if st.Epoch == 0 {
+		t.Fatalf("stats epoch = 0 after two update batches: %+v", st)
+	}
+	cr := decode[corenessResponse](t, get(t, ts.URL+"/coreness?v=0"))
+	if cr.Epoch == 0 {
+		t.Fatalf("coreness response missing epoch: %+v", cr)
+	}
+	top := decode[topResponse](t, get(t, ts.URL+"/top?k=2"))
+	if top.Epoch == 0 {
+		t.Fatalf("top response missing epoch: %+v", top)
+	}
+	if len(top.Vertices) != 2 {
+		t.Fatalf("top = %+v", top)
+	}
+}
+
 func TestConcurrentReadsDuringUpdates(t *testing.T) {
 	ts := newTestServer(t)
 	var wg sync.WaitGroup

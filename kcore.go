@@ -12,20 +12,28 @@
 // # Quick start
 //
 //	d, _ := kcore.New(1_000_000)
-//	d.InsertEdges(edges)             // parallel batch update
-//	go serveQueries(d)               // readers call d.Coreness(v) anytime
-//	k := d.Coreness(42)              // lock-free, linearizable estimate
+//	d.InsertEdges(edges)              // parallel batch update
+//	k := d.Coreness(42)               // lock-free, linearizable estimate
 //
-// Updates must be issued from one goroutine at a time; reads may be issued
-// from any number of goroutines at any time, including concurrently with a
-// running batch.
+//	v := d.View()                     // epoch-pinned read handle (cheap)
+//	ks := v.CorenessMany(ids)         // many vertices, one consistent cut
+//	top := v.TopK(10)                 // ranking over the same kind of cut
+//	fmt.Println(v.Epoch())            // the batch boundary that was served
+//
+// Single-vertex reads (Coreness) are linearizable on their own. Anything
+// that combines several vertices — rankings, bulk lookups, histograms —
+// should go through a View: each View read is served from one committed
+// batch boundary (an epoch) instead of a torn mix of batches, and reports
+// which epoch it saw. See View for the protocol.
+//
+// Updates must be issued from one goroutine at a time (any number of
+// concurrent updaters with WithShards); reads may be issued from any number
+// of goroutines at any time, including concurrently with a running batch.
 package kcore
 
 import (
 	"fmt"
-	"sync/atomic"
 
-	"kcore/internal/cplds"
 	"kcore/internal/exact"
 	"kcore/internal/graph"
 	"kcore/internal/lds"
@@ -68,13 +76,15 @@ func WithParams(p Params) Option {
 
 // WithWorkers sets the number of goroutines used by batch updates
 // (default: GOMAXPROCS). It adjusts the process-wide default used by the
-// parallel runtime.
+// parallel runtime. n = 0 keeps the default; negative n is rejected by New.
 func WithWorkers(n int) Option {
 	return func(o *options) { o.workers = n }
 }
 
 // WithShards partitions the vertices across p independent CPLDS shards
-// fronted by a batch-coalescing scheduler (default 1: a single engine).
+// fronted by a batch-coalescing scheduler. WithShards(1) is exactly the
+// default single-engine configuration (as is WithShards(0)); negative p is
+// rejected by New.
 //
 // With p > 1, InsertEdges, DeleteEdges and ApplyBatch become safe for
 // concurrent callers — submissions queued behind an in-flight batch are
@@ -92,27 +102,25 @@ func WithShards(p int) Option {
 }
 
 // Decomposition maintains an approximate k-core decomposition of a dynamic
-// undirected graph.
+// undirected graph. All methods dispatch through one internal engine
+// interface with two implementations: the single-CPLDS backend (default)
+// and the sharded backend (WithShards); there is no per-method branching on
+// the mode.
 //
 // Concurrency: without sharding (the default), InsertEdges and DeleteEdges
 // must be called by a single updater goroutine at a time (each call is
 // internally parallel). With WithShards(p > 1), the edge-batch update
 // methods (InsertEdges, DeleteEdges, ApplyBatch — not RemoveVertex) are
 // safe for concurrent callers and are coalesced by the sharded engine.
-// Coreness,
-// CorenessNonLinearizable and CorenessBlocking may be called from any
-// goroutine at any time in either mode.
+// Coreness, CorenessNonLinearizable, CorenessBlocking, View and all View
+// reads may be called from any goroutine at any time in either mode.
 type Decomposition struct {
-	c  *cplds.CPLDS // single-engine mode (nil when sharded)
-	sh *shard.Engine
-
-	// Cumulative applied-edge counters for single-engine mode, so
-	// ShardStats reports the same metrics in both modes (the sharded
-	// engine tracks its own per-shard counters).
-	ins, del atomic.Int64
+	eng engine
 }
 
-// New creates an empty decomposition over n vertices.
+// New creates an empty decomposition over n vertices. It returns an error
+// for a negative vertex count, invalid approximation parameters, or
+// negative WithShards/WithWorkers values.
 func New(n int, opts ...Option) (*Decomposition, error) {
 	o := options{params: lds.DefaultParams(), shards: 1}
 	for _, opt := range opts {
@@ -124,22 +132,23 @@ func New(n int, opts ...Option) (*Decomposition, error) {
 	if n < 0 {
 		return nil, fmt.Errorf("kcore: negative vertex count %d", n)
 	}
+	if o.shards < 0 {
+		return nil, fmt.Errorf("kcore: negative shard count %d", o.shards)
+	}
+	if o.workers < 0 {
+		return nil, fmt.Errorf("kcore: negative worker count %d", o.workers)
+	}
 	if o.workers > 0 {
 		parallel.SetWorkers(o.workers)
 	}
 	if o.shards > 1 {
-		return &Decomposition{sh: shard.New(n, o.shards, o.params)}, nil
+		return &Decomposition{eng: shard.New(n, o.shards, o.params)}, nil
 	}
-	return &Decomposition{c: cplds.New(n, o.params)}, nil
+	return &Decomposition{eng: newSingleEngine(n, o.params)}, nil
 }
 
 // Shards returns the number of shards (1 unless WithShards was used).
-func (d *Decomposition) Shards() int {
-	if d.sh != nil {
-		return d.sh.NumShards()
-	}
-	return 1
-}
+func (d *Decomposition) Shards() int { return d.eng.NumShards() }
 
 // ShardLoad is a point-in-time load snapshot of one shard: the
 // observability surface for spotting hot shards and (eventually) driving
@@ -159,18 +168,7 @@ type ShardLoad struct {
 // entry reflects the whole engine and must not race an update batch (the
 // edge count is not synchronized in that mode).
 func (d *Decomposition) ShardStats() []ShardLoad {
-	if d.sh == nil {
-		return []ShardLoad{{
-			Shard:         0,
-			OwnedVertices: d.c.NumVertices(),
-			PrimaryEdges:  d.c.Graph().NumEdges(),
-			LocalEdges:    d.c.Graph().NumEdges(),
-			Batches:       d.c.BatchNumber(),
-			Inserted:      d.ins.Load(),
-			Deleted:       d.del.Load(),
-		}}
-	}
-	stats := d.sh.Stats()
+	stats := d.eng.Stats()
 	out := make([]ShardLoad, len(stats))
 	for i, s := range stats {
 		out[i] = ShardLoad{
@@ -187,40 +185,27 @@ func (d *Decomposition) ShardStats() []ShardLoad {
 }
 
 // NumVertices returns the (fixed) number of vertices.
-func (d *Decomposition) NumVertices() int {
-	if d.sh != nil {
-		return d.sh.NumVertices()
-	}
-	return d.c.NumVertices()
-}
+func (d *Decomposition) NumVertices() int { return d.eng.NumVertices() }
 
 // NumEdges returns the number of edges currently in the graph. Without
 // sharding it must not be called concurrently with an update batch; with
 // sharding it is safe at any time.
-func (d *Decomposition) NumEdges() int64 {
-	if d.sh != nil {
-		return d.sh.NumEdges()
-	}
-	return d.c.Graph().NumEdges()
-}
+func (d *Decomposition) NumEdges() int64 { return d.eng.NumEdges() }
 
 // ApproxFactor returns the theoretical approximation factor of coreness
 // estimates (per shard, when sharded).
-func (d *Decomposition) ApproxFactor() float64 {
-	if d.sh != nil {
-		return d.sh.ApproxFactor()
-	}
-	return d.c.S.ApproxFactor()
-}
+func (d *Decomposition) ApproxFactor() float64 { return d.eng.ApproxFactor() }
 
 // BatchNumber returns the number of update batches processed so far
 // (summed across shards, when sharded).
-func (d *Decomposition) BatchNumber() uint64 {
-	if d.sh != nil {
-		return d.sh.Batches()
-	}
-	return d.c.BatchNumber()
-}
+func (d *Decomposition) BatchNumber() uint64 { return d.eng.Batches() }
+
+// Epoch returns the current committed epoch: the number of update batches
+// whose effects are fully visible to readers (summed across shards, when
+// sharded). The epoch advances exactly at batch boundaries; every View read
+// reports the epoch of the cut it was served from. Safe to call at any
+// time.
+func (d *Decomposition) Epoch() uint64 { return d.eng.Epoch() }
 
 // toInternal converts public edges to the internal representation.
 func toInternal(edges []Edge) []graph.Edge {
@@ -236,24 +221,14 @@ func toInternal(edges []Edge) []graph.Edge {
 // batch, already-present edges and out-of-range endpoints are ignored).
 // Concurrent Coreness reads remain linearizable throughout the batch.
 func (d *Decomposition) InsertEdges(edges []Edge) int {
-	if d.sh != nil {
-		return d.sh.Insert(toInternal(edges))
-	}
-	applied := d.c.InsertBatch(toInternal(edges))
-	d.ins.Add(int64(applied))
-	return applied
+	return d.eng.Insert(toInternal(edges))
 }
 
 // DeleteEdges applies a batch of edge deletions in parallel and returns the
 // number of edges actually removed. Concurrent Coreness reads remain
 // linearizable throughout the batch.
 func (d *Decomposition) DeleteEdges(edges []Edge) int {
-	if d.sh != nil {
-		return d.sh.Delete(toInternal(edges))
-	}
-	applied := d.c.DeleteBatch(toInternal(edges))
-	d.del.Add(int64(applied))
-	return applied
+	return d.eng.Delete(toInternal(edges))
 }
 
 // ApplyBatch applies a mixed batch of insertions and deletions. Following
@@ -262,18 +237,10 @@ func (d *Decomposition) DeleteEdges(edges []Edge) int {
 // and deletions, which are separated into insertion and deletion
 // sub-batches during pre-processing", §2). It returns the number of edges
 // inserted and deleted. Concurrent reads remain linearizable; each
-// sub-batch is its own atomicity unit (per shard, when sharded).
+// sub-batch is its own atomicity unit (per shard, when sharded) and
+// commits its own epoch.
 func (d *Decomposition) ApplyBatch(insertions, deletions []Edge) (inserted, deleted int) {
-	if d.sh != nil {
-		return d.sh.Apply(toInternal(insertions), toInternal(deletions))
-	}
-	if len(insertions) > 0 {
-		inserted = d.InsertEdges(insertions)
-	}
-	if len(deletions) > 0 {
-		deleted = d.DeleteEdges(deletions)
-	}
-	return inserted, deleted
+	return d.eng.Apply(toInternal(insertions), toInternal(deletions))
 }
 
 // RemoveVertex deletes all edges incident to v as one batch, effectively
@@ -285,32 +252,18 @@ func (d *Decomposition) ApplyBatch(insertions, deletions []Edge) (inserted, dele
 // callers — because the incident-edge snapshot and the deletion batch are
 // two steps; concurrent reads stay linearizable throughout.
 func (d *Decomposition) RemoveVertex(v uint32) int {
-	if int(v) >= d.NumVertices() {
+	if int(v) >= d.eng.NumVertices() {
 		return 0
 	}
-	if d.sh != nil {
-		return d.sh.Delete(d.sh.IncidentEdges(v))
-	}
-	var incident []graph.Edge
-	d.c.Graph().Neighbors(v, func(w uint32) bool {
-		incident = append(incident, graph.Edge{U: v, V: w})
-		return true
-	})
-	removed := d.c.DeleteBatch(incident)
-	d.del.Add(int64(removed))
-	return removed
+	return d.eng.Delete(d.eng.IncidentEdges(v))
 }
 
 // Coreness returns a linearizable (2+ε)-approximate coreness estimate for
 // v. It is lock-free and safe to call concurrently with update batches:
 // the returned value always corresponds to the state at a batch boundary,
-// never to an intermediate state mid-batch.
-func (d *Decomposition) Coreness(v uint32) float64 {
-	if d.sh != nil {
-		return d.sh.Read(v)
-	}
-	return d.c.Read(v)
-}
+// never to an intermediate state mid-batch. To learn *which* boundary — or
+// to read several vertices from the same one — use a View.
+func (d *Decomposition) Coreness(v uint32) float64 { return d.eng.Read(v) }
 
 // CorenessNonLinearizable returns the estimate computed from v's
 // instantaneous level. It is faster than Coreness but, when called during
@@ -318,53 +271,32 @@ func (d *Decomposition) Coreness(v uint32) float64 {
 // (the paper's NonSync baseline). Use only when linearizability does not
 // matter.
 func (d *Decomposition) CorenessNonLinearizable(v uint32) float64 {
-	if d.sh != nil {
-		return d.sh.ReadNonSync(v)
-	}
-	return d.c.ReadNonSync(v)
+	return d.eng.ReadNonSync(v)
 }
 
 // CorenessBlocking waits for any in-flight batch to complete before
 // reading (the paper's SyncReads baseline). Its latency is bounded below
 // by the remaining batch time.
 func (d *Decomposition) CorenessBlocking(v uint32) float64 {
-	if d.sh != nil {
-		return d.sh.ReadSync(v)
-	}
-	return d.c.ReadSync(v)
+	return d.eng.ReadSync(v)
 }
 
 // Degree returns v's current degree. It must not be called concurrently
 // with an update batch.
-func (d *Decomposition) Degree(v uint32) int {
-	if d.sh != nil {
-		return d.sh.Degree(v)
-	}
-	return d.c.Graph().Degree(uint32(v))
-}
+func (d *Decomposition) Degree(v uint32) int { return d.eng.Degree(v) }
 
 // ExactCoreness computes the exact coreness of every vertex by static
-// parallel peeling of the current graph. It is a quiescent operation: it
-// must not be called concurrently with an update batch. Use it to measure
-// the approximation quality of estimates, or when exact values are needed
-// occasionally.
-func (d *Decomposition) ExactCoreness() []int32 {
-	if d.sh != nil {
-		return d.sh.ExactCoreness()
-	}
-	return exact.Parallel(d.c.Graph().Snapshot())
-}
+// parallel peeling of the current graph (reassembled globally, when
+// sharded). It is a quiescent operation: it must not be called concurrently
+// with an update batch. Use it to measure the approximation quality of
+// estimates, or when exact values are needed occasionally.
+func (d *Decomposition) ExactCoreness() []int32 { return d.eng.ExactCoreness() }
 
 // Check verifies the internal level-structure invariants (of every shard,
 // when sharded, plus the cross-shard mirroring invariants). It is a
 // quiescent operation intended for tests and debugging; it returns nil on
 // a healthy structure.
-func (d *Decomposition) Check() error {
-	if d.sh != nil {
-		return d.sh.CheckInvariants()
-	}
-	return d.c.CheckInvariants()
-}
+func (d *Decomposition) Check() error { return d.eng.CheckInvariants() }
 
 // Static computes the exact k-core decomposition (coreness of every
 // vertex) of a static edge list on n vertices using parallel bucket

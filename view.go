@@ -1,0 +1,116 @@
+package kcore
+
+import (
+	"sort"
+
+	"kcore/internal/apps"
+)
+
+// View is an epoch-pinned read handle over a Decomposition.
+//
+// Single-vertex Coreness reads are linearizable on their own, but two
+// consecutive calls may straddle a batch boundary, so any surface that
+// combines several vertices — rankings, bulk lookups, histograms — can
+// observe a torn mix of batches. A View closes that gap: every read through
+// a View is served from exactly one committed batch boundary (an epoch),
+// and Epoch reports which one.
+//
+// The protocol is optimistic and read-only. Each engine publishes a commit
+// sequence that changes exactly when a batch's effects become visible to
+// readers (per shard, when sharded); a View read collects its values with
+// the lock-free linearizable protocol and validates that the sequence did
+// not change across the collection. A failed validation means a batch
+// committed meanwhile — update progress — and the collection restarts; after
+// a small number of failures it degrades to a bounded blocking read under
+// the engine's batch gate(s). Reads through a View therefore never return a
+// cross-batch mix, stay lock-free in the common regime (batches are far
+// longer than reads), and never block updates.
+//
+// A View is a lightweight per-request handle: creating one is a handful of
+// atomic loads, so create one per request or per goroutine. A View must not
+// be used from multiple goroutines concurrently (each read updates the
+// recorded epoch); the Decomposition itself remains safe for any number of
+// concurrent Views.
+//
+// In sharded mode the epoch is the cross-shard epoch (total committed
+// batches over all shards). Per-shard committed counts only grow and shards
+// are independent, so equal epochs imply the identical committed state, and
+// every View read is one consistent cross-shard cut.
+type View struct {
+	eng   engine
+	epoch uint64
+}
+
+// View returns a read handle pinned to the latest committed epoch. Cheap
+// (atomic loads only) and safe to call at any time, including concurrently
+// with update batches.
+func (d *Decomposition) View() *View {
+	return &View{eng: d.eng, epoch: d.eng.Epoch()}
+}
+
+// Epoch returns the epoch of the cut served by the most recent read through
+// this view — initially the latest committed epoch at creation. Callers
+// that need to correlate results from several reads should compare their
+// epochs: equal epochs mean the reads observed the identical committed
+// state.
+func (v *View) Epoch() uint64 { return v.epoch }
+
+// Coreness returns the linearizable coreness estimate of u from one
+// committed cut and re-pins the view to that cut's epoch.
+func (v *View) Coreness(u uint32) float64 {
+	est, epoch := v.eng.ReadPinned(u)
+	v.epoch = epoch
+	return est
+}
+
+// CorenessMany returns the coreness estimates of us, all served from one
+// committed batch boundary (never a torn mix of batches), and re-pins the
+// view to that boundary's epoch. Safe to call concurrently with update
+// batches; lock-free in the common regime.
+func (v *View) CorenessMany(us []uint32) []float64 {
+	out := make([]float64, len(us))
+	v.epoch = v.eng.ReadManyPinned(us, out)
+	return out
+}
+
+// CorenessManyInto is CorenessMany without the allocation: it fills
+// out[i] with the estimate of us[i] (len(out) must equal len(us)) and
+// returns the epoch served, re-pinning the view to it.
+func (v *View) CorenessManyInto(us []uint32, out []float64) uint64 {
+	v.epoch = v.eng.ReadManyPinned(us, out)
+	return v.epoch
+}
+
+// TopK returns the k vertices with the highest coreness estimates, ranked
+// over one committed cut (ties broken by vertex id), and re-pins the view
+// to that cut's epoch.
+func (v *View) TopK(k int) []uint32 {
+	scores := make([]float64, v.eng.NumVertices())
+	v.epoch = v.eng.ReadAllPinned(scores)
+	return apps.TopSpreaders(scores, k)
+}
+
+// CoreBucket is one bar of a coreness histogram: Count vertices whose
+// estimate equals Coreness at the served epoch.
+type CoreBucket struct {
+	Coreness float64
+	Count    int
+}
+
+// Histogram returns the distribution of coreness estimates over all
+// vertices — one bucket per distinct estimate, ascending — computed from
+// one committed cut, and re-pins the view to that cut's epoch.
+func (v *View) Histogram() []CoreBucket {
+	scores := make([]float64, v.eng.NumVertices())
+	v.epoch = v.eng.ReadAllPinned(scores)
+	counts := make(map[float64]int)
+	for _, s := range scores {
+		counts[s]++
+	}
+	out := make([]CoreBucket, 0, len(counts))
+	for c, n := range counts {
+		out = append(out, CoreBucket{Coreness: c, Count: n})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Coreness < out[j].Coreness })
+	return out
+}
