@@ -12,6 +12,7 @@
 //	kcore-bench -exp fig7 -datasets dblp,lj -threads 1,2,4,8,15
 //	kcore-bench -exp shardscale -datasets dblp -shards 1,2,4,8
 //	kcore-bench -exp viewreads -datasets dblp -shards 1,4
+//	kcore-bench -exp mvreads -datasets dblp -shards 1,4 -depths 1,4,16
 //
 // Every run prints the same rows/series the paper reports, plus the
 // shard-scaling and epoch-pinned view-reads experiments added by this
@@ -31,11 +32,12 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: all, table1, fig3, fig4, fig5, fig6, fig7, shardscale, viewreads, ablation")
+	exp := flag.String("exp", "all", "experiment: all, table1, fig3, fig4, fig5, fig6, fig7, shardscale, viewreads, mvreads, ablation")
 	datasets := flag.String("datasets", "", "comma-separated dataset profiles (default per experiment)")
 	batchSizes := flag.String("batchsizes", "100,1000,10000,50000", "comma-separated batch sizes (fig4)")
 	threads := flag.String("threads", "1,2,4,8,15", "comma-separated thread counts (fig7)")
 	shards := flag.String("shards", "1,2,4,8", "comma-separated shard counts (shardscale)")
+	depths := flag.String("depths", "1,4,16", "comma-separated retained-read depths (mvreads)")
 	batch := flag.Int("batch", 10000, "update batch size")
 	readers := flag.Int("readers", 4, "reader goroutines")
 	writers := flag.Int("writers", 4, "writer (update) parallelism")
@@ -57,7 +59,7 @@ func main() {
 		Seed:       1,
 		Params:     lds.Params{Delta: *delta, Lambda: *lambda},
 	}
-	if err := run(*exp, splitList(*datasets), parseInts(*batchSizes), parseInts(*threads), parseInts(*shards), cfg); err != nil {
+	if err := run(*exp, splitList(*datasets), parseInts(*batchSizes), parseInts(*threads), parseInts(*shards), parseInts(*depths), cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "kcore-bench:", err)
 		os.Exit(1)
 	}
@@ -90,7 +92,7 @@ func parseInts(s string) []int {
 	return out
 }
 
-func run(exp string, datasets []string, batchSizes, threads, shards []int, cfg bench.Config) error {
+func run(exp string, datasets []string, batchSizes, threads, shards, depths []int, cfg bench.Config) error {
 	// Default dataset lists per experiment (paper's choices, stand-ins).
 	latencyDefault := []string{"dblp", "wiki", "yt", "ctr"}
 	sweepDefault := []string{"yt", "dblp"}
@@ -125,6 +127,8 @@ func run(exp string, datasets []string, batchSizes, threads, shards []int, cfg b
 		return bench.FigureShards(w, pick(scaleDefault), shards, cfg)
 	case "viewreads":
 		return bench.FigureViewReads(w, pick(scaleDefault), shards, cfg)
+	case "mvreads":
+		return bench.FigureMVReads(w, pick(scaleDefault), shards, depths, cfg)
 	case "ablation":
 		return bench.Ablation(w, pick(errorDefault), cfg)
 	case "all":
@@ -153,6 +157,9 @@ func run(exp string, datasets []string, batchSizes, threads, shards []int, cfg b
 			return err
 		}
 		if err := bench.FigureViewReads(w, pick(scaleDefault), shards, cfg); err != nil {
+			return err
+		}
+		if err := bench.FigureMVReads(w, pick(scaleDefault), shards, depths, cfg); err != nil {
 			return err
 		}
 		return bench.Ablation(w, pick(errorDefault), cfg)

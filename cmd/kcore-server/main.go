@@ -33,10 +33,13 @@ func main() {
 	batch := flag.Int("batch", 100000, "startup-load batch size")
 	shards := flag.Int("shards", 1, "number of engine shards (concurrent update batches scale per shard)")
 	maxBatch := flag.Int("maxbatch", server.DefaultMaxBatchEdges, "max edges accepted per /edges/batch request")
+	retain := flag.Int("retain", server.DefaultRetainedEpochs,
+		"retired epochs kept readable for ?epoch= reads (0 disables)")
 	flag.Parse()
 
 	srv := server.New(*n, lds.Params{Delta: *delta, Lambda: *lambda},
-		server.WithShards(*shards), server.WithMaxBatchEdges(*maxBatch))
+		server.WithShards(*shards), server.WithMaxBatchEdges(*maxBatch),
+		server.WithRetainedEpochs(*retain))
 	if *load != "" {
 		if err := loadFile(srv, *load, *batch); err != nil {
 			log.Fatalf("kcore-server: %v", err)

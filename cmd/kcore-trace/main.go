@@ -5,7 +5,7 @@
 //
 //	kcore-trace -gen -profile dblp -batch 5000 -reads 100 -delfrac 0.2 -o w.trace
 //	kcore-trace -info w.trace
-//	kcore-trace -replay w.trace
+//	kcore-trace -replay w.trace [-shards 4]
 package main
 
 import (
@@ -26,6 +26,7 @@ func main() {
 	reads := flag.Int("reads", 100, "read probes per batch (gen)")
 	delFrac := flag.Float64("delfrac", 0.2, "fraction of each batch deleted later (gen)")
 	seed := flag.Int64("seed", 1, "random seed (gen)")
+	shards := flag.Int("shards", 1, "engine shards for -replay (1 = single CPLDS)")
 	out := flag.String("o", "workload.trace", "output file (gen)")
 	flag.Parse()
 
@@ -36,7 +37,7 @@ func main() {
 	case *info != "":
 		err = doInfo(*info)
 	case *replay != "":
-		err = doReplay(*replay)
+		err = doReplay(*replay, *shards)
 	default:
 		flag.PrintDefaults()
 		os.Exit(2)
@@ -86,12 +87,17 @@ func doInfo(path string) error {
 	return nil
 }
 
-func doReplay(path string) error {
+func doReplay(path string, shards int) error {
 	t, err := load(path)
 	if err != nil {
 		return err
 	}
-	res, err := trace.Replay(t, lds.DefaultParams())
+	var res trace.ReplayResult
+	if shards > 1 {
+		res, err = trace.ReplayShards(t, lds.DefaultParams(), shards)
+	} else {
+		res, err = trace.Replay(t, lds.DefaultParams())
+	}
 	if err != nil {
 		return err
 	}

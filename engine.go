@@ -43,6 +43,19 @@ type engine interface {
 	ReadManyPinned(vs []uint32, out []float64) uint64
 	ReadAllPinned(out []float64) uint64
 
+	// The retained-read group serves exact reads at a *specific* committed
+	// epoch — including retired ones, for as long as the multi-version
+	// store retains (or a pin holds) their deltas. All are safe concurrent
+	// with updates and deterministic per epoch; failures carry the typed
+	// mvcc evicted/future errors.
+	RetainedEpochs() int
+	OldestReadableEpoch() uint64
+	CheckEpoch(epoch uint64) error
+	PinEpoch(epoch uint64) error
+	UnpinEpoch(epoch uint64)
+	ReadManyAt(vs []uint32, out []float64, epoch uint64) error
+	ReadAllAt(out []float64, epoch uint64) error
+
 	Degree(v uint32) int
 	IncidentEdges(v uint32) []graph.Edge
 	Snapshot() *graph.CSR
@@ -107,6 +120,19 @@ func (s *singleEngine) ReadManyPinned(vs []uint32, out []float64) uint64 {
 	return s.c.ReadManyPinned(vs, out)
 }
 func (s *singleEngine) ReadAllPinned(out []float64) uint64 { return s.c.ReadAllPinned(out) }
+
+func (s *singleEngine) RetainedEpochs() int           { return s.c.RetainedEpochs() }
+func (s *singleEngine) OldestReadableEpoch() uint64   { return s.c.OldestReadableEpoch() }
+func (s *singleEngine) CheckEpoch(epoch uint64) error { return s.c.CheckEpoch(epoch) }
+func (s *singleEngine) PinEpoch(epoch uint64) error   { return s.c.PinEpoch(epoch) }
+func (s *singleEngine) UnpinEpoch(epoch uint64)       { s.c.UnpinEpoch(epoch) }
+
+func (s *singleEngine) ReadManyAt(vs []uint32, out []float64, epoch uint64) error {
+	return s.c.ReadManyAt(vs, out, epoch)
+}
+func (s *singleEngine) ReadAllAt(out []float64, epoch uint64) error {
+	return s.c.ReadAllAt(out, epoch)
+}
 
 func (s *singleEngine) Degree(v uint32) int { return s.c.Graph().Degree(v) }
 

@@ -30,7 +30,8 @@ func main() {
 		batch = append(batch, kcore.Edge{U: i, V: i + 1})
 	}
 	added := d.InsertEdges(batch)
-	fmt.Printf("inserted %d edges in batch #%d\n", added, d.BatchNumber())
+	fmt.Printf("inserted %d edges in batch #%d (committed epoch %d)\n",
+		added, d.BatchNumber(), d.Epoch())
 
 	// Read coreness estimates. Reads are lock-free and linearizable; they
 	// can be issued from any goroutine, even while a batch is running.
@@ -43,14 +44,27 @@ func main() {
 	// torn mix of concurrent batches.
 	view := d.View()
 	many := view.CorenessMany([]uint32{7, 13, 500})
-	fmt.Printf("bulk estimates at epoch %d: %v\n", view.Epoch(), many)
-	fmt.Printf("top-3 by coreness: %v\n", view.TopK(3))
+	fmt.Printf("bulk estimates served at epoch %d: %v\n", view.Epoch(), many)
+	top := view.TopK(3)
+	fmt.Printf("top-3 by coreness at epoch %d: %v\n", view.Epoch(), top)
 
 	// Exact values are available as a quiescent operation.
 	exact := d.ExactCoreness()
 	fmt.Printf("exact coreness of vertex 7: %d, vertex 500: %d\n", exact[7], exact[500])
 
-	// Delete the clique; estimates adapt.
+	// Delete the clique; estimates adapt — and the epoch advances with the
+	// new batch.
 	d.DeleteEdges(batch[:50*49/2])
-	fmt.Printf("after deleting the clique, vertex 7 estimate: %.2f\n", d.Coreness(7))
+	fmt.Printf("after deleting the clique (epoch %d), vertex 7 estimate: %.2f\n",
+		d.Epoch(), d.Coreness(7))
+
+	// Retired epochs stay readable within the retention window
+	// (WithRetainedEpochs, 8 deep by default): a view fixed at the
+	// pre-delete epoch still serves the clique-era values.
+	old, err := d.ViewAt(view.Epoch())
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("vertex 7 back at epoch %d: %.2f (served now, after the delete committed)\n",
+		old.Epoch(), old.Coreness(7))
 }

@@ -27,7 +27,9 @@ const (
 )
 
 func main() {
-	d, err := kcore.New(people)
+	// Retain enough epochs that a view pinned at the first wave stays
+	// readable through every later wave's commit.
+	d, err := kcore.New(people, kcore.WithRetainedEpochs(waves+1))
 	if err != nil {
 		panic(err)
 	}
@@ -61,6 +63,7 @@ func main() {
 
 	per := len(edges) / waves
 	adj := make([][]uint32, people)
+	var firstWave *kcore.View // pinned at wave 1's epoch below
 	for w := 0; w < waves; w++ {
 		lo, hi := w*per, (w+1)*per
 		if w == waves-1 {
@@ -82,9 +85,27 @@ func main() {
 		coreScores := view.CorenessMany(allVertices())
 		coreSeeds := topBy(func(v uint32) float64 { return coreScores[v] })
 		degSeeds := topBy(func(v uint32) float64 { return float64(len(adj[v])) })
-		fmt.Printf("wave %d: %7d contacts (epoch %d) | cascade from top-%d by coreness: %5d, by degree: %5d\n",
+		fmt.Printf("wave %d: %7d contacts (served epoch %d) | cascade from top-%d by coreness: %5d, by degree: %5d\n",
 			w+1, d.NumEdges(), view.Epoch(), topK, cascade(adj, coreSeeds, rng), cascade(adj, degSeeds, rng))
+
+		// Pin the first wave's cut: later waves keep committing, but this
+		// view keeps serving wave 1 exactly.
+		if w == 0 {
+			firstWave = view
+			if err := firstWave.Pin(); err != nil {
+				panic(err)
+			}
+		}
 	}
+
+	// The pinned view still serves wave 1's epoch — byte-identical — even
+	// though every later wave has committed since. A health-report endpoint
+	// paginating over wave 1's ranking would see one frozen cut throughout.
+	defer firstWave.Release()
+	oldScores := firstWave.CorenessMany(allVertices())
+	oldSeeds := topBy(func(v uint32) float64 { return oldScores[v] })
+	fmt.Printf("pinned view still serves epoch %d after %d later commits | wave-1 top-%d cascade now: %5d\n",
+		firstWave.Epoch(), d.Epoch()-firstWave.Epoch(), topK, cascade(adj, oldSeeds, rng))
 }
 
 // allVertices returns the full vertex id range.

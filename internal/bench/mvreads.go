@@ -1,0 +1,196 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"kcore/internal/gen"
+	"kcore/internal/shard"
+	"kcore/internal/stats"
+)
+
+// MVReadsResult is one row of the multi-version reads experiment:
+// throughput of retained-epoch bulk reads — each read pins a cut `Depth`
+// epochs behind the commit frontier and reconstructs viewBulkSize vertices
+// there — against an engine under concurrent batch updates. Depth 0 with
+// Retained 0 is the retention-disabled baseline (pinned reads of the
+// current epoch, exactly the viewreads experiment's read shape), so the
+// edges/s column doubles as the proof that enabling retention leaves the
+// update path unchanged.
+type MVReadsResult struct {
+	Dataset    string
+	Shards     int
+	Depth      int // epochs behind the frontier each read targets
+	Retained   int // configured retention depth (0 = disabled baseline)
+	Readers    int
+	Writers    int
+	Views      int64 // retained bulk reads completed
+	ViewVerts  int64 // vertices served through retained reads
+	Misses     int64 // reads skipped because the target epoch was evicted/uncommitted
+	Edges      int64 // edges applied by the write phase
+	Elapsed    time.Duration
+	Epochs     uint64
+	ViewsPerS  float64
+	VertsPerS  float64
+	WritesPerS float64
+}
+
+// RunMVReads measures the retained-read path at one (shard count, depth)
+// point: cfg.Writers concurrent clients submit insertion batches through
+// the scheduler while cfg.Readers goroutines repeatedly pin the epoch
+// `depth` behind the current frontier, bulk-read viewBulkSize random
+// vertices exactly at that retired cut, and release the pin. With
+// retained == 0 the readers fall back to frontier-pinned reads
+// (ReadManyPinned), which is the pre-retention baseline.
+func RunMVReads(cfg Config, shards, depth, retained int) (MVReadsResult, error) {
+	cfg = cfg.withDefaults()
+	res := MVReadsResult{
+		Dataset: cfg.Dataset, Shards: shards, Depth: depth, Retained: retained,
+		Readers: cfg.Readers, Writers: cfg.Writers,
+	}
+	for trial := 0; trial < cfg.Trials; trial++ {
+		p, err := prepare(cfg)
+		if err != nil {
+			return res, err
+		}
+		batches := p.stream.Insertions
+		if cfg.MaxBatches > 0 && len(batches) > cfg.MaxBatches {
+			batches = batches[:cfg.MaxBatches]
+		}
+		eng := shard.New(p.n, shards, cfg.Params)
+		eng.SetRetainedEpochs(retained)
+		eng.Insert(p.stream.Base)
+		// Prime the epoch history so a target `depth` behind the frontier
+		// exists from the first read on: each (no-op) re-insert commits one
+		// batch on one shard, bumping the global epoch.
+		for i := 0; i < depth && len(p.stream.Base) > 0; i++ {
+			eng.Insert(p.stream.Base[:1])
+		}
+		epoch0 := eng.Epoch()
+
+		var views, viewVerts, misses atomic.Int64
+		stop := make(chan struct{})
+		var readerWG sync.WaitGroup
+		for r := 0; r < cfg.Readers; r++ {
+			readerWG.Add(1)
+			w := gen.NewUniformReads(p.n, cfg.Seed+int64(trial*100+r))
+			go func() {
+				defer readerWG.Done()
+				vs := make([]uint32, viewBulkSize)
+				out := make([]float64, viewBulkSize)
+				for {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+					for i := range vs {
+						vs[i] = w.Next()
+					}
+					if retained == 0 {
+						eng.ReadManyPinned(vs, out)
+						views.Add(1)
+						viewVerts.Add(viewBulkSize)
+						continue
+					}
+					e := eng.Epoch()
+					if e < uint64(depth) {
+						misses.Add(1)
+						continue
+					}
+					target := e - uint64(depth)
+					if err := eng.PinEpoch(target); err != nil {
+						misses.Add(1)
+						continue
+					}
+					err := eng.ReadManyAt(vs, out, target)
+					eng.UnpinEpoch(target)
+					if err != nil {
+						misses.Add(1)
+						continue
+					}
+					views.Add(1)
+					viewVerts.Add(viewBulkSize)
+				}
+			}()
+		}
+
+		var next, edges atomic.Int64
+		var writerWG sync.WaitGroup
+		t0 := time.Now()
+		for w := 0; w < cfg.Writers; w++ {
+			writerWG.Add(1)
+			go func() {
+				defer writerWG.Done()
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= len(batches) {
+						return
+					}
+					edges.Add(int64(eng.Insert(batches[i])))
+				}
+			}()
+		}
+		writerWG.Wait()
+		elapsed := time.Since(t0)
+		close(stop)
+		readerWG.Wait()
+
+		res.Views += views.Load()
+		res.ViewVerts += viewVerts.Load()
+		res.Misses += misses.Load()
+		res.Edges += edges.Load()
+		res.Elapsed += elapsed
+		res.Epochs += eng.Epoch() - epoch0
+		res.ViewsPerS += stats.Throughput(views.Load(), elapsed)
+		res.VertsPerS += stats.Throughput(viewVerts.Load(), elapsed)
+		res.WritesPerS += stats.Throughput(edges.Load(), elapsed)
+	}
+	res.ViewsPerS /= float64(cfg.Trials)
+	res.VertsPerS /= float64(cfg.Trials)
+	res.WritesPerS /= float64(cfg.Trials)
+	return res, nil
+}
+
+// FigureMVReads runs and prints the multi-version reads experiment:
+// retained-read throughput versus retention depth, per shard count. The
+// first row of each shard block is the retention-disabled baseline; its
+// edges/s column against the retained rows' is the update-path-overhead
+// evidence (retention captures undo records the batch already computes, so
+// the rows should agree within noise).
+func FigureMVReads(w io.Writer, datasets []string, shardCounts, depths []int, cfg Config) error {
+	cfg = cfg.withDefaults()
+	fmt.Fprintf(w, "Multi-version reads: retained bulk reads (%d vertices each) vs retention depth (writers=%d, readers=%d)\n",
+		viewBulkSize, cfg.Writers, cfg.Readers)
+	fmt.Fprintf(w, "%-10s %7s %6s %7s %12s %14s %14s %9s %10s\n",
+		"graph", "shards", "depth", "retain", "views/s", "verts/s", "edges/s", "vs-base", "misses")
+	for _, ds := range datasets {
+		c := cfg
+		c.Dataset = ds
+		for _, p := range shardCounts {
+			base, err := RunMVReads(c, p, 0, 0)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(w, "%-10s %7d %6s %7d %12.0f %14.0f %14.0f %9s %10d\n",
+				ds, p, "live", 0, base.ViewsPerS, base.VertsPerS, base.WritesPerS, "1.00x", base.Misses)
+			for _, d := range depths {
+				r, err := RunMVReads(c, p, d, d+4)
+				if err != nil {
+					return err
+				}
+				rel := 0.0
+				if base.WritesPerS > 0 {
+					rel = r.WritesPerS / base.WritesPerS
+				}
+				fmt.Fprintf(w, "%-10s %7d %6d %7d %12.0f %14.0f %14.0f %8.2fx %10d\n",
+					ds, p, d, d+4, r.ViewsPerS, r.VertsPerS, r.WritesPerS, rel, r.Misses)
+			}
+		}
+	}
+	fmt.Fprintln(w)
+	return nil
+}

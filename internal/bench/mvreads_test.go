@@ -1,0 +1,59 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunMVReads(t *testing.T) {
+	cfg := smallCfg()
+	// Baseline (retention disabled) and one retained depth.
+	base, err := RunMVReads(cfg, 2, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.Edges == 0 || base.WritesPerS <= 0 {
+		t.Fatalf("baseline run idle: %+v", base)
+	}
+	r, err := RunMVReads(cfg, 2, 1, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Edges != base.Edges {
+		t.Fatalf("retention changed applied edges: %d vs %d", r.Edges, base.Edges)
+	}
+	if r.Depth != 1 || r.Retained != 4 {
+		t.Fatalf("config echo mismatch: %+v", r)
+	}
+	if r.Views+r.Misses == 0 {
+		t.Fatalf("no retained-read attempts recorded: %+v", r)
+	}
+}
+
+func TestRunMVReadsUnknownDataset(t *testing.T) {
+	cfg := smallCfg()
+	cfg.Dataset = "bogus"
+	if _, err := RunMVReads(cfg, 1, 1, 4); err == nil {
+		t.Fatal("want error for unknown dataset")
+	}
+}
+
+// TestFigureMVReadsDriverOutput runs the full retention-depth sweep, which
+// is slow (a baseline plus one run per depth per shard count); keep it out
+// of -short CI runs.
+func TestFigureMVReadsDriverOutput(t *testing.T) {
+	if testing.Short() {
+		t.Skip("retention-depth sweep is slow; run without -short")
+	}
+	var buf bytes.Buffer
+	if err := FigureMVReads(&buf, []string{"tiny"}, []int{1, 2}, []int{1, 2}, smallCfg()); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"Multi-version reads", "tiny", "depth", "vs-base", "live"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("figure output missing %q:\n%s", want, out)
+		}
+	}
+}

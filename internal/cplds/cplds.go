@@ -36,6 +36,7 @@ import (
 
 	"kcore/internal/graph"
 	"kcore/internal/lds"
+	"kcore/internal/mvcc"
 	"kcore/internal/parallel"
 	"kcore/internal/plds"
 )
@@ -143,6 +144,20 @@ type CPLDS struct {
 	// for the duration of each batch, so ReadSync blocks until the batch
 	// completes (exactly the paper's synchronous baseline).
 	gate sync.RWMutex
+
+	// store, when non-nil, is the multi-version store: BatchEnd appends
+	// each batch's (vertex, pre-batch level) undo records — read straight
+	// out of the marked arena and the descriptor pool, so the capture adds
+	// no per-move work to the batch itself — and the *At read protocols
+	// overlay the retained deltas to serve retired epochs exactly.
+	store *mvcc.Store
+
+	// onCommit, when non-nil, wraps the final commit publication of each
+	// batch: it receives a closure that flips commitSeq even and must call
+	// it exactly once. The sharded engine uses it to serialize commit
+	// publication with its cross-shard vector log, so global epochs map to
+	// well-defined per-shard commit vectors.
+	onCommit func(publish func())
 
 	// beforeUnmark, when non-nil, runs at the start of BatchEnd while all
 	// descriptors are still in place. Test hook for inspecting the final
@@ -297,9 +312,23 @@ func (c *CPLDS) BatchEnd(kind plds.Kind) {
 	parallel.For(len(marked), func(i int) {
 		c.desc[marked[i]].Store(nil)
 	})
+	// Retention: snapshot this batch's undo records into the multi-version
+	// store *before* publishing the commit, so any reader that observes the
+	// new epoch finds its delta present. The pre-batch levels still sit in
+	// the descriptor pool (unmarking clears the descriptor pointers, not
+	// the pooled `old` fields; a vertex's pool slot is only rewritten when
+	// the *next* batch marks it, which this batch's gate still excludes).
+	if c.store != nil {
+		c.store.Append((c.commitSeq.Load()+1)>>1, marked,
+			func(v uint32) int32 { return c.pool[v].old.Load() })
+	}
 	// Leave the unmark phase: commitSeq becomes 2*(epoch+1) — the batch is
 	// committed and uniformly visible.
-	c.commitSeq.Add(1)
+	if c.onCommit != nil {
+		c.onCommit(func() { c.commitSeq.Add(1) })
+	} else {
+		c.commitSeq.Add(1)
+	}
 	c.gate.Unlock()
 }
 
@@ -591,6 +620,176 @@ func (c *CPLDS) ReadAllPinned(out []float64) uint64 {
 	return epoch
 }
 
+// --- retained (multi-version) reads ---
+
+// SetRetainedEpochs configures the multi-version store: the n most recent
+// retired epochs stay exactly readable through the *At read protocols
+// (pins can extend that window). n <= 0 disables retention — ReadManyAt
+// and friends then only serve the current epoch. Quiescent use only.
+func (c *CPLDS) SetRetainedEpochs(n int) {
+	if n <= 0 {
+		c.store = nil
+		return
+	}
+	c.store = mvcc.NewStore(n)
+}
+
+// RetainedEpochs returns the configured retention depth (0 = disabled).
+func (c *CPLDS) RetainedEpochs() int {
+	if c.store == nil {
+		return 0
+	}
+	return c.store.Retain()
+}
+
+// SetCommitHook installs a hook wrapping the commit publication of every
+// batch (see the onCommit field). Quiescent use only.
+func (c *CPLDS) SetCommitHook(h func(publish func())) { c.onCommit = h }
+
+// OldestReadableEpoch returns the oldest epoch the *At protocols can still
+// serve (the current epoch when retention is disabled).
+func (c *CPLDS) OldestReadableEpoch() uint64 {
+	cur := c.Epoch()
+	if c.store == nil {
+		return cur
+	}
+	return c.store.OldestReadable(cur)
+}
+
+// CheckEpoch reports whether epoch is currently servable, failing with the
+// typed mvcc evicted/future errors otherwise.
+func (c *CPLDS) CheckEpoch(epoch uint64) error {
+	cur := c.Epoch()
+	if epoch > cur {
+		return &mvcc.FutureEpochError{Epoch: epoch, Committed: cur}
+	}
+	if epoch == cur {
+		return nil
+	}
+	if c.store == nil {
+		return &mvcc.EvictedEpochError{Epoch: epoch, OldestReadable: cur}
+	}
+	return c.store.Check(epoch, cur)
+}
+
+// PinEpoch keeps epoch readable — eviction will not cross it — until a
+// matching UnpinEpoch. Requires retention to be enabled.
+func (c *CPLDS) PinEpoch(epoch uint64) error {
+	cur := c.Epoch()
+	if c.store == nil {
+		if epoch > cur {
+			return &mvcc.FutureEpochError{Epoch: epoch, Committed: cur}
+		}
+		return fmt.Errorf("cplds: cannot pin epoch %d with retention disabled: %w", epoch, mvcc.ErrEvicted)
+	}
+	return c.store.Pin(epoch, cur)
+}
+
+// UnpinEpoch releases one PinEpoch of epoch.
+func (c *CPLDS) UnpinEpoch(epoch uint64) {
+	if c.store != nil {
+		c.store.Unpin(epoch)
+	}
+}
+
+// collectLevelsAt runs collect — which must gather linearizable levels —
+// against a validated committed cut and returns that cut's epoch, or a
+// future-epoch error if the requested epoch has not committed. After
+// pinnedAttempts failed validations it falls back to collectQuiescent
+// under the batch gate (same degradation as the pinned multi-reads).
+func (c *CPLDS) collectLevelsAt(epoch uint64, collect, collectQuiescent func()) (uint64, error) {
+	for attempt := 0; attempt < pinnedAttempts; attempt++ {
+		s1 := c.commitSeq.Load()
+		if s1&1 != 0 {
+			continue
+		}
+		if epoch > s1>>1 {
+			return 0, &mvcc.FutureEpochError{Epoch: epoch, Committed: s1 >> 1}
+		}
+		collect()
+		if c.commitSeq.Load() == s1 {
+			return s1 >> 1, nil
+		}
+	}
+	c.gate.RLock()
+	defer c.gate.RUnlock()
+	cur := c.commitSeq.Load() >> 1
+	if epoch > cur {
+		return 0, &mvcc.FutureEpochError{Epoch: epoch, Committed: cur}
+	}
+	collectQuiescent()
+	return cur, nil
+}
+
+// rewind converts collected live levels (a validated cut at epoch cur)
+// into estimates at the requested retired epoch by overlaying the
+// retained deltas. vs == nil means levels is indexed by vertex id.
+func (c *CPLDS) rewind(epoch, cur uint64, vs []uint32, levels []int32, out []float64) error {
+	if epoch < cur {
+		if c.store == nil {
+			return &mvcc.EvictedEpochError{Epoch: epoch, OldestReadable: cur}
+		}
+		var err error
+		if vs == nil {
+			err = c.store.OverlayAll(epoch, cur, levels)
+		} else {
+			err = c.store.OverlayMany(epoch, cur, vs, levels)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	for i, l := range levels {
+		out[i] = c.S.EstimateFromLevel(l)
+	}
+	return nil
+}
+
+// ReadManyAt fills out[i] with the coreness estimate vs[i] had at the
+// given committed epoch — even a retired one, as long as it is within the
+// retention window (or pinned). len(out) must equal len(vs). Safe to call
+// concurrently with update batches; the result is deterministic for a
+// given epoch, so repeated reads at a pinned epoch are byte-identical.
+func (c *CPLDS) ReadManyAt(vs []uint32, out []float64, epoch uint64) error {
+	levels := make([]int32, len(vs))
+	cur, err := c.collectLevelsAt(epoch,
+		func() {
+			for i, v := range vs {
+				levels[i] = c.ReadLevel(v)
+			}
+		},
+		func() {
+			for i, v := range vs {
+				levels[i] = c.P.Level(v)
+			}
+		})
+	if err != nil {
+		return err
+	}
+	return c.rewind(epoch, cur, vs, levels, out)
+}
+
+// ReadAllAt fills out[v] with every vertex's coreness estimate at the
+// given committed epoch (see ReadManyAt). len(out) must be NumVertices().
+func (c *CPLDS) ReadAllAt(out []float64, epoch uint64) error {
+	levels := make([]int32, len(out))
+	cur, err := c.collectLevelsAt(epoch,
+		func() {
+			for v := range levels {
+				levels[v] = c.ReadLevel(uint32(v))
+			}
+		},
+		func() {
+			for v := range levels {
+				levels[v] = c.P.Level(uint32(v))
+			}
+		})
+	if err != nil {
+		return err
+	}
+	return c.rewind(epoch, cur, nil, levels, out)
+}
+
 // IsMarked reports whether v currently has an active descriptor. Intended
 // for tests and diagnostics.
 func (c *CPLDS) IsMarked(v uint32) bool { return c.desc[v].Load() != nil }
@@ -619,6 +818,11 @@ func (c *CPLDS) CheckInvariants() error {
 	}
 	if got, want := seq>>1, c.P.Epoch(); got != want {
 		return fmt.Errorf("cplds: commit epoch %d out of lockstep with PLDS epoch %d", got, want)
+	}
+	if c.store != nil {
+		if err := c.store.CheckInvariants(seq >> 1); err != nil {
+			return err
+		}
 	}
 	return c.P.CheckInvariants()
 }

@@ -5,9 +5,9 @@
 //
 // Endpoints:
 //
-//	GET  /coreness?v=<id>[&mode=linearizable|nonsync|blocking]
+//	GET  /coreness?v=<id>[&mode=linearizable|nonsync|blocking][&epoch=<e>]
 //	POST /coreness/bulk              — JSON vertex list, one consistent cut
-//	GET  /top?k=<n>                  — top-k vertices by coreness estimate
+//	GET  /top?k=<n>[&epoch=<e>]      — top-k vertices by coreness estimate
 //	GET  /stats                      — graph and batch counters
 //	POST /edges/insert               — body: "u v" per line; one batch
 //	POST /edges/delete               — body: "u v" per line; one batch
@@ -28,6 +28,15 @@
 // boundary the linearizable read belongs to (for the nonsync and blocking
 // modes the field is the current committed epoch, which those protocols do
 // not pin).
+//
+// Read endpoints also accept a *requested* epoch (`?epoch=` on /coreness
+// and /top, the "epoch" field on /coreness/bulk): the response is then
+// served exactly at that committed boundary — even a retired one, within
+// the engine's retention window (WithRetainedEpochs) — so paginated or
+// multi-request clients can read a frozen cut across requests. The epoch
+// is pinned for the duration of the request, so a served response is never
+// torn by concurrent eviction. Requests for epochs that aged out of the
+// window fail with 410 Gone; epochs not committed yet fail with 404.
 package server
 
 import (
@@ -41,12 +50,18 @@ import (
 	"kcore/internal/apps"
 	"kcore/internal/graph"
 	"kcore/internal/lds"
+	"kcore/internal/mvcc"
 	"kcore/internal/shard"
 )
 
 // DefaultMaxBatchEdges bounds the total number of edges accepted in one
 // /edges/batch request unless overridden with WithMaxBatchEdges.
 const DefaultMaxBatchEdges = 1 << 20
+
+// DefaultRetainedEpochs is the default multi-version retention depth:
+// how many retired epochs stay servable through the requested-epoch read
+// forms. Override with WithRetainedEpochs.
+const DefaultRetainedEpochs = mvcc.DefaultRetain
 
 // Option configures a Server.
 type Option func(*Server)
@@ -61,12 +76,21 @@ func WithMaxBatchEdges(max int) Option {
 	return func(s *Server) { s.maxBatchEdges = max }
 }
 
+// WithRetainedEpochs sets the multi-version retention depth: the n most
+// recent retired epochs stay servable through `?epoch=` / the bulk "epoch"
+// field. 0 disables requested-epoch reads (only the current epoch is
+// servable); negative values are clamped to 0.
+func WithRetainedEpochs(n int) Option {
+	return func(s *Server) { s.retained = n }
+}
+
 // Server is an HTTP k-core query/update service.
 type Server struct {
 	eng *shard.Engine
 
 	shards        int
 	maxBatchEdges int
+	retained      int
 
 	inserted atomic.Int64
 	deleted  atomic.Int64
@@ -75,14 +99,18 @@ type Server struct {
 
 // New creates a service over n vertices.
 func New(n int, p lds.Params, opts ...Option) *Server {
-	s := &Server{shards: 1, maxBatchEdges: DefaultMaxBatchEdges}
+	s := &Server{shards: 1, maxBatchEdges: DefaultMaxBatchEdges, retained: DefaultRetainedEpochs}
 	for _, opt := range opts {
 		opt(s)
 	}
 	if s.shards < 1 {
 		s.shards = 1
 	}
+	if s.retained < 0 {
+		s.retained = 0
+	}
 	s.eng = shard.New(n, s.shards, p)
+	s.eng.SetRetainedEpochs(s.retained)
 	return s
 }
 
@@ -112,13 +140,65 @@ func (s *Server) Handler() http.Handler {
 
 // corenessResponse is the JSON body of /coreness. Epoch is the committed
 // batch boundary the value belongs to (current epoch for the unpinned
-// nonsync/blocking modes).
+// nonsync/blocking modes; the requested boundary for retained reads).
 type corenessResponse struct {
 	Vertex   uint32  `json:"vertex"`
 	Coreness float64 `json:"coreness"`
 	Mode     string  `json:"mode"`
 	Batch    uint64  `json:"batch"`
 	Epoch    uint64  `json:"epoch"`
+}
+
+// writeEpochError maps a requested-epoch read failure to its HTTP status:
+// 410 Gone once the epoch aged out of the retention window, 404 for an
+// epoch that has not committed yet.
+func writeEpochError(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, mvcc.ErrEvicted):
+		http.Error(w, err.Error(), http.StatusGone)
+	case errors.Is(err, mvcc.ErrFuture):
+		http.Error(w, err.Error(), http.StatusNotFound)
+	default:
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+// epochParam extracts the optional requested epoch from the query string,
+// answering 400 itself on a malformed value (bad reports that case).
+func epochParam(w http.ResponseWriter, r *http.Request) (epoch uint64, present, bad bool) {
+	raw := r.URL.Query().Get("epoch")
+	if raw == "" {
+		return 0, false, false
+	}
+	epoch, err := strconv.ParseUint(raw, 10, 64)
+	if err != nil {
+		http.Error(w, "bad epoch", http.StatusBadRequest)
+		return 0, true, true
+	}
+	return epoch, true, false
+}
+
+// serveAt runs read against the requested epoch with the epoch pinned for
+// the duration, so a response that starts serving cannot be torn by
+// concurrent eviction; on failure it writes the mapped HTTP error and
+// reports false. When the epoch cannot be pinned but is still the current
+// one — retention disabled, where only the current epoch is servable —
+// the read proceeds unpinned: ReadManyAt/ReadAllAt re-validate and fail
+// with the typed errors if a commit overtakes them.
+func (s *Server) serveAt(w http.ResponseWriter, epoch uint64, read func() error) bool {
+	err := s.eng.PinEpoch(epoch)
+	switch {
+	case err == nil:
+		defer s.eng.UnpinEpoch(epoch)
+		err = read()
+	case errors.Is(err, mvcc.ErrEvicted) && s.eng.CheckEpoch(epoch) == nil:
+		err = read()
+	}
+	if err != nil {
+		writeEpochError(w, err)
+		return false
+	}
+	return true
 }
 
 func (s *Server) handleCoreness(w http.ResponseWriter, r *http.Request) {
@@ -129,6 +209,24 @@ func (s *Server) handleCoreness(w http.ResponseWriter, r *http.Request) {
 	}
 	v := uint32(v64)
 	mode := r.URL.Query().Get("mode")
+	if epoch, ok, bad := epochParam(w, r); ok {
+		if bad {
+			return
+		}
+		if mode != "" && mode != "linearizable" {
+			http.Error(w, "mode is incompatible with a requested epoch", http.StatusBadRequest)
+			return
+		}
+		vs, out := [1]uint32{v}, [1]float64{}
+		if !s.serveAt(w, epoch, func() error {
+			return s.eng.ReadManyAt(vs[:], out[:], epoch)
+		}) {
+			return
+		}
+		s.reads.Add(1)
+		writeJSON(w, corenessResponse{Vertex: v, Coreness: out[0], Mode: "retained", Batch: s.eng.Batches(), Epoch: epoch})
+		return
+	}
 	if mode == "" {
 		mode = "linearizable"
 	}
@@ -150,10 +248,12 @@ func (s *Server) handleCoreness(w http.ResponseWriter, r *http.Request) {
 }
 
 // bulkRequest is the JSON body of POST /coreness/bulk: the vertices to
-// read. The response values are epoch-pinned: all estimates belong to the
-// single committed batch boundary reported in the response.
+// read and, optionally, the committed epoch to read them at (absent =
+// latest). The response values are epoch-pinned: all estimates belong to
+// the single committed batch boundary reported in the response.
 type bulkRequest struct {
 	Vertices []uint32 `json:"vertices"`
+	Epoch    *uint64  `json:"epoch"`
 }
 
 // bulkResponse is the JSON body of the bulk coreness endpoint. Coreness[i]
@@ -198,7 +298,17 @@ func (s *Server) handleCorenessBulk(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	out := make([]float64, len(req.Vertices))
-	epoch := s.eng.ReadManyPinned(req.Vertices, out)
+	var epoch uint64
+	if req.Epoch != nil {
+		epoch = *req.Epoch
+		if !s.serveAt(w, epoch, func() error {
+			return s.eng.ReadManyAt(req.Vertices, out, epoch)
+		}) {
+			return
+		}
+	} else {
+		epoch = s.eng.ReadManyPinned(req.Vertices, out)
+	}
 	s.reads.Add(int64(len(req.Vertices)))
 	writeJSON(w, bulkResponse{Vertices: req.Vertices, Coreness: out, Epoch: epoch})
 }
@@ -219,7 +329,20 @@ func (s *Server) handleTop(w http.ResponseWriter, r *http.Request) {
 	}
 	n := s.eng.NumVertices()
 	scores := make([]float64, n)
-	epoch := s.eng.ReadAllPinned(scores)
+	var epoch uint64
+	if e, ok, bad := epochParam(w, r); ok {
+		if bad {
+			return
+		}
+		epoch = e
+		if !s.serveAt(w, epoch, func() error {
+			return s.eng.ReadAllAt(scores, epoch)
+		}) {
+			return
+		}
+	} else {
+		epoch = s.eng.ReadAllPinned(scores)
+	}
 	s.reads.Add(int64(n))
 	writeJSON(w, topResponse{K: k, Vertices: apps.TopSpreaders(scores, k), Epoch: epoch})
 }
@@ -228,28 +351,32 @@ func (s *Server) handleTop(w http.ResponseWriter, r *http.Request) {
 // load breakdown (owned vertices, edges, applied batches) that shard
 // rebalancing decisions are driven by.
 type statsResponse struct {
-	Vertices  int           `json:"vertices"`
-	Shards    int           `json:"shards"`
-	Edges     int64         `json:"edges"`
-	Batches   uint64        `json:"batches"`
-	Epoch     uint64        `json:"epoch"`
-	Inserted  int64         `json:"edges_inserted"`
-	Deleted   int64         `json:"edges_deleted"`
-	Reads     int64         `json:"reads_served"`
-	ShardLoad []shard.Stats `json:"shard_load"`
+	Vertices    int           `json:"vertices"`
+	Shards      int           `json:"shards"`
+	Edges       int64         `json:"edges"`
+	Batches     uint64        `json:"batches"`
+	Epoch       uint64        `json:"epoch"`
+	Retained    int           `json:"retained_epochs"`
+	OldestEpoch uint64        `json:"oldest_epoch"`
+	Inserted    int64         `json:"edges_inserted"`
+	Deleted     int64         `json:"edges_deleted"`
+	Reads       int64         `json:"reads_served"`
+	ShardLoad   []shard.Stats `json:"shard_load"`
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, statsResponse{
-		Vertices:  s.eng.NumVertices(),
-		Shards:    s.eng.NumShards(),
-		Edges:     s.eng.NumEdges(),
-		Batches:   s.eng.Batches(),
-		Epoch:     s.eng.Epoch(),
-		Inserted:  s.inserted.Load(),
-		Deleted:   s.deleted.Load(),
-		Reads:     s.reads.Load(),
-		ShardLoad: s.eng.Stats(),
+		Vertices:    s.eng.NumVertices(),
+		Shards:      s.eng.NumShards(),
+		Edges:       s.eng.NumEdges(),
+		Batches:     s.eng.Batches(),
+		Epoch:       s.eng.Epoch(),
+		Retained:    s.eng.RetainedEpochs(),
+		OldestEpoch: s.eng.OldestReadableEpoch(),
+		Inserted:    s.inserted.Load(),
+		Deleted:     s.deleted.Load(),
+		Reads:       s.reads.Load(),
+		ShardLoad:   s.eng.Stats(),
 	})
 }
 

@@ -389,3 +389,143 @@ func TestConcurrentReadsDuringUpdates(t *testing.T) {
 		t.Fatal("no reads served")
 	}
 }
+
+// TestRetainedEpochReads covers the requested-epoch read forms: ?epoch= on
+// /coreness and /top and the bulk "epoch" field serve the exact retired
+// cut, evicted epochs answer 410 Gone, and future epochs 404.
+func TestRetainedEpochReads(t *testing.T) {
+	for _, shards := range []int{1, 3} {
+		t.Run(fmt.Sprintf("shards=%d", shards), func(t *testing.T) {
+			ts := newTestServer(t, WithShards(shards), WithRetainedEpochs(16))
+			// A clique over 0..7 lifts estimates well above the floor (in
+			// every shard's local subgraph: all of 0's edges live in 0's
+			// owning shard).
+			var clique, star strings.Builder
+			for i := 0; i < 8; i++ {
+				for j := i + 1; j < 8; j++ {
+					fmt.Fprintf(&clique, "%d %d\n", i, j)
+				}
+				if i > 0 {
+					fmt.Fprintf(&star, "0 %d\n", i)
+				}
+			}
+			post(t, ts.URL+"/edges/insert", clique.String())
+
+			// Freeze the clique's cut, then cut vertex 0 loose (later
+			// epochs). Per-shard subgraphs can legitimately sit at the floor
+			// (a lone clique member's local view is a star), so the
+			// above-floor precondition only holds unsharded.
+			cr := decode[corenessResponse](t, get(t, ts.URL+"/coreness?v=0"))
+			if shards == 1 && cr.Coreness <= 1 {
+				t.Fatalf("clique estimate at the floor: %+v", cr)
+			}
+			frozen := cr.Epoch
+			post(t, ts.URL+"/edges/delete", star.String())
+
+			// The frozen epoch still serves the triangle value. (Only the
+			// single-shard estimate is guaranteed to move here: a per-shard
+			// subgraph may already sit at the floor estimate.)
+			live := decode[corenessResponse](t, get(t, ts.URL+"/coreness?v=0"))
+			if shards == 1 && live.Coreness >= cr.Coreness {
+				t.Fatalf("deletion did not lower the live estimate: %v vs %v", live, cr)
+			}
+			resp := get(t, fmt.Sprintf("%s/coreness?v=0&epoch=%d", ts.URL, frozen))
+			if resp.StatusCode != http.StatusOK {
+				t.Fatalf("retained read status %d", resp.StatusCode)
+			}
+			old := decode[corenessResponse](t, resp)
+			if old.Coreness != cr.Coreness || old.Epoch != frozen || old.Mode != "retained" {
+				t.Fatalf("retained read %+v, want coreness %v at epoch %d", old, cr.Coreness, frozen)
+			}
+
+			// Bulk at the frozen epoch agrees with the per-vertex frozen reads.
+			resp = post(t, ts.URL+"/coreness/bulk",
+				fmt.Sprintf(`{"vertices":[0,1,2],"epoch":%d}`, frozen))
+			if resp.StatusCode != http.StatusOK {
+				t.Fatalf("bulk retained status %d", resp.StatusCode)
+			}
+			bulk := decode[bulkResponse](t, resp)
+			if bulk.Epoch != frozen {
+				t.Fatalf("bulk epoch echo %d, want %d", bulk.Epoch, frozen)
+			}
+			for i, v := range bulk.Vertices {
+				single := decode[corenessResponse](t,
+					get(t, fmt.Sprintf("%s/coreness?v=%d&epoch=%d", ts.URL, v, frozen)))
+				if bulk.Coreness[i] != single.Coreness {
+					t.Fatalf("bulk[%d] = %v, single frozen read %v", i, bulk.Coreness[i], single.Coreness)
+				}
+			}
+
+			// Top at the frozen epoch still ranks the clique first.
+			resp = get(t, fmt.Sprintf("%s/top?k=3&epoch=%d", ts.URL, frozen))
+			if resp.StatusCode != http.StatusOK {
+				t.Fatalf("top retained status %d", resp.StatusCode)
+			}
+			top := decode[topResponse](t, resp)
+			if top.Epoch != frozen || len(top.Vertices) != 3 {
+				t.Fatalf("top retained %+v", top)
+			}
+			for _, v := range top.Vertices {
+				if v > 7 {
+					t.Fatalf("non-clique vertex %d in frozen top: %+v", v, top)
+				}
+			}
+
+			// Future epochs: 404. Incompatible mode / junk epoch: 400.
+			if resp := get(t, fmt.Sprintf("%s/coreness?v=0&epoch=%d", ts.URL, frozen+100)); resp.StatusCode != http.StatusNotFound {
+				t.Fatalf("future epoch status %d, want 404", resp.StatusCode)
+			}
+			if resp := get(t, fmt.Sprintf("%s/coreness?v=0&mode=nonsync&epoch=%d", ts.URL, frozen)); resp.StatusCode != http.StatusBadRequest {
+				t.Fatalf("mode+epoch status %d, want 400", resp.StatusCode)
+			}
+			if resp := get(t, ts.URL+"/coreness?v=0&epoch=banana"); resp.StatusCode != http.StatusBadRequest {
+				t.Fatalf("junk epoch status %d, want 400", resp.StatusCode)
+			}
+
+			// Stats surface the retention window.
+			st := decode[statsResponse](t, get(t, ts.URL+"/stats"))
+			if st.Retained != 16 || st.OldestEpoch > st.Epoch {
+				t.Fatalf("stats retention %+v", st)
+			}
+		})
+	}
+}
+
+// TestEvictedEpochGone ages an epoch out of a tiny retention window and
+// expects 410 Gone from every requested-epoch form.
+func TestEvictedEpochGone(t *testing.T) {
+	ts := newTestServer(t, WithRetainedEpochs(1))
+	post(t, ts.URL+"/edges/insert", triangleBody())
+	frozen := decode[corenessResponse](t, get(t, ts.URL+"/coreness?v=0")).Epoch
+	for i := 0; i < 3; i++ {
+		post(t, ts.URL+"/edges/insert", fmt.Sprintf("%d %d\n", 10+i, 20+i))
+	}
+	for _, url := range []string{
+		fmt.Sprintf("%s/coreness?v=0&epoch=%d", ts.URL, frozen),
+		fmt.Sprintf("%s/top?k=2&epoch=%d", ts.URL, frozen),
+	} {
+		if resp := get(t, url); resp.StatusCode != http.StatusGone {
+			t.Fatalf("GET %s status %d, want 410", url, resp.StatusCode)
+		}
+	}
+	resp := post(t, ts.URL+"/coreness/bulk", fmt.Sprintf(`{"vertices":[0],"epoch":%d}`, frozen))
+	if resp.StatusCode != http.StatusGone {
+		t.Fatalf("bulk evicted status %d, want 410", resp.StatusCode)
+	}
+	// Retention disabled: any retired epoch is gone, but the current one is
+	// still servable (unpinned, per the option's only-the-current contract).
+	ts0 := newTestServer(t, WithRetainedEpochs(0))
+	post(t, ts0.URL+"/edges/insert", triangleBody())
+	post(t, ts0.URL+"/edges/insert", "5 6\n")
+	if resp := get(t, ts0.URL+"/coreness?v=0&epoch=1"); resp.StatusCode != http.StatusGone {
+		t.Fatalf("retention-disabled retired read status %d, want 410", resp.StatusCode)
+	}
+	cur := decode[statsResponse](t, get(t, ts0.URL+"/stats")).Epoch
+	resp = get(t, fmt.Sprintf("%s/coreness?v=0&epoch=%d", ts0.URL, cur))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("retention-disabled current-epoch read status %d, want 200", resp.StatusCode)
+	}
+	if cr := decode[corenessResponse](t, resp); cr.Epoch != cur || cr.Mode != "retained" {
+		t.Fatalf("retention-disabled current-epoch read %+v", cr)
+	}
+}

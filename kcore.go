@@ -20,11 +20,20 @@
 //	top := v.TopK(10)                 // ranking over the same kind of cut
 //	fmt.Println(v.Epoch())            // the batch boundary that was served
 //
+//	v.Pin()                           // hold the boundary across commits
+//	defer v.Release()                 //   (multi-version retained read)
+//	old, _ := d.ViewAt(v.Epoch() - 2) // or fix a view at a retired epoch
+//
 // Single-vertex reads (Coreness) are linearizable on their own. Anything
 // that combines several vertices — rankings, bulk lookups, histograms —
 // should go through a View: each View read is served from one committed
 // batch boundary (an epoch) instead of a torn mix of batches, and reports
 // which epoch it saw. See View for the protocol.
+//
+// Epochs stay readable after later batches commit: the engine retains the
+// WithRetainedEpochs most recent epochs' deltas (8 by default), a pinned
+// View's epoch is held for as long as the pin, and reads of epochs that
+// aged out fail with errors matching ErrEpochEvicted.
 //
 // Updates must be issued from one goroutine at a time (any number of
 // concurrent updaters with WithShards); reads may be issued from any number
@@ -37,9 +46,26 @@ import (
 	"kcore/internal/exact"
 	"kcore/internal/graph"
 	"kcore/internal/lds"
+	"kcore/internal/mvcc"
 	"kcore/internal/parallel"
 	"kcore/internal/shard"
 )
+
+// DefaultRetainedEpochs is the default multi-version retention depth: how
+// many retired epochs stay exactly readable (ViewAt, pinned Views) behind
+// the newest committed one. Override with WithRetainedEpochs.
+const DefaultRetainedEpochs = mvcc.DefaultRetain
+
+// ErrEpochEvicted is matched (via errors.Is) by every error reporting a
+// read or pin of an epoch that was retired beyond the retention window —
+// including all retained reads when retention is disabled
+// (WithRetainedEpochs(0)). The concrete error also carries the oldest
+// still-readable epoch.
+var ErrEpochEvicted = mvcc.ErrEvicted
+
+// ErrFutureEpoch is matched (via errors.Is) by every error reporting a
+// read or pin of an epoch that has not committed yet.
+var ErrFutureEpoch = mvcc.ErrFuture
 
 // Edge is an undirected edge between two vertex ids in [0, NumVertices).
 type Edge struct {
@@ -61,9 +87,10 @@ func DefaultParams() Params {
 }
 
 type options struct {
-	params  lds.Params
-	workers int
-	shards  int
+	params   lds.Params
+	workers  int
+	shards   int
+	retained int
 }
 
 // Option configures a Decomposition.
@@ -101,6 +128,23 @@ func WithShards(p int) Option {
 	return func(o *options) { o.shards = p }
 }
 
+// WithRetainedEpochs sets the multi-version retention depth: the n most
+// recent retired epochs stay exactly readable — Decomposition.ViewAt and
+// pinned Views keep serving them byte-identically — even after later
+// batches commit. Pinning an epoch (View.Pin) extends its retention past
+// the window for as long as the pin is held.
+//
+// Each retained epoch costs one delta per engine instance: the (vertex,
+// pre-batch level) undo records of that epoch's batch, captured at commit
+// from state the update already maintains (the batch's marked set and
+// descriptor pool), so the update hot path is unchanged. n = 0 disables
+// retention entirely — only the current epoch is servable and View.Pin
+// fails — which is the pre-multi-version behavior; negative n is rejected
+// by New. The default is DefaultRetainedEpochs.
+func WithRetainedEpochs(n int) Option {
+	return func(o *options) { o.retained = n }
+}
+
 // Decomposition maintains an approximate k-core decomposition of a dynamic
 // undirected graph. All methods dispatch through one internal engine
 // interface with two implementations: the single-CPLDS backend (default)
@@ -122,7 +166,7 @@ type Decomposition struct {
 // for a negative vertex count, invalid approximation parameters, or
 // negative WithShards/WithWorkers values.
 func New(n int, opts ...Option) (*Decomposition, error) {
-	o := options{params: lds.DefaultParams(), shards: 1}
+	o := options{params: lds.DefaultParams(), shards: 1, retained: DefaultRetainedEpochs}
 	for _, opt := range opts {
 		opt(&o)
 	}
@@ -138,13 +182,20 @@ func New(n int, opts ...Option) (*Decomposition, error) {
 	if o.workers < 0 {
 		return nil, fmt.Errorf("kcore: negative worker count %d", o.workers)
 	}
+	if o.retained < 0 {
+		return nil, fmt.Errorf("kcore: negative retained-epoch count %d", o.retained)
+	}
 	if o.workers > 0 {
 		parallel.SetWorkers(o.workers)
 	}
 	if o.shards > 1 {
-		return &Decomposition{eng: shard.New(n, o.shards, o.params)}, nil
+		eng := shard.New(n, o.shards, o.params)
+		eng.SetRetainedEpochs(o.retained)
+		return &Decomposition{eng: eng}, nil
 	}
-	return &Decomposition{eng: newSingleEngine(n, o.params)}, nil
+	se := newSingleEngine(n, o.params)
+	se.c.SetRetainedEpochs(o.retained)
+	return &Decomposition{eng: se}, nil
 }
 
 // Shards returns the number of shards (1 unless WithShards was used).
@@ -206,6 +257,16 @@ func (d *Decomposition) BatchNumber() uint64 { return d.eng.Batches() }
 // reports the epoch of the cut it was served from. Safe to call at any
 // time.
 func (d *Decomposition) Epoch() uint64 { return d.eng.Epoch() }
+
+// RetainedEpochs returns the configured multi-version retention depth
+// (see WithRetainedEpochs; 0 = retention disabled).
+func (d *Decomposition) RetainedEpochs() int { return d.eng.RetainedEpochs() }
+
+// OldestReadableEpoch returns the oldest epoch still servable through
+// ViewAt and fixed Views. With retention disabled it equals Epoch. The
+// value is advisory under concurrent updates (eviction may advance it);
+// pin an epoch to hold it.
+func (d *Decomposition) OldestReadableEpoch() uint64 { return d.eng.OldestReadableEpoch() }
 
 // toInternal converts public edges to the internal representation.
 func toInternal(edges []Edge) []graph.Edge {

@@ -1,0 +1,442 @@
+package kcore
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// vertexRange returns the ids [0, n).
+func vertexRange(n int) []uint32 {
+	vs := make([]uint32, n)
+	for i := range vs {
+		vs[i] = uint32(i)
+	}
+	return vs
+}
+
+// equalF64 compares two float64 slices bit-for-bit.
+func equalF64(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if math.Float64bits(a[i]) != math.Float64bits(b[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// TestPinnedViewSurvivesCommits is the acceptance test of the multi-version
+// store: a View pinned at epoch E returns byte-identical CorenessMany and
+// TopK results before and after at least WithRetainedEpochs(n)-1 subsequent
+// commits, in both engine modes.
+func TestPinnedViewSurvivesCommits(t *testing.T) {
+	const n = 96
+	const retain = 6
+	for _, shards := range []int{1, 4} {
+		t.Run(fmt.Sprintf("shards=%d", shards), func(t *testing.T) {
+			d, err := New(n, WithShards(shards), WithRetainedEpochs(retain))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := d.RetainedEpochs(); got != retain {
+				t.Fatalf("RetainedEpochs = %d, want %d", got, retain)
+			}
+			d.InsertEdges(ring(n))
+			d.InsertEdges(clique(12))
+
+			v := d.View()
+			if err := v.Pin(); err != nil {
+				t.Fatalf("Pin: %v", err)
+			}
+			defer v.Release()
+			if !v.Pinned() || !v.Fixed() {
+				t.Fatal("Pin did not fix the view")
+			}
+			epoch := v.Epoch()
+			all := vertexRange(n)
+			before := v.CorenessMany(all)
+			beforeTop := v.TopK(10)
+			beforeHist := v.Histogram()
+			if before == nil || beforeTop == nil {
+				t.Fatalf("pinned read failed: %v", v.Err())
+			}
+
+			// Commit well over retain-1 batches, churning the graph hard so
+			// live values definitely diverge from epoch E.
+			for k := 0; k < 3*retain; k++ {
+				c := clique(10 + k%20)
+				if k%2 == 0 {
+					d.InsertEdges(c)
+				} else {
+					d.DeleteEdges(c)
+				}
+			}
+			live := d.View().CorenessMany(all)
+			if equalF64(live, before) {
+				t.Fatal("update churn left live values unchanged; test is vacuous")
+			}
+
+			after := v.CorenessMany(all)
+			if !equalF64(before, after) {
+				t.Fatalf("pinned view at epoch %d drifted:\nbefore %v\nafter  %v", epoch, before, after)
+			}
+			afterTop := v.TopK(10)
+			for i := range beforeTop {
+				if beforeTop[i] != afterTop[i] {
+					t.Fatalf("pinned TopK drifted: %v vs %v", beforeTop, afterTop)
+				}
+			}
+			afterHist := v.Histogram()
+			if len(afterHist) != len(beforeHist) {
+				t.Fatalf("pinned Histogram drifted: %v vs %v", beforeHist, afterHist)
+			}
+			for i := range beforeHist {
+				if beforeHist[i] != afterHist[i] {
+					t.Fatalf("pinned Histogram drifted: %v vs %v", beforeHist, afterHist)
+				}
+			}
+			if v.Epoch() != epoch {
+				t.Fatalf("pinned view epoch moved to %d", v.Epoch())
+			}
+			if v.Err() != nil {
+				t.Fatalf("pinned view recorded error: %v", v.Err())
+			}
+
+			// ViewAt at the pinned epoch serves the same bytes.
+			va, err := d.ViewAt(epoch)
+			if err != nil {
+				t.Fatalf("ViewAt(%d): %v", epoch, err)
+			}
+			if got := va.CorenessMany(all); !equalF64(got, before) {
+				t.Fatalf("ViewAt(%d) disagrees with pinned view", epoch)
+			}
+
+			v.Release()
+			if v.Pinned() {
+				t.Fatal("Release left the view pinned")
+			}
+			v.Release() // idempotent
+			if err := d.Check(); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestViewAtEvictionTypedErrors covers the eviction/future error surface:
+// oldest-first eviction past the retention window, the typed sentinels,
+// and the WithRetainedEpochs(0) legacy behavior.
+func TestViewAtEvictionTypedErrors(t *testing.T) {
+	for _, shards := range []int{1, 4} {
+		t.Run(fmt.Sprintf("shards=%d", shards), func(t *testing.T) {
+			const retain = 3
+			d, err := New(64, WithShards(shards), WithRetainedEpochs(retain))
+			if err != nil {
+				t.Fatal(err)
+			}
+			for k := 0; k < 10; k++ {
+				d.InsertEdges(clique(8 + k))
+			}
+			cur := d.Epoch()
+			oldest := d.OldestReadableEpoch()
+			if oldest+uint64(retain) != cur {
+				t.Fatalf("OldestReadableEpoch = %d with epoch %d, want %d", oldest, cur, cur-retain)
+			}
+			// Every retained epoch is servable; older ones are evicted.
+			for e := oldest; e <= cur; e++ {
+				if _, err := d.ViewAt(e); err != nil {
+					t.Fatalf("ViewAt(%d): %v", e, err)
+				}
+			}
+			_, err = d.ViewAt(oldest - 1)
+			if !errors.Is(err, ErrEpochEvicted) {
+				t.Fatalf("ViewAt(evicted) = %v, want ErrEpochEvicted", err)
+			}
+			_, err = d.ViewAt(cur + 1)
+			if !errors.Is(err, ErrFutureEpoch) {
+				t.Fatalf("ViewAt(future) = %v, want ErrFutureEpoch", err)
+			}
+
+			// An unpinned fixed view races eviction: age its epoch out and
+			// the next read fails sticky with NaN/nil results.
+			va, err := d.ViewAt(oldest)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for k := 0; k < retain+1; k++ {
+				d.InsertEdges(ring(64))
+				d.DeleteEdges(ring(64))
+			}
+			if got := va.CorenessMany(vertexRange(8)); got != nil {
+				t.Fatalf("evicted fixed read returned %v, want nil", got)
+			}
+			if !errors.Is(va.Err(), ErrEpochEvicted) {
+				t.Fatalf("sticky Err = %v, want ErrEpochEvicted", va.Err())
+			}
+			if got := va.Coreness(3); !math.IsNaN(got) {
+				t.Fatalf("evicted Coreness = %v, want NaN", got)
+			}
+			if got := va.TopK(3); got != nil {
+				t.Fatalf("evicted TopK = %v, want nil", got)
+			}
+			if err := va.Pin(); !errors.Is(err, ErrEpochEvicted) {
+				t.Fatalf("Pin of evicted epoch = %v, want ErrEpochEvicted", err)
+			}
+			if err := d.Check(); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestRetentionDisabledLegacyBehavior verifies WithRetainedEpochs(0) is the
+// pre-multi-version behavior: only the current epoch is servable and pins
+// fail with the typed eviction error.
+func TestRetentionDisabledLegacyBehavior(t *testing.T) {
+	for _, shards := range []int{1, 4} {
+		t.Run(fmt.Sprintf("shards=%d", shards), func(t *testing.T) {
+			d, err := New(32, WithShards(shards), WithRetainedEpochs(0))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if d.RetainedEpochs() != 0 {
+				t.Fatalf("RetainedEpochs = %d, want 0", d.RetainedEpochs())
+			}
+			d.InsertEdges(clique(8))
+			d.InsertEdges(ring(32))
+			cur := d.Epoch()
+			if got := d.OldestReadableEpoch(); got != cur {
+				t.Fatalf("OldestReadableEpoch = %d, want current %d", got, cur)
+			}
+			va, err := d.ViewAt(cur)
+			if err != nil {
+				t.Fatalf("ViewAt(current): %v", err)
+			}
+			want := d.View().CorenessMany(vertexRange(32))
+			if got := va.CorenessMany(vertexRange(32)); !equalF64(got, want) {
+				t.Fatalf("ViewAt(current) = %v, want %v", got, want)
+			}
+			if _, err := d.ViewAt(cur - 1); !errors.Is(err, ErrEpochEvicted) {
+				t.Fatalf("ViewAt(retired) = %v, want ErrEpochEvicted", err)
+			}
+			if err := d.View().Pin(); !errors.Is(err, ErrEpochEvicted) {
+				t.Fatalf("Pin with retention disabled = %v, want ErrEpochEvicted", err)
+			}
+			if _, err := New(8, WithRetainedEpochs(-1)); err == nil {
+				t.Fatal("want error for WithRetainedEpochs(-1)")
+			}
+		})
+	}
+}
+
+// TestViewMultiVersionRaceStress is the -race safety net for the
+// multi-version read surface: many goroutines, each with its own Views —
+// floating and pinned — run against a concurrent writer and must observe
+// only self-consistent epochs: floating epochs never regress and equal
+// epochs serve equal bytes; a pinned view serves byte-identical results
+// across the writer's commits; and a fixed view created at a floating
+// read's epoch reproduces that read exactly (in sharded mode this
+// cross-checks the vector log against the epochs pinned reads certify).
+func TestViewMultiVersionRaceStress(t *testing.T) {
+	const n = 64
+	iters := 80
+	if testing.Short() {
+		iters = 25
+	}
+	for _, shards := range []int{1, 4} {
+		t.Run(fmt.Sprintf("shards=%d", shards), func(t *testing.T) {
+			d, err := New(n, WithShards(shards), WithRetainedEpochs(64))
+			if err != nil {
+				t.Fatal(err)
+			}
+			d.InsertEdges(ring(n))
+			all := vertexRange(n)
+
+			var writers sync.WaitGroup
+			writers.Add(1)
+			go func() {
+				defer writers.Done()
+				for k := 0; k < iters; k++ {
+					c := clique(8 + k%16)
+					if k%2 == 0 {
+						d.InsertEdges(c)
+					} else {
+						d.DeleteEdges(c)
+					}
+					runtime.Gosched()
+				}
+			}()
+
+			const readers = 4
+			var counts [readers]atomic.Int64
+			done := make(chan struct{})
+			go func() {
+				writers.Wait()
+				for r := 0; r < readers; r++ {
+					for counts[r].Load() == 0 {
+						runtime.Gosched()
+					}
+				}
+				close(done)
+			}()
+
+			var rg sync.WaitGroup
+			for r := 0; r < readers; r++ {
+				rg.Add(1)
+				go func(r int) {
+					defer rg.Done()
+					var lastEpoch uint64
+					for i := 0; ; i++ {
+						select {
+						case <-done:
+							return
+						default:
+						}
+						// Floating read; replay it through a fixed view.
+						fv := d.View()
+						vals := fv.CorenessMany(all)
+						e := fv.Epoch()
+						if e < lastEpoch {
+							t.Errorf("reader %d: epoch regressed %d -> %d", r, lastEpoch, e)
+							return
+						}
+						lastEpoch = e
+						if va, err := d.ViewAt(e); err == nil {
+							if got := va.CorenessMany(all); got != nil && !equalF64(got, vals) {
+								t.Errorf("reader %d: ViewAt(%d) disagrees with floating read", r, e)
+								return
+							}
+						} else if !errors.Is(err, ErrEpochEvicted) {
+							t.Errorf("reader %d: ViewAt(%d): %v", r, e, err)
+							return
+						}
+						// Pinned view: byte-identical across writer commits.
+						if i%2 == 0 {
+							pv := d.View()
+							if err := pv.Pin(); err != nil {
+								if !errors.Is(err, ErrEpochEvicted) {
+									t.Errorf("reader %d: Pin: %v", r, err)
+									return
+								}
+								continue
+							}
+							first := pv.CorenessMany(all)
+							for j := 0; j < 3; j++ {
+								runtime.Gosched()
+								if again := pv.CorenessMany(all); !equalF64(first, again) {
+									t.Errorf("reader %d: pinned view at %d drifted", r, pv.Epoch())
+									pv.Release()
+									return
+								}
+							}
+							if pv.Err() != nil {
+								t.Errorf("reader %d: pinned view error: %v", r, pv.Err())
+							}
+							pv.Release()
+						}
+						counts[r].Add(1)
+					}
+				}(r)
+			}
+			rg.Wait()
+			if err := d.Check(); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// BenchmarkViewHistogram measures the histogram pass (sort + run-length
+// over the scores buffer; the per-vertex map it replaced allocated per
+// distinct estimate and hashed every vertex).
+func BenchmarkViewHistogram(b *testing.B) {
+	d, err := New(10000)
+	if err != nil {
+		b.Fatal(err)
+	}
+	d.InsertEdges(clique(120))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.View().Histogram()
+	}
+}
+
+// BenchmarkViewCorenessManyRetired measures the retired-read path: a
+// pinned bulk read reconstructing a cut `depth` epochs behind the commit
+// frontier through the delta overlay.
+func BenchmarkViewCorenessManyRetired(b *testing.B) {
+	for _, depth := range []int{1, 4, 16} {
+		b.Run(fmt.Sprintf("depth=%d", depth), func(b *testing.B) {
+			d, err := New(10000, WithRetainedEpochs(depth+2))
+			if err != nil {
+				b.Fatal(err)
+			}
+			d.InsertEdges(clique(120))
+			for k := 0; k < depth; k++ {
+				c := clique(40 + k)
+				if k%2 == 0 {
+					d.InsertEdges(c)
+				} else {
+					d.DeleteEdges(c)
+				}
+			}
+			target := d.Epoch() - uint64(depth)
+			v, err := d.ViewAt(target)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := v.Pin(); err != nil {
+				b.Fatal(err)
+			}
+			defer v.Release()
+			ids := make([]uint32, 64)
+			for i := range ids {
+				ids[i] = uint32(i * 150)
+			}
+			out := make([]float64, len(ids))
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				v.CorenessManyInto(ids, out)
+			}
+			if v.Err() != nil {
+				b.Fatal(v.Err())
+			}
+		})
+	}
+}
+
+// BenchmarkInsertBatchRetention is the update-path-overhead guard: the
+// same steady-state batch workload (insert a clique, delete it again) at
+// retention 0 (pre-multi-version behavior), the default depth, and a deep
+// window. Retention captures each batch's undo records from state the
+// batch already maintains, so the three series must agree within noise.
+func BenchmarkInsertBatchRetention(b *testing.B) {
+	for _, retain := range []int{0, 8, 64} {
+		b.Run(fmt.Sprintf("retain=%d", retain), func(b *testing.B) {
+			d, err := New(10000, WithRetainedEpochs(retain))
+			if err != nil {
+				b.Fatal(err)
+			}
+			d.InsertEdges(ring(10000))
+			c := clique(60)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if i%2 == 0 {
+					d.InsertEdges(c)
+				} else {
+					d.DeleteEdges(c)
+				}
+			}
+		})
+	}
+}

@@ -1,6 +1,7 @@
 package kcore
 
 import (
+	"math"
 	"sort"
 
 	"kcore/internal/apps"
@@ -15,78 +16,205 @@ import (
 // a View is served from exactly one committed batch boundary (an epoch),
 // and Epoch reports which one.
 //
-// The protocol is optimistic and read-only. Each engine publishes a commit
-// sequence that changes exactly when a batch's effects become visible to
-// readers (per shard, when sharded); a View read collects its values with
-// the lock-free linearizable protocol and validates that the sequence did
-// not change across the collection. A failed validation means a batch
-// committed meanwhile — update progress — and the collection restarts; after
-// a small number of failures it degrades to a bounded blocking read under
-// the engine's batch gate(s). Reads through a View therefore never return a
-// cross-batch mix, stay lock-free in the common regime (batches are far
-// longer than reads), and never block updates.
+// A View operates in one of two modes:
+//
+//   - Floating (from Decomposition.View): each read is served from the
+//     latest committed epoch and re-pins the view to it. The protocol is
+//     optimistic and read-only — collect with the lock-free linearizable
+//     protocol, validate that the engine's commit sequence did not change,
+//     degrade to a bounded blocking read after repeated failures. Reads
+//     never return a cross-batch mix and never block updates.
+//
+//   - Fixed (from Decomposition.ViewAt, or after Pin): every read serves
+//     exactly the view's epoch, even after later batches commit, by
+//     overlaying the engine's retained per-epoch deltas on the live state
+//     (see WithRetainedEpochs). Fixed reads are deterministic: the same
+//     epoch yields byte-identical results before and after any number of
+//     subsequent commits, for as long as the epoch stays retained.
+//
+// An unpinned fixed view races eviction: if its epoch falls out of the
+// retention window, reads return zero values (NaN for Coreness) and the
+// first failure is recorded sticky in Err. Pin removes the race: a pinned
+// epoch cannot be evicted, so reads through a pinned View never fail.
+// Always pair Pin with Release — a leaked pin blocks delta eviction and
+// grows the multi-version store for the lifetime of the process.
 //
 // A View is a lightweight per-request handle: creating one is a handful of
 // atomic loads, so create one per request or per goroutine. A View must not
-// be used from multiple goroutines concurrently (each read updates the
-// recorded epoch); the Decomposition itself remains safe for any number of
-// concurrent Views.
+// be used from multiple goroutines concurrently (reads update the recorded
+// epoch and sticky error); the Decomposition itself remains safe for any
+// number of concurrent Views.
 //
 // In sharded mode the epoch is the cross-shard epoch (total committed
-// batches over all shards). Per-shard committed counts only grow and shards
-// are independent, so equal epochs imply the identical committed state, and
-// every View read is one consistent cross-shard cut.
+// batches over all shards); a fixed view resolves it to the per-shard
+// commit vector recorded at that epoch's commit, so retired reads are one
+// consistent cross-shard cut.
 type View struct {
-	eng   engine
-	epoch uint64
+	eng    engine
+	epoch  uint64
+	fixed  bool
+	pinned bool
+	err    error
+
+	// Scratch for single-vertex fixed reads: spares the per-call id/out
+	// slices (the engine's retained-read path still allocates its own
+	// level scratch internally).
+	oneV   [1]uint32
+	oneOut [1]float64
 }
 
-// View returns a read handle pinned to the latest committed epoch. Cheap
-// (atomic loads only) and safe to call at any time, including concurrently
-// with update batches.
+// View returns a floating read handle pinned to the latest committed epoch.
+// Cheap (atomic loads only) and safe to call at any time, including
+// concurrently with update batches.
 func (d *Decomposition) View() *View {
 	return &View{eng: d.eng, epoch: d.eng.Epoch()}
 }
 
-// Epoch returns the epoch of the cut served by the most recent read through
-// this view — initially the latest committed epoch at creation. Callers
-// that need to correlate results from several reads should compare their
-// epochs: equal epochs mean the reads observed the identical committed
-// state.
+// ViewAt returns a fixed read handle serving exactly the given committed
+// epoch — reads through it keep returning that epoch's values even after
+// later batches commit, for as long as the epoch is retained (see
+// WithRetainedEpochs). It fails with an error matching ErrEpochEvicted if
+// the epoch already fell out of the retention window, or ErrFutureEpoch if
+// it has not committed yet. The returned view races eviction until pinned;
+// call Pin to hold the epoch.
+func (d *Decomposition) ViewAt(epoch uint64) (*View, error) {
+	if err := d.eng.CheckEpoch(epoch); err != nil {
+		return nil, err
+	}
+	return &View{eng: d.eng, epoch: epoch, fixed: true}, nil
+}
+
+// Epoch returns the epoch of the cut served by this view: for a floating
+// view, the epoch of the most recent read (initially the latest committed
+// epoch at creation); for a fixed view, the epoch it serves. Equal epochs
+// mean reads observed the identical committed state.
 func (v *View) Epoch() uint64 { return v.epoch }
 
+// Fixed reports whether the view serves one specific epoch (ViewAt or Pin)
+// rather than floating with the latest commit.
+func (v *View) Fixed() bool { return v.fixed }
+
+// Pinned reports whether the view currently holds a pin on its epoch.
+func (v *View) Pinned() bool { return v.pinned }
+
+// Err returns the first read failure of a fixed view (an error matching
+// ErrEpochEvicted once the view's epoch was evicted mid-read), or nil.
+// Reads through a pinned view never fail.
+func (v *View) Err() error { return v.err }
+
+// Pin fixes the view at its current epoch and holds that epoch in the
+// multi-version store: it cannot be evicted until Release, so every
+// subsequent read — across any number of later commits — serves it
+// byte-identically and never fails. Pin on an already-pinned view is a
+// no-op. It fails with an error matching ErrEpochEvicted if the epoch was
+// already evicted (always, when retention is disabled), or ErrFutureEpoch
+// for an epoch ahead of the commit frontier; the view is left unpinned.
+func (v *View) Pin() error {
+	if v.pinned {
+		return nil
+	}
+	if err := v.eng.PinEpoch(v.epoch); err != nil {
+		return err
+	}
+	v.fixed, v.pinned = true, true
+	return nil
+}
+
+// Release drops the pin taken by Pin. The view stays fixed at its epoch
+// but no longer holds it: the epoch remains readable until it ages out of
+// the retention window, after which reads fail (see Err). Release on an
+// unpinned view is a no-op; a pinned View must be released exactly once.
+func (v *View) Release() {
+	if v.pinned {
+		v.eng.UnpinEpoch(v.epoch)
+		v.pinned = false
+	}
+}
+
+// fail records the first fixed-read failure sticky.
+func (v *View) fail(err error) {
+	if v.err == nil {
+		v.err = err
+	}
+}
+
 // Coreness returns the linearizable coreness estimate of u from one
-// committed cut and re-pins the view to that cut's epoch.
+// committed cut: the view's fixed epoch, or — for a floating view — the
+// latest one, re-pinning the view to it. On a fixed view whose epoch was
+// evicted it returns NaN and records the error in Err.
 func (v *View) Coreness(u uint32) float64 {
+	if v.fixed {
+		v.oneV[0] = u
+		if err := v.eng.ReadManyAt(v.oneV[:], v.oneOut[:], v.epoch); err != nil {
+			v.fail(err)
+			return math.NaN()
+		}
+		return v.oneOut[0]
+	}
 	est, epoch := v.eng.ReadPinned(u)
 	v.epoch = epoch
 	return est
 }
 
 // CorenessMany returns the coreness estimates of us, all served from one
-// committed batch boundary (never a torn mix of batches), and re-pins the
-// view to that boundary's epoch. Safe to call concurrently with update
-// batches; lock-free in the common regime.
+// committed batch boundary (never a torn mix of batches): the view's fixed
+// epoch, or the latest one (re-pinning a floating view to it). Safe to call
+// concurrently with update batches; lock-free in the common regime. On a
+// fixed view whose epoch was evicted it returns nil and records the error
+// in Err.
 func (v *View) CorenessMany(us []uint32) []float64 {
 	out := make([]float64, len(us))
+	if v.fixed {
+		if err := v.eng.ReadManyAt(us, out, v.epoch); err != nil {
+			v.fail(err)
+			return nil
+		}
+		return out
+	}
 	v.epoch = v.eng.ReadManyPinned(us, out)
 	return out
 }
 
 // CorenessManyInto is CorenessMany without the allocation: it fills
 // out[i] with the estimate of us[i] (len(out) must equal len(us)) and
-// returns the epoch served, re-pinning the view to it.
+// returns the epoch served. On a fixed view whose epoch was evicted, out
+// is left unspecified and the error is recorded in Err.
 func (v *View) CorenessManyInto(us []uint32, out []float64) uint64 {
+	if v.fixed {
+		if err := v.eng.ReadManyAt(us, out, v.epoch); err != nil {
+			v.fail(err)
+		}
+		return v.epoch
+	}
 	v.epoch = v.eng.ReadManyPinned(us, out)
 	return v.epoch
 }
 
-// TopK returns the k vertices with the highest coreness estimates, ranked
-// over one committed cut (ties broken by vertex id), and re-pins the view
-// to that cut's epoch.
-func (v *View) TopK(k int) []uint32 {
+// readAll collects every vertex's estimate at the view's cut, or nil after
+// a fixed-read failure.
+func (v *View) readAll() []float64 {
 	scores := make([]float64, v.eng.NumVertices())
+	if v.fixed {
+		if err := v.eng.ReadAllAt(scores, v.epoch); err != nil {
+			v.fail(err)
+			return nil
+		}
+		return scores
+	}
 	v.epoch = v.eng.ReadAllPinned(scores)
+	return scores
+}
+
+// TopK returns the k vertices with the highest coreness estimates, ranked
+// over one committed cut (ties broken by vertex id): the view's fixed
+// epoch, or the latest one (re-pinning a floating view to it). On a fixed
+// view whose epoch was evicted it returns nil and records the error in
+// Err.
+func (v *View) TopK(k int) []uint32 {
+	scores := v.readAll()
+	if scores == nil {
+		return nil
+	}
 	return apps.TopSpreaders(scores, k)
 }
 
@@ -99,18 +227,25 @@ type CoreBucket struct {
 
 // Histogram returns the distribution of coreness estimates over all
 // vertices — one bucket per distinct estimate, ascending — computed from
-// one committed cut, and re-pins the view to that cut's epoch.
+// one committed cut (the view's fixed epoch, or the latest one). Estimates
+// take few distinct values (one per level group), so the buckets are built
+// by sorting the scores buffer in place and run-length encoding it — no
+// per-vertex map insertions. On a fixed view whose epoch was evicted it
+// returns nil and records the error in Err.
 func (v *View) Histogram() []CoreBucket {
-	scores := make([]float64, v.eng.NumVertices())
-	v.epoch = v.eng.ReadAllPinned(scores)
-	counts := make(map[float64]int)
-	for _, s := range scores {
-		counts[s]++
+	scores := v.readAll()
+	if scores == nil {
+		return nil
 	}
-	out := make([]CoreBucket, 0, len(counts))
-	for c, n := range counts {
-		out = append(out, CoreBucket{Coreness: c, Count: n})
+	sort.Float64s(scores)
+	var out []CoreBucket
+	for i := 0; i < len(scores); {
+		j := i + 1
+		for j < len(scores) && scores[j] == scores[i] {
+			j++
+		}
+		out = append(out, CoreBucket{Coreness: scores[i], Count: j - i})
+		i = j
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Coreness < out[j].Coreness })
 	return out
 }
