@@ -4,24 +4,35 @@
 // Usage:
 //
 //	kcore-server -n 1000000 -shards 4 -addr :8080 [-load graph.txt]
+//	kcore-server -n 1000000 -wal /var/lib/kcore/wal -snapshot-every 1000
 //
 //	curl 'localhost:8080/coreness?v=42'
 //	curl 'localhost:8080/top?k=10'
 //	curl 'localhost:8080/stats'
 //	curl --data-binary @batch.txt 'localhost:8080/edges/insert'
 //	curl --data-binary @stale.txt 'localhost:8080/edges/delete'
+//
+// With -wal, applied batches are write-ahead logged and the server recovers
+// its pre-crash state from the directory on restart (newest valid snapshot
+// plus log tail). Note that -load re-applies (and re-logs) its file on every
+// start; use it to seed an empty WAL directory, not together with recovery.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
+	"time"
 
 	"kcore/internal/graph"
 	"kcore/internal/lds"
 	"kcore/internal/server"
+	"kcore/internal/wal"
 )
 
 func main() {
@@ -35,18 +46,56 @@ func main() {
 	maxBatch := flag.Int("maxbatch", server.DefaultMaxBatchEdges, "max edges accepted per /edges/batch request")
 	retain := flag.Int("retain", server.DefaultRetainedEpochs,
 		"retired epochs kept readable for ?epoch= reads (0 disables)")
+	walDir := flag.String("wal", "", "write-ahead log directory (empty disables durability)")
+	snapEvery := flag.Uint64("snapshot-every", 0,
+		"take an automatic snapshot after this many logged batches (0 = never)")
+	fsync := flag.String("fsync", "none", "WAL fsync policy: none, interval or always")
+	fsyncEvery := flag.Duration("fsync-interval", 100*time.Millisecond,
+		"minimum spacing between fsyncs under -fsync interval")
 	flag.Parse()
 
-	srv := server.New(*n, lds.Params{Delta: *delta, Lambda: *lambda},
+	opts := []server.Option{
 		server.WithShards(*shards), server.WithMaxBatchEdges(*maxBatch),
-		server.WithRetainedEpochs(*retain))
+		server.WithRetainedEpochs(*retain),
+	}
+	if *walDir != "" {
+		policy, err := wal.ParseSyncPolicy(*fsync)
+		if err != nil {
+			log.Fatalf("kcore-server: %v", err)
+		}
+		opts = append(opts, server.WithWAL(*walDir, wal.Options{
+			Sync:          policy,
+			SyncEvery:     *fsyncEvery,
+			SnapshotEvery: *snapEvery,
+		}))
+	}
+	srv, err := server.New(*n, lds.Params{Delta: *delta, Lambda: *lambda}, opts...)
+	if err != nil {
+		log.Fatalf("kcore-server: %v", err)
+	}
 	if *load != "" {
 		if err := loadFile(srv, *load, *batch); err != nil {
 			log.Fatalf("kcore-server: %v", err)
 		}
 	}
 	log.Printf("kcore-server: %d vertices, %d shard(s), listening on %s", *n, *shards, *addr)
-	log.Fatal(http.ListenAndServe(*addr, srv.Handler()))
+
+	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	done := make(chan os.Signal, 1)
+	signal.Notify(done, syscall.SIGINT, syscall.SIGTERM)
+	go func() {
+		<-done
+		log.Printf("kcore-server: shutting down")
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		_ = hs.Shutdown(ctx) // drain in-flight updates before closing the log
+		if err := srv.Close(); err != nil {
+			log.Printf("kcore-server: closing WAL: %v", err)
+		}
+	}()
+	if err := hs.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+		log.Fatal(err)
+	}
 }
 
 func loadFile(srv *server.Server, path string, batch int) error {

@@ -1,6 +1,7 @@
 package kcore
 
 import (
+	"sync"
 	"sync/atomic"
 
 	"kcore/internal/cplds"
@@ -8,6 +9,7 @@ import (
 	"kcore/internal/graph"
 	"kcore/internal/lds"
 	"kcore/internal/shard"
+	"kcore/internal/wal"
 )
 
 // engine is the single dispatch point between the two Decomposition
@@ -43,6 +45,11 @@ type engine interface {
 	ReadManyPinned(vs []uint32, out []float64) uint64
 	ReadAllPinned(out []float64) uint64
 
+	// SetRetainedEpochs configures multi-version retention; New calls it
+	// exactly once, after WAL recovery (the retention logs initialize from
+	// the recovered epochs). Quiescent use only.
+	SetRetainedEpochs(n int)
+
 	// The retained-read group serves exact reads at a *specific* committed
 	// epoch — including retired ones, for as long as the multi-version
 	// store retains (or a pin holds) their deltas. All are safe concurrent
@@ -64,10 +71,13 @@ type engine interface {
 	Stats() []shard.Stats
 }
 
-// Both backends must satisfy the engine contract.
+// Both backends must satisfy the engine contract, and both must be
+// drivable by the durability subsystem.
 var (
-	_ engine = (*singleEngine)(nil)
-	_ engine = (*shard.Engine)(nil)
+	_ engine     = (*singleEngine)(nil)
+	_ engine     = (*shard.Engine)(nil)
+	_ wal.Engine = (*singleEngine)(nil)
+	_ wal.Engine = (*shard.Engine)(nil)
 )
 
 // singleEngine adapts one CPLDS to the engine interface. It also keeps the
@@ -76,6 +86,13 @@ var (
 type singleEngine struct {
 	c        *cplds.CPLDS
 	ins, del atomic.Int64
+
+	// mu serializes update batches. The public contract already demands
+	// one updater at a time; the lock exists so the durability subsystem
+	// can quiesce the engine (snapshots) without a contract change, and
+	// costs one uncontended lock per batch otherwise.
+	mu       sync.Mutex
+	batchLog func(wal.Batch)
 }
 
 func newSingleEngine(n int, params lds.Params) *singleEngine {
@@ -90,26 +107,103 @@ func (s *singleEngine) Batches() uint64       { return s.c.BatchNumber() }
 func (s *singleEngine) Epoch() uint64         { return s.c.Epoch() }
 
 func (s *singleEngine) Insert(edges []graph.Edge) int {
-	applied := s.c.InsertBatch(edges)
-	s.ins.Add(int64(applied))
-	return applied
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.insertLocked(edges)
 }
 
 func (s *singleEngine) Delete(edges []graph.Edge) int {
-	applied := s.c.DeleteBatch(edges)
-	s.del.Add(int64(applied))
-	return applied
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.deleteLocked(edges)
 }
 
 func (s *singleEngine) Apply(insertions, deletions []graph.Edge) (inserted, deleted int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	if len(insertions) > 0 {
-		inserted = s.Insert(insertions)
+		inserted = s.insertLocked(insertions)
 	}
 	if len(deletions) > 0 {
-		deleted = s.Delete(deletions)
+		deleted = s.deleteLocked(deletions)
 	}
 	return inserted, deleted
 }
+
+// insertLocked applies one insertion batch and logs it. An empty batch
+// still commits an epoch (the CPLDS always runs its batch protocol), so
+// it is still logged — recovery must reproduce the epoch sequence
+// exactly. Caller holds s.mu.
+func (s *singleEngine) insertLocked(edges []graph.Edge) int {
+	applied := s.c.InsertBatch(edges)
+	s.ins.Add(int64(applied))
+	if s.batchLog != nil {
+		s.batchLog(wal.Batch{Shard: 0, Epoch: s.c.Epoch(), Ins: edges, HasIns: true})
+	}
+	return applied
+}
+
+func (s *singleEngine) deleteLocked(edges []graph.Edge) int {
+	applied := s.c.DeleteBatch(edges)
+	s.del.Add(int64(applied))
+	if s.batchLog != nil {
+		s.batchLog(wal.Batch{Shard: 0, Epoch: s.c.Epoch(), Del: edges, HasDel: true})
+	}
+	return applied
+}
+
+// --- wal.Engine (durability) ---
+
+// SetBatchLog installs the per-batch durability hook (nil uninstalls).
+// Called before the engine serves updates, or under Quiesce.
+func (s *singleEngine) SetBatchLog(fn func(wal.Batch)) { s.batchLog = fn }
+
+// Quiesce runs f with the update lock held: no batch is in flight and
+// none can start until f returns.
+func (s *singleEngine) Quiesce(f func()) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	f()
+}
+
+// ApplyLogged re-applies one logged batch without re-logging it.
+// Single-threaded recovery use only.
+func (s *singleEngine) ApplyLogged(b wal.Batch) {
+	if b.HasIns {
+		s.ins.Add(int64(s.c.InsertBatch(b.Ins)))
+	}
+	if b.HasDel {
+		s.del.Add(int64(s.c.DeleteBatch(b.Del)))
+	}
+}
+
+// ShardDurable captures the engine's durable state (there is exactly one
+// shard). Must run inside a Quiesce section.
+func (s *singleEngine) ShardDurable(int) wal.ShardState {
+	st := wal.ShardState{
+		Graph:    s.c.Graph().Snapshot(),
+		Levels:   make([]int32, s.c.NumVertices()),
+		Epoch:    s.c.Epoch(),
+		Batches:  s.c.BatchNumber(),
+		Inserted: s.ins.Load(),
+		Deleted:  s.del.Load(),
+	}
+	s.c.Levels(st.Levels)
+	return st
+}
+
+// RestoreShard restores the engine from a captured state. Must be called
+// on a fresh engine, before it serves traffic.
+func (s *singleEngine) RestoreShard(_ int, st wal.ShardState) error {
+	if err := s.c.Restore(st.Graph, st.Levels, st.Epoch); err != nil {
+		return err
+	}
+	s.ins.Store(st.Inserted)
+	s.del.Store(st.Deleted)
+	return nil
+}
+
+func (s *singleEngine) SetRetainedEpochs(n int) { s.c.SetRetainedEpochs(n) }
 
 func (s *singleEngine) Read(v uint32) float64        { return s.c.Read(v) }
 func (s *singleEngine) ReadNonSync(v uint32) float64 { return s.c.ReadNonSync(v) }

@@ -1,0 +1,146 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"kcore/internal/shard"
+	"kcore/internal/stats"
+	"kcore/internal/wal"
+)
+
+// WALResult is one row of the durability-overhead experiment: batch-insert
+// throughput of the sharded engine with the write-ahead log in a given
+// fsync mode, against the in-memory baseline.
+type WALResult struct {
+	Dataset   string
+	Shards    int
+	Mode      string // "memory", "none", "interval", "always"
+	Writers   int
+	Edges     int64
+	Elapsed   time.Duration
+	EdgesPerS float64
+	LogBytes  int64 // bytes appended to the log during the measured phase
+}
+
+// BytesPerEdge is the measured log volume per applied edge.
+func (r WALResult) BytesPerEdge() float64 {
+	if r.Edges == 0 {
+		return 0
+	}
+	return float64(r.LogBytes) / float64(r.Edges)
+}
+
+// walModes are the measured configurations, baseline first.
+var walModes = []string{"memory", "none", "interval", "always"}
+
+// RunWAL measures batch-insert throughput in one durability mode. The
+// engine is pre-loaded with the base graph, then — for the logged modes —
+// a WAL is attached to an empty temporary directory, so the log volume
+// reflects exactly the measured batches. cfg.Writers concurrent client
+// goroutines race insertion batches through the coalescing scheduler, the
+// load shape of the HTTP server.
+func RunWAL(cfg Config, shards int, mode string) (WALResult, error) {
+	cfg = cfg.withDefaults()
+	res := WALResult{Dataset: cfg.Dataset, Shards: shards, Mode: mode, Writers: cfg.Writers}
+	for trial := 0; trial < cfg.Trials; trial++ {
+		p, err := prepare(cfg)
+		if err != nil {
+			return res, err
+		}
+		batches := p.stream.Insertions
+		if cfg.MaxBatches > 0 && len(batches) > cfg.MaxBatches {
+			batches = batches[:cfg.MaxBatches]
+		}
+		eng := shard.New(p.n, shards, cfg.Params)
+		eng.Insert(p.stream.Base)
+
+		var m *wal.Manager
+		if mode != "memory" {
+			policy, err := wal.ParseSyncPolicy(mode)
+			if err != nil {
+				return res, err
+			}
+			dir, err := os.MkdirTemp("", "kcore-walbench-")
+			if err != nil {
+				return res, err
+			}
+			defer os.RemoveAll(dir)
+			if m, err = wal.Open(dir, eng, wal.Options{Sync: policy}); err != nil {
+				return res, err
+			}
+		}
+
+		var next, edges atomic.Int64
+		var wg sync.WaitGroup
+		t0 := time.Now()
+		for w := 0; w < cfg.Writers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= len(batches) {
+						return
+					}
+					edges.Add(int64(eng.Insert(batches[i])))
+				}
+			}()
+		}
+		wg.Wait()
+		elapsed := time.Since(t0)
+
+		if m != nil {
+			st := m.Stats()
+			res.LogBytes += st.LogBytes
+			if err := m.Close(); err != nil {
+				return res, err
+			}
+		}
+		res.Edges += edges.Load()
+		res.Elapsed += elapsed
+		res.EdgesPerS += stats.Throughput(edges.Load(), elapsed)
+	}
+	res.EdgesPerS /= float64(cfg.Trials)
+	return res, nil
+}
+
+// FigureWAL runs and prints the durability-overhead experiment: insert
+// throughput per fsync mode relative to the in-memory baseline, plus the
+// log volume per edge. The acceptance bar for the durability subsystem is
+// the "none" row staying within 15% of "memory".
+func FigureWAL(w io.Writer, datasets []string, shardCounts []int, cfg Config) error {
+	cfg = cfg.withDefaults()
+	fmt.Fprintf(w, "Figure 11: WAL overhead — insert throughput per fsync mode (writers=%d)\n", cfg.Writers)
+	fmt.Fprintf(w, "%-10s %8s %-10s %14s %10s %12s %12s\n",
+		"graph", "shards", "mode", "edges/s", "vs memory", "log MiB", "bytes/edge")
+	for _, ds := range datasets {
+		c := cfg
+		c.Dataset = ds
+		for _, shards := range shardCounts {
+			var base float64
+			for _, mode := range walModes {
+				r, err := RunWAL(c, shards, mode)
+				if err != nil {
+					return err
+				}
+				if mode == "memory" {
+					base = r.EdgesPerS
+				}
+				rel := 0.0
+				if base > 0 {
+					rel = r.EdgesPerS / base
+				}
+				fmt.Fprintf(w, "%-10s %8d %-10s %14.0f %9.2fx %12.2f %12.1f\n",
+					ds, shards, r.Mode, r.EdgesPerS, rel,
+					float64(r.LogBytes)/(1<<20), r.BytesPerEdge())
+			}
+		}
+	}
+	fmt.Fprintln(w)
+	return nil
+}

@@ -790,6 +790,48 @@ func (c *CPLDS) ReadAllAt(out []float64, epoch uint64) error {
 	return c.rewind(epoch, cur, nil, levels, out)
 }
 
+// Levels fills out[v] with every vertex's current level. Quiescent use
+// only (durability snapshots run it under the engine's quiesce section);
+// use ReadLevel for concurrent reads.
+func (c *CPLDS) Levels(out []int32) {
+	for v := range out {
+		out[v] = c.P.Level(uint32(v))
+	}
+}
+
+// Restore resets a freshly constructed CPLDS to a previously captured
+// quiescent state: the graph (from a CSR snapshot), every vertex's level,
+// and the committed epoch. The PLDS rebuilds its derived state (up
+// counters) from the restored graph and levels; the batch counter and
+// commit sequence are re-seeded to the restored epoch so the epoch
+// arithmetic of the pinned read protocols continues seamlessly; and the
+// multi-version store, if retention is enabled, restarts empty (pre-crash
+// retired epochs are not recoverable — only their final state is).
+// Quiescent use only, on an engine that has not yet applied any batch.
+func (c *CPLDS) Restore(csr *graph.CSR, levels []int32, epoch uint64) error {
+	n := c.NumVertices()
+	if csr.NumVertices() != n {
+		return fmt.Errorf("cplds: restore of %d-vertex snapshot into %d-vertex structure",
+			csr.NumVertices(), n)
+	}
+	if len(levels) != n {
+		return fmt.Errorf("cplds: restore with %d levels for %d vertices", len(levels), n)
+	}
+	for v, l := range levels {
+		if l < 0 || l > c.S.MaxLevel() {
+			return fmt.Errorf("cplds: restored level %d of vertex %d outside [0, %d]",
+				l, v, c.S.MaxLevel())
+		}
+	}
+	c.P.Restore(graph.FromCSR(csr), levels, epoch)
+	c.batchNum.Store(epoch)
+	c.commitSeq.Store(2 * epoch)
+	if c.store != nil {
+		c.store = mvcc.NewStore(c.store.Retain())
+	}
+	return nil
+}
+
 // IsMarked reports whether v currently has an active descriptor. Intended
 // for tests and diagnostics.
 func (c *CPLDS) IsMarked(v uint32) bool { return c.desc[v].Load() != nil }

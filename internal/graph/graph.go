@@ -371,6 +371,32 @@ func CSRFromEdges(n int, edges []Edge) *CSR {
 	return FromEdges(n, edges).Snapshot()
 }
 
+// FromCSR rebuilds a dynamic graph from a CSR snapshot — the inverse of
+// Snapshot, used by durability recovery. Adjacency rows are copied in
+// parallel (CSR rows are already sorted) and high-degree vertices are
+// re-promoted. The snapshot must be well-formed (symmetric, sorted, no
+// self-loops); Validate can verify the result.
+func FromCSR(c *CSR) *Dynamic {
+	n := c.NumVertices()
+	g := NewDynamic(n)
+	parallel.For(n, func(i int) {
+		row := c.Neighbors(uint32(i))
+		if len(row) == 0 {
+			return
+		}
+		a := &g.adj[i]
+		a.nbrs = slices.Clone(row)
+		if len(a.nbrs) > promoteDegree {
+			a.idx = make(map[uint32]struct{}, len(a.nbrs))
+			for _, w := range a.nbrs {
+				a.idx[w] = struct{}{}
+			}
+		}
+	})
+	g.numEdges = c.NumEdges()
+	return g
+}
+
 // Validate checks internal consistency: sortedness and uniqueness of every
 // adjacency block, symmetry, the edge count, and the promotion side index.
 // It is used by tests and returns a descriptive error on failure.

@@ -296,6 +296,26 @@ func (p *PLDS) batchEnd(kind Kind) {
 // and cross-checks the two counters' lockstep in CheckInvariants.
 func (p *PLDS) Epoch() uint64 { return p.epoch.Load() }
 
+// Restore resets a freshly constructed PLDS to a previously captured
+// quiescent state: the graph, every vertex's level, and the committed
+// epoch. The up counters are recomputed from the restored graph and
+// levels (up is derived state: up[v] = |{w ∈ N(v): level(w) >= level(v)}|),
+// and all batch-scoped scratch (stamps, dirty lists, arenas) stays at its
+// fresh zero state, which the first post-restore batch initializes as
+// usual. Quiescent use only; levels must satisfy the LDS invariants (they
+// do whenever they were captured from a quiescent structure with the same
+// parameters).
+func (p *PLDS) Restore(g *graph.Dynamic, levels []int32, epoch uint64) {
+	p.g = g
+	for v, l := range levels {
+		p.level[v].Store(l)
+	}
+	parallel.For(len(levels), func(v int) {
+		p.up[v].Store(p.countAtLeast(uint32(v), levels[v]))
+	})
+	p.epoch.Store(epoch)
+}
+
 // noteGrain is the mover count below which noteFirstMoves runs inline: the
 // sequential loop avoids allocating a dispatch closure for the (typical)
 // small rounds, while large cascades still fan out.

@@ -52,6 +52,7 @@ import (
 	"kcore/internal/lds"
 	"kcore/internal/mvcc"
 	"kcore/internal/shard"
+	"kcore/internal/wal"
 )
 
 // DefaultMaxBatchEdges bounds the total number of edges accepted in one
@@ -84,21 +85,35 @@ func WithRetainedEpochs(n int) Option {
 	return func(s *Server) { s.retained = n }
 }
 
+// WithWAL makes the service durable: applied batches are write-ahead
+// logged to dir and New recovers the pre-crash state from dir before
+// serving. The /stats response then carries a "durability" block.
+func WithWAL(dir string, o wal.Options) Option {
+	return func(s *Server) {
+		s.walDir = dir
+		s.walOpts = o
+	}
+}
+
 // Server is an HTTP k-core query/update service.
 type Server struct {
 	eng *shard.Engine
+	wal *wal.Manager // nil without WithWAL
 
 	shards        int
 	maxBatchEdges int
 	retained      int
+	walDir        string
+	walOpts       wal.Options
 
 	inserted atomic.Int64
 	deleted  atomic.Int64
 	reads    atomic.Int64
 }
 
-// New creates a service over n vertices.
-func New(n int, p lds.Params, opts ...Option) *Server {
+// New creates a service over n vertices. It fails only when WithWAL is set
+// and the log directory cannot be opened or recovered.
+func New(n int, p lds.Params, opts ...Option) (*Server, error) {
 	s := &Server{shards: 1, maxBatchEdges: DefaultMaxBatchEdges, retained: DefaultRetainedEpochs}
 	for _, opt := range opts {
 		opt(s)
@@ -110,12 +125,38 @@ func New(n int, p lds.Params, opts ...Option) *Server {
 		s.retained = 0
 	}
 	s.eng = shard.New(n, s.shards, p)
+	if s.walDir != "" {
+		// Recovery must precede retention setup: the multi-version vector
+		// log initializes from the recovered per-shard epochs.
+		m, err := wal.Open(s.walDir, s.eng, s.walOpts)
+		if err != nil {
+			return nil, fmt.Errorf("server: opening WAL: %w", err)
+		}
+		s.wal = m
+	}
 	s.eng.SetRetainedEpochs(s.retained)
-	return s
+	return s, nil
 }
 
 // Engine exposes the underlying sharded engine (tests, bulk tooling).
 func (s *Server) Engine() *shard.Engine { return s.eng }
+
+// Snapshot checkpoints the engine state to the WAL directory, truncating
+// the log's replay tail. It requires WithWAL.
+func (s *Server) Snapshot() error {
+	if s.wal == nil {
+		return errors.New("server: Snapshot requires WithWAL")
+	}
+	return s.wal.Snapshot()
+}
+
+// Close flushes and closes the write-ahead log (a no-op without WithWAL).
+func (s *Server) Close() error {
+	if s.wal == nil {
+		return nil
+	}
+	return s.wal.Close()
+}
 
 // InsertBatch applies an insertion batch directly (bulk loading at
 // startup), with the same accounting as the HTTP endpoint.
@@ -362,10 +403,11 @@ type statsResponse struct {
 	Deleted     int64         `json:"edges_deleted"`
 	Reads       int64         `json:"reads_served"`
 	ShardLoad   []shard.Stats `json:"shard_load"`
+	Durability  *wal.Stats    `json:"durability,omitempty"`
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, statsResponse{
+	resp := statsResponse{
 		Vertices:    s.eng.NumVertices(),
 		Shards:      s.eng.NumShards(),
 		Edges:       s.eng.NumEdges(),
@@ -377,7 +419,12 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		Deleted:     s.deleted.Load(),
 		Reads:       s.reads.Load(),
 		ShardLoad:   s.eng.Stats(),
-	})
+	}
+	if s.wal != nil {
+		st := s.wal.Stats()
+		resp.Durability = &st
+	}
+	writeJSON(w, resp)
 }
 
 // updateResponse is the JSON body of the update endpoints.
@@ -388,10 +435,33 @@ type updateResponse struct {
 
 func (s *Server) handleUpdate(insert bool) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
-		edges, _, err := graph.ReadEdgeList(r.Body)
+		// Same limits as /edges/batch: bound the body before parsing so
+		// the edge-count cap also bounds memory (a text edge line is well
+		// under 32 bytes), then enforce the count and vertex range.
+		body := http.MaxBytesReader(w, r.Body, int64(s.maxBatchEdges)*32+4096)
+		edges, _, err := graph.ReadEdgeList(body)
 		if err != nil {
+			var tooLarge *http.MaxBytesError
+			if errors.As(err, &tooLarge) {
+				http.Error(w, fmt.Sprintf("edge list exceeds %d bytes", tooLarge.Limit),
+					http.StatusRequestEntityTooLarge)
+				return
+			}
 			http.Error(w, fmt.Sprintf("bad edge list: %v", err), http.StatusBadRequest)
 			return
+		}
+		if len(edges) > s.maxBatchEdges {
+			http.Error(w, fmt.Sprintf("batch of %d edges exceeds limit %d",
+				len(edges), s.maxBatchEdges), http.StatusRequestEntityTooLarge)
+			return
+		}
+		n := uint32(s.eng.NumVertices())
+		for _, e := range edges {
+			if e.U >= n || e.V >= n {
+				http.Error(w, fmt.Sprintf("vertex out of range: edge (%d,%d), have %d vertices",
+					e.U, e.V, n), http.StatusBadRequest)
+				return
+			}
 		}
 		var applied int
 		if insert {

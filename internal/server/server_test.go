@@ -10,11 +10,15 @@ import (
 	"testing"
 
 	"kcore/internal/lds"
+	"kcore/internal/wal"
 )
 
 func newTestServer(t *testing.T, opts ...Option) *httptest.Server {
 	t.Helper()
-	s := New(100, lds.DefaultParams(), opts...)
+	s, err := New(100, lds.DefaultParams(), opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
 	ts := httptest.NewServer(s.Handler())
 	t.Cleanup(ts.Close)
 	return ts
@@ -527,5 +531,116 @@ func TestEvictedEpochGone(t *testing.T) {
 	}
 	if cr := decode[corenessResponse](t, resp); cr.Epoch != cur || cr.Mode != "retained" {
 		t.Fatalf("retention-disabled current-epoch read %+v", cr)
+	}
+}
+
+// TestUpdateEndpointValidation pins the /edges/insert and /edges/delete
+// limits to parity with /edges/batch: out-of-range vertices are rejected
+// with 400, and oversized batches or bodies with 413 — previously both
+// endpoints skipped validation entirely and fed arbitrary input straight
+// into the engine.
+func TestUpdateEndpointValidation(t *testing.T) {
+	for _, ep := range []string{"/edges/insert", "/edges/delete"} {
+		t.Run(ep, func(t *testing.T) {
+			ts := newTestServer(t, WithMaxBatchEdges(2))
+			cases := []struct {
+				name, body string
+				status     int
+			}{
+				{"valid", "0 1\n1 2\n", http.StatusOK},
+				{"out-of-range vertex", "0 500\n", http.StatusBadRequest},
+				{"both out of range", "7000 500\n", http.StatusBadRequest},
+				{"malformed line", "zap\n", http.StatusBadRequest},
+				{"too many edges", "0 1\n1 2\n2 3\n", http.StatusRequestEntityTooLarge},
+				{"oversized body", strings.Repeat("# padding line\n", 300), http.StatusRequestEntityTooLarge},
+			}
+			for _, tc := range cases {
+				resp := post(t, ts.URL+ep, tc.body)
+				if resp.StatusCode != tc.status {
+					t.Errorf("%s: status %d, want %d", tc.name, resp.StatusCode, tc.status)
+				}
+			}
+		})
+	}
+}
+
+// TestRejectedUpdatesDoNotCommit verifies a rejected text update leaves no
+// trace in the engine: no batch, no edges.
+func TestRejectedUpdatesDoNotCommit(t *testing.T) {
+	ts := newTestServer(t)
+	post(t, ts.URL+"/edges/insert", triangleBody())
+	before := decode[statsResponse](t, get(t, ts.URL+"/stats"))
+	if resp := post(t, ts.URL+"/edges/insert", "0 5000\n"); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("out-of-range insert status %d", resp.StatusCode)
+	}
+	after := decode[statsResponse](t, get(t, ts.URL+"/stats"))
+	if after.Batches != before.Batches || after.Edges != before.Edges || after.Inserted != before.Inserted {
+		t.Fatalf("rejected update mutated stats: %+v -> %+v", before, after)
+	}
+}
+
+// TestServerDurability drives batches over HTTP with the WAL attached,
+// checks the /stats durability block, and restarts the server on the same
+// directory: the recovered server must report the same epoch and serve the
+// same coreness values.
+func TestServerDurability(t *testing.T) {
+	dir := t.TempDir()
+	opts := []Option{WithShards(2), WithWAL(dir, wal.Options{})}
+	s1, err := New(100, lds.DefaultParams(), opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s1.Handler())
+	post(t, ts.URL+"/edges/insert", triangleBody())
+	post(t, ts.URL+"/edges/insert", "3 4\n4 5\n3 5\n2 3\n")
+	post(t, ts.URL+"/edges/delete", "2 3\n")
+	st := decode[statsResponse](t, get(t, ts.URL+"/stats"))
+	if st.Durability == nil || st.Durability.LoggedBatches == 0 || st.Durability.Dir != dir {
+		t.Fatalf("durability stats missing or empty: %+v", st.Durability)
+	}
+	want := decode[corenessResponse](t, get(t, ts.URL+"/coreness?v=4"))
+	ts.Close()
+	if err := s1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := New(100, lds.DefaultParams(), opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	ts2 := httptest.NewServer(s2.Handler())
+	defer ts2.Close()
+	st2 := decode[statsResponse](t, get(t, ts2.URL+"/stats"))
+	if st2.Epoch != st.Epoch || st2.Edges != st.Edges {
+		t.Fatalf("recovered epoch/edges (%d,%d), want (%d,%d)", st2.Epoch, st2.Edges, st.Epoch, st.Edges)
+	}
+	if st2.Durability == nil || st2.Durability.RecoveredBatches == 0 {
+		t.Fatalf("recovered durability stats: %+v", st2.Durability)
+	}
+	got := decode[corenessResponse](t, get(t, ts2.URL+"/coreness?v=4"))
+	if got.Coreness != want.Coreness {
+		t.Fatalf("recovered coreness %v, want %v", got.Coreness, want.Coreness)
+	}
+
+	// The durability block is absent without WithWAL.
+	plain := newTestServer(t)
+	if st := decode[statsResponse](t, get(t, plain.URL+"/stats")); st.Durability != nil {
+		t.Fatalf("durability block present without WAL: %+v", st.Durability)
+	}
+}
+
+// TestServerSnapshotRequiresWAL pins the error contract of the durability
+// methods on a memory-only server.
+func TestServerSnapshotRequiresWAL(t *testing.T) {
+	s, err := New(10, lds.DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Snapshot(); err == nil {
+		t.Fatal("Snapshot without WAL succeeded")
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("Close without WAL: %v", err)
 	}
 }

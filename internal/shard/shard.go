@@ -56,6 +56,7 @@ import (
 	"kcore/internal/lds"
 	"kcore/internal/mvcc"
 	"kcore/internal/parallel"
+	"kcore/internal/wal"
 )
 
 // opKind distinguishes the two edge operations in a coalesced batch.
@@ -91,7 +92,8 @@ type pendingOp struct {
 // shardState is one shard: a CPLDS over the local subgraph plus its
 // scheduler queue, combining lock and load counters.
 type shardState struct {
-	c *cplds.CPLDS
+	c   *cplds.CPLDS
+	idx int // this shard's index (for batch-log records)
 
 	qmu   sync.Mutex
 	queue []*subOp
@@ -137,6 +139,13 @@ type Engine struct {
 	// epoch is the single shard's local epoch) when no log is needed.
 	retained int
 	vlog     *mvcc.VectorLog
+
+	// batchLog, when non-nil, receives one wal.Batch per committed
+	// coalesced round, invoked inside the committing shard's one-updater
+	// section (see SetBatchLog). Installed before the engine serves
+	// traffic or under Quiesce, so no synchronization beyond applyMu is
+	// needed on the read side.
+	batchLog func(wal.Batch)
 }
 
 // New returns an engine over n vertices partitioned across p shards
@@ -147,7 +156,7 @@ func New(n, p int, params lds.Params) *Engine {
 	}
 	e := &Engine{n: n, p: p, params: params, shards: make([]*shardState, p)}
 	for i := range e.shards {
-		e.shards[i] = &shardState{c: cplds.New(n, params)}
+		e.shards[i] = &shardState{c: cplds.New(n, params), idx: i}
 	}
 	e.owned = make([]int, p)
 	for v := 0; v < n; v++ {
@@ -728,6 +737,20 @@ func (s *shardState) drainAndApplyLocked(e *Engine) {
 		s.localEdges.Add(-applied)
 	}
 	s.batches.Add(1)
+	// Log the committed round before acknowledging the submissions, so a
+	// caller's return implies its batch is in the log (durable, under the
+	// fsync-always policy). The slices alias this round's buffers; the
+	// logger serializes them before returning.
+	if e.batchLog != nil {
+		e.batchLog(wal.Batch{
+			Shard:  s.idx,
+			Epoch:  s.c.Epoch(),
+			Ins:    ins,
+			Del:    del,
+			HasIns: len(ins) > 0,
+			HasDel: len(del) > 0,
+		})
+	}
 	for _, sub := range subs {
 		sub.done.Store(true)
 	}

@@ -85,6 +85,14 @@ func (t *Trace) Write(w io.Writer) error {
 	return bw.Flush()
 }
 
+// maxPrealloc caps how many elements any single allocation trusts from an
+// on-disk count. Counts are validated by actually reading the data: larger
+// collections grow as their bytes arrive, so a corrupt or hostile header
+// claiming 4 billion edges fails with a short-read error instead of
+// attempting a multi-gigabyte allocation. (The WAL reader shares this
+// decode discipline.)
+const maxPrealloc = 1 << 16
+
 // ReadFrom deserializes a trace written by Write.
 func ReadFrom(r io.Reader) (*Trace, error) {
 	br := bufio.NewReader(r)
@@ -100,7 +108,7 @@ func ReadFrom(r io.Reader) (*Trace, error) {
 	if hdr[1] != version {
 		return nil, fmt.Errorf("trace: unsupported version %d", hdr[1])
 	}
-	t := &Trace{NumVertices: int(hdr[2]), Ops: make([]Op, 0, hdr[3])}
+	t := &Trace{NumVertices: int(hdr[2]), Ops: make([]Op, 0, min(hdr[3], maxPrealloc))}
 	for i := uint32(0); i < hdr[3]; i++ {
 		var kind uint8
 		if err := binary.Read(br, binary.LittleEndian, &kind); err != nil {
@@ -113,18 +121,23 @@ func ReadFrom(r io.Reader) (*Trace, error) {
 		op := Op{Kind: OpKind(kind)}
 		switch op.Kind {
 		case OpInsert, OpDelete:
-			op.Edges = make([]graph.Edge, count)
-			for j := range op.Edges {
+			op.Edges = make([]graph.Edge, 0, min(count, maxPrealloc))
+			for j := uint32(0); j < count; j++ {
 				var uv [2]uint32
 				if err := binary.Read(br, binary.LittleEndian, &uv); err != nil {
 					return nil, fmt.Errorf("trace: op %d edge %d: %w", i, j, err)
 				}
-				op.Edges[j] = graph.Edge{U: uv[0], V: uv[1]}
+				op.Edges = append(op.Edges, graph.Edge{U: uv[0], V: uv[1]})
 			}
 		case OpRead:
-			op.Vertices = make([]uint32, count)
-			if err := binary.Read(br, binary.LittleEndian, op.Vertices); err != nil {
-				return nil, fmt.Errorf("trace: op %d vertices: %w", i, err)
+			op.Vertices = make([]uint32, 0, min(count, maxPrealloc))
+			for read := uint32(0); read < count; {
+				chunk := make([]uint32, min(count-read, maxPrealloc))
+				if err := binary.Read(br, binary.LittleEndian, chunk); err != nil {
+					return nil, fmt.Errorf("trace: op %d vertices: %w", i, err)
+				}
+				op.Vertices = append(op.Vertices, chunk...)
+				read += uint32(len(chunk))
 			}
 		default:
 			return nil, fmt.Errorf("trace: op %d: unknown kind %d", i, kind)

@@ -2,6 +2,7 @@ package trace
 
 import (
 	"bytes"
+	"encoding/binary"
 	"reflect"
 	"strings"
 	"testing"
@@ -57,6 +58,29 @@ func TestReadFromErrors(t *testing.T) {
 	trunc := ok.Bytes()[:ok.Len()-3]
 	if _, err := ReadFrom(bytes.NewReader(trunc)); err == nil {
 		t.Fatal("want error for truncated body")
+	}
+}
+
+func TestReadFromHugeCountFailsCleanly(t *testing.T) {
+	// A corrupt or hostile header claiming 4 billion edges with no body
+	// must fail on the short read, not attempt a 32 GiB allocation.
+	writeHeader := func(buf *bytes.Buffer, kind OpKind) {
+		binary.Write(buf, binary.LittleEndian, []uint32{magic, version, 10, 1})
+		buf.WriteByte(byte(kind))
+		binary.Write(buf, binary.LittleEndian, uint32(0xffffffff))
+	}
+	for _, kind := range []OpKind{OpInsert, OpDelete, OpRead} {
+		var buf bytes.Buffer
+		writeHeader(&buf, kind)
+		if _, err := ReadFrom(&buf); err == nil {
+			t.Fatalf("kind %d: want error for huge count with empty body", kind)
+		}
+	}
+	// Same discipline for the op count itself.
+	var buf bytes.Buffer
+	binary.Write(&buf, binary.LittleEndian, []uint32{magic, version, 10, 0xffffffff})
+	if _, err := ReadFrom(&buf); err == nil {
+		t.Fatal("want error for huge op count with empty body")
 	}
 }
 

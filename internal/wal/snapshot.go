@@ -1,0 +1,245 @@
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"kcore/internal/graph"
+)
+
+const (
+	snapMagic   = uint32(0x6b736e70) // "ksnp"
+	snapVersion = uint32(1)
+	snapHdrLen  = 16
+)
+
+func snapName(globalEpoch uint64) string { return fmt.Sprintf("snap-%020d.ksnp", globalEpoch) }
+
+// parseSnapName extracts the global epoch from a snapshot file name.
+func parseSnapName(name string) (uint64, bool) {
+	var ep uint64
+	if _, err := fmt.Sscanf(name, "snap-%d.ksnp", &ep); err != nil {
+		return 0, false
+	}
+	return ep, true
+}
+
+// writeSnapshot serializes the per-shard durable states to a temp file,
+// fsyncs it and renames it into place, so a crash mid-write can never
+// damage an existing snapshot. Layout after the 16-byte identification
+// header, per shard: epoch u64, batches u64, inserted i64, deleted i64,
+// targetsLen u64, degrees [n]u32, targets [targetsLen]u32, levels [n]i32;
+// then a trailing CRC32 over everything before it.
+func writeSnapshot(dir string, n, shards int, states []ShardState) error {
+	le := binary.LittleEndian
+	size := snapHdrLen + 4 // header + trailing CRC
+	for _, st := range states {
+		size += 8*4 + 8 + 4*n + 4*len(st.Graph.Targets) + 4*n
+	}
+	buf := make([]byte, size)
+	le.PutUint32(buf[0:], snapMagic)
+	le.PutUint32(buf[4:], snapVersion)
+	le.PutUint32(buf[8:], uint32(n))
+	le.PutUint32(buf[12:], uint32(shards))
+	off := snapHdrLen
+	var global uint64
+	for _, st := range states {
+		global += st.Epoch
+		le.PutUint64(buf[off:], st.Epoch)
+		le.PutUint64(buf[off+8:], st.Batches)
+		le.PutUint64(buf[off+16:], uint64(st.Inserted))
+		le.PutUint64(buf[off+24:], uint64(st.Deleted))
+		le.PutUint64(buf[off+32:], uint64(len(st.Graph.Targets)))
+		off += 40
+		for v := 0; v < n; v++ {
+			le.PutUint32(buf[off:], uint32(st.Graph.Offsets[v+1]-st.Graph.Offsets[v]))
+			off += 4
+		}
+		for _, t := range st.Graph.Targets {
+			le.PutUint32(buf[off:], t)
+			off += 4
+		}
+		for _, l := range st.Levels {
+			le.PutUint32(buf[off:], uint32(l))
+			off += 4
+		}
+	}
+	le.PutUint32(buf[off:], crc32.ChecksumIEEE(buf[:off]))
+
+	tmp, err := os.CreateTemp(dir, "snap-*.tmp")
+	if err != nil {
+		return fmt.Errorf("wal: creating snapshot temp file: %w", err)
+	}
+	defer os.Remove(tmp.Name())
+	if _, err := tmp.Write(buf); err != nil {
+		tmp.Close()
+		return fmt.Errorf("wal: writing snapshot: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("wal: syncing snapshot: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp.Name(), filepath.Join(dir, snapName(global))); err != nil {
+		return fmt.Errorf("wal: publishing snapshot: %w", err)
+	}
+	return nil
+}
+
+// readSnapshot parses and CRC-validates one snapshot file. Every length is
+// bounds-checked against the actual file size before use, so a corrupt
+// header can only fail the read, never demand an oversized allocation.
+func readSnapshot(path string, n, shards int) ([]ShardState, error) {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	le := binary.LittleEndian
+	if len(buf) < snapHdrLen+4 {
+		return nil, fmt.Errorf("wal: snapshot %s too short (%d bytes)", path, len(buf))
+	}
+	crcOff := len(buf) - 4
+	if crc32.ChecksumIEEE(buf[:crcOff]) != le.Uint32(buf[crcOff:]) {
+		return nil, fmt.Errorf("wal: snapshot %s fails checksum", path)
+	}
+	if got := le.Uint32(buf[0:]); got != snapMagic {
+		return nil, fmt.Errorf("wal: snapshot %s: bad magic %#x", path, got)
+	}
+	if got := le.Uint32(buf[4:]); got != snapVersion {
+		return nil, &configMismatchError{fmt.Sprintf("wal: snapshot %s: unsupported version %d", path, got)}
+	}
+	if got := int(le.Uint32(buf[8:])); got != n {
+		return nil, &configMismatchError{fmt.Sprintf("wal: snapshot %s is for %d vertices, engine has %d", path, got, n)}
+	}
+	if got := int(le.Uint32(buf[12:])); got != shards {
+		return nil, &configMismatchError{fmt.Sprintf("wal: snapshot %s is for %d shards, engine has %d", path, got, shards)}
+	}
+	pos := snapHdrLen
+	states := make([]ShardState, shards)
+	for si := range states {
+		if pos+40 > crcOff {
+			return nil, fmt.Errorf("wal: snapshot %s truncated in shard %d header", path, si)
+		}
+		st := ShardState{
+			Epoch:    le.Uint64(buf[pos:]),
+			Batches:  le.Uint64(buf[pos+8:]),
+			Inserted: int64(le.Uint64(buf[pos+16:])),
+			Deleted:  int64(le.Uint64(buf[pos+24:])),
+		}
+		targetsLen := le.Uint64(buf[pos+32:])
+		pos += 40
+		need := 4*n + 4*int(targetsLen) + 4*n
+		if targetsLen > uint64(crcOff) || pos+need > crcOff {
+			return nil, fmt.Errorf("wal: snapshot %s: shard %d block exceeds file", path, si)
+		}
+		offsets := make([]int64, n+1)
+		var total int64
+		for v := 0; v < n; v++ {
+			offsets[v] = total
+			total += int64(le.Uint32(buf[pos:]))
+			pos += 4
+		}
+		offsets[n] = total
+		if total != int64(targetsLen) {
+			return nil, fmt.Errorf("wal: snapshot %s: shard %d degrees sum %d != targets %d",
+				path, si, total, targetsLen)
+		}
+		targets := make([]uint32, targetsLen)
+		for i := range targets {
+			targets[i] = le.Uint32(buf[pos:])
+			pos += 4
+		}
+		levels := make([]int32, n)
+		for v := range levels {
+			levels[v] = int32(le.Uint32(buf[pos:]))
+			pos += 4
+		}
+		st.Graph = &graph.CSR{Offsets: offsets, Targets: targets}
+		st.Levels = levels
+		states[si] = st
+	}
+	if pos != crcOff {
+		return nil, fmt.Errorf("wal: snapshot %s: %d trailing bytes", path, crcOff-pos)
+	}
+	return states, nil
+}
+
+// listSnapshots returns the directory's snapshot epochs, newest first.
+func listSnapshots(dir string) ([]uint64, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var eps []uint64
+	for _, ent := range entries {
+		if ep, ok := parseSnapName(ent.Name()); ok {
+			eps = append(eps, ep)
+		}
+	}
+	sort.Slice(eps, func(i, j int) bool { return eps[i] > eps[j] })
+	return eps, nil
+}
+
+// restoreNewestSnapshot restores eng from the newest snapshot that
+// validates, filling vec with the restored per-shard epoch vector. A
+// snapshot that fails its checksum (crash or bit rot) falls back to the
+// next older one; no snapshot at all restores nothing (vec stays zero).
+// Returns the global epoch of the restored snapshot (0 = none).
+func restoreNewestSnapshot(dir string, eng Engine, vec []uint64) (uint64, error) {
+	eps, err := listSnapshots(dir)
+	if err != nil {
+		return 0, fmt.Errorf("wal: listing snapshots in %s: %w", dir, err)
+	}
+	for _, ep := range eps {
+		path := filepath.Join(dir, snapName(ep))
+		states, err := readSnapshot(path, eng.NumVertices(), eng.NumShards())
+		if err != nil {
+			// Config mismatches are hard errors; a failed checksum or torn
+			// file falls back to the next older snapshot.
+			if isConfigMismatch(err) {
+				return 0, err
+			}
+			continue
+		}
+		for si, st := range states {
+			if err := eng.RestoreShard(si, st); err != nil {
+				return 0, fmt.Errorf("wal: restoring shard %d from %s: %w", si, path, err)
+			}
+			vec[si] = st.Epoch
+		}
+		return ep, nil
+	}
+	return 0, nil
+}
+
+// configMismatchError marks snapshot/engine shape disagreements (vertex
+// count, shard count, format version), which must fail recovery loudly
+// instead of silently falling back to an older snapshot or starting empty.
+type configMismatchError struct{ msg string }
+
+func (e *configMismatchError) Error() string { return e.msg }
+
+func isConfigMismatch(err error) bool {
+	var cm *configMismatchError
+	return errors.As(err, &cm)
+}
+
+// pruneSnapshots removes all snapshots older than the one at keepEpoch.
+func pruneSnapshots(dir string, keepEpoch uint64) {
+	eps, err := listSnapshots(dir)
+	if err != nil {
+		return
+	}
+	for _, ep := range eps {
+		if ep < keepEpoch {
+			os.Remove(filepath.Join(dir, snapName(ep)))
+		}
+	}
+}

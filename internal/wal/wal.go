@@ -1,0 +1,347 @@
+// Package wal implements the durability subsystem: a write-ahead log of
+// applied update batches plus periodic engine snapshots, with recovery =
+// newest valid snapshot + replay of the log tail.
+//
+// # Model
+//
+// The engines apply updates in batches, and the same batch stream
+// reproduces byte-identical state (the replay-parity property the trace
+// tests pin down). Durability therefore reduces to logging the *applied*
+// batch stream: after every committed batch the engine hands the WAL one
+// Batch record — the shard it ran on, the shard's post-batch local epoch,
+// and the coalesced insert/delete sub-batches — and the WAL appends it to a
+// segmented, CRC-framed log. In sharded mode each shard's records are
+// appended in its local commit order (the append runs inside the shard's
+// one-updater section), so the log is a linearization of the per-shard
+// commit streams — exactly the commit-vector order the multi-version
+// vector log assigns to global epochs.
+//
+// Recovery loads the newest snapshot whose checksum validates, restores
+// every shard from it, then replays the log tail: records at or below the
+// snapshot's per-shard epoch vector are skipped, the rest are re-applied
+// through the normal engine batch path. A torn or corrupt record — the
+// footprint of a crash mid-append — truncates the log at that record's
+// start instead of failing recovery; everything before it is recovered.
+//
+// # Formats
+//
+// Log segments (wal-<seq>.seg) start with a 16-byte header (magic,
+// version, vertex count, shard count) followed by records framed as
+// [len u32][crc32 u32][payload]; the CRC covers the payload. Snapshots
+// (snap-<epoch>.ksnp) carry the same identification header, one durable
+// state block per shard (local CSR, levels, epoch, counters) and a
+// trailing whole-file CRC32; they are written to a temp file, fsynced and
+// renamed, so a crash mid-snapshot leaves the previous snapshot intact.
+// All integers are little-endian, matching the trace format.
+package wal
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"kcore/internal/graph"
+)
+
+// SyncPolicy controls when appended records are flushed to stable storage.
+type SyncPolicy int
+
+const (
+	// SyncNone never fsyncs on the append path: writes go to the OS page
+	// cache and survive process crashes but not machine crashes. Fastest.
+	SyncNone SyncPolicy = iota
+	// SyncInterval fsyncs at most once per Options.SyncEvery, bounding the
+	// machine-crash loss window while amortizing the fsync cost.
+	SyncInterval
+	// SyncAlways fsyncs after every record: a committed batch is durable
+	// before the update call returns. Slowest, strongest.
+	SyncAlways
+)
+
+func (p SyncPolicy) String() string {
+	switch p {
+	case SyncInterval:
+		return "interval"
+	case SyncAlways:
+		return "always"
+	default:
+		return "none"
+	}
+}
+
+// ParseSyncPolicy parses the textual policy names used by flags.
+func ParseSyncPolicy(s string) (SyncPolicy, error) {
+	switch s {
+	case "none", "":
+		return SyncNone, nil
+	case "interval":
+		return SyncInterval, nil
+	case "always":
+		return SyncAlways, nil
+	}
+	return SyncNone, fmt.Errorf("wal: unknown fsync policy %q (want none, interval or always)", s)
+}
+
+// Options configure a Manager.
+type Options struct {
+	Sync          SyncPolicy
+	SyncEvery     time.Duration // SyncInterval period (default 100ms)
+	SegmentBytes  int64         // segment rotation threshold (default 64 MiB)
+	SnapshotEvery uint64        // auto-snapshot after this many logged batches (0 = manual only)
+}
+
+func (o Options) withDefaults() Options {
+	if o.SyncEvery <= 0 {
+		o.SyncEvery = 100 * time.Millisecond
+	}
+	if o.SegmentBytes <= 0 {
+		o.SegmentBytes = 64 << 20
+	}
+	return o
+}
+
+// Batch is one committed engine batch: the unit the log records and
+// recovery replays. Epoch is the shard's *local* committed epoch after the
+// batch applied. HasIns/HasDel record which sub-batches ran — an empty
+// sub-batch still commits an epoch, so presence cannot be inferred from
+// the edge counts.
+type Batch struct {
+	Shard          int
+	Epoch          uint64
+	Ins, Del       []graph.Edge
+	HasIns, HasDel bool
+}
+
+// ShardState is one shard's durable state: everything needed to restore
+// the shard exactly (graph + levels determine the level structure; the
+// counters are observability state that cannot be derived from one shard
+// alone).
+type ShardState struct {
+	Graph             *graph.CSR
+	Levels            []int32
+	Epoch             uint64
+	Batches           uint64
+	Inserted, Deleted int64
+}
+
+// Engine is the surface the WAL drives. Both backends (the single-CPLDS
+// engine and the sharded engine) implement it; wal deliberately imports
+// only the graph package, so the engines can import wal for the Batch and
+// ShardState types without a cycle.
+//
+// SetBatchLog, Quiesce, ApplyLogged, ShardDurable and RestoreShard are
+// quiescent-coordination methods: SetBatchLog and RestoreShard are called
+// before the engine serves traffic (or under Quiesce), ApplyLogged only
+// during single-threaded recovery, and ShardDurable only from inside a
+// Quiesce section.
+type Engine interface {
+	NumVertices() int
+	NumShards() int
+	// SetBatchLog installs fn, invoked synchronously inside the shard's
+	// one-updater section after every committed batch; the Batch's edge
+	// slices are only valid for the duration of the call. nil uninstalls.
+	SetBatchLog(fn func(Batch))
+	// Quiesce runs f while every shard's updater is excluded: no batch is
+	// in flight and none can start until f returns.
+	Quiesce(f func())
+	// ApplyLogged re-applies one logged batch through the normal batch
+	// path, with the same accounting as the live path.
+	ApplyLogged(b Batch)
+	// ShardDurable captures shard si's durable state (copies, safe to use
+	// after the quiesce section ends).
+	ShardDurable(si int) ShardState
+	// RestoreShard restores shard si of a fresh engine from st.
+	RestoreShard(si int, st ShardState) error
+}
+
+// Stats is a point-in-time durability snapshot, served by /stats.
+type Stats struct {
+	Dir                  string `json:"dir"`
+	Sync                 string `json:"sync"`
+	Segments             int    `json:"segments"`
+	LogBytes             int64  `json:"log_bytes"`
+	LoggedBatches        uint64 `json:"logged_batches"`    // appended since open
+	RecoveredBatches     uint64 `json:"recovered_batches"` // replayed from the log tail at open
+	Snapshots            uint64 `json:"snapshots"`         // taken since open
+	LastSnapshotEpoch    uint64 `json:"last_snapshot_epoch"` // global (summed) epoch; 0 = none yet
+	LastSnapshotUnixNano int64  `json:"last_snapshot_unix_nano"`
+	LastSyncUnixNano     int64  `json:"last_fsync_unix_nano"`
+	Err                  string `json:"error,omitempty"` // sticky append error, if any
+}
+
+// Manager ties a log directory to an engine: it recovers the engine from
+// the directory at Open, logs every committed batch from then on, and
+// writes snapshots (manually via Snapshot, or automatically every
+// Options.SnapshotEvery logged batches).
+type Manager struct {
+	dir string
+	eng Engine
+	opt Options
+	log *segLog
+
+	recovered uint64 // batches replayed at Open
+	appendErr atomic.Pointer[error]
+
+	snapMu       sync.Mutex // one snapshot at a time
+	snapInFlight atomic.Bool
+	sinceSnap    atomic.Uint64
+	snapshots    atomic.Uint64
+	lastSnapEp   atomic.Uint64
+	lastSnapTime atomic.Int64
+
+	closed atomic.Bool
+	wg     sync.WaitGroup // in-flight auto-snapshot goroutines
+}
+
+// Open recovers eng from dir (creating it if needed) and attaches the
+// write-ahead log: newest valid snapshot first, then the log tail through
+// the engine's normal batch path, truncating a torn tail record. It must
+// be called on a freshly constructed, not-yet-serving engine, before any
+// retention configuration (the multi-version logs initialize from the
+// restored epochs).
+func Open(dir string, eng Engine, opt Options) (*Manager, error) {
+	opt = opt.withDefaults()
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("wal: creating %s: %w", dir, err)
+	}
+	m := &Manager{dir: dir, eng: eng, opt: opt}
+
+	// 1) Restore the newest snapshot whose checksum validates.
+	vec := make([]uint64, eng.NumShards())
+	snapEpoch, err := restoreNewestSnapshot(dir, eng, vec)
+	if err != nil {
+		return nil, err
+	}
+	m.lastSnapEp.Store(snapEpoch)
+
+	// 2) Replay the log tail. Records already covered by the snapshot
+	// (at or below its per-shard epoch vector) are skipped; the epoch
+	// filter also makes replay idempotent across overlapping segments.
+	lg, replayed, err := scanAndOpen(dir, eng.NumVertices(), eng.NumShards(), opt, func(b Batch) {
+		if b.Epoch > vec[b.Shard] {
+			eng.ApplyLogged(b)
+			vec[b.Shard] = b.Epoch
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	m.log = lg
+	m.recovered = replayed
+	m.sinceSnap.Store(replayed)
+
+	// 3) Log every batch from here on.
+	eng.SetBatchLog(m.onBatch)
+	return m, nil
+}
+
+// onBatch appends one committed batch; it runs inside the committing
+// shard's one-updater section, so per-shard records land in commit order.
+func (m *Manager) onBatch(b Batch) {
+	if err := m.log.append(b); err != nil {
+		// Sticky: the first failure (disk full, dir removed) is reported
+		// through Err/Stats and Close; later appends still run so the
+		// engine keeps serving, but durability is flagged as broken.
+		m.appendErr.CompareAndSwap(nil, &err)
+	}
+	if m.opt.SnapshotEvery > 0 && m.sinceSnap.Add(1) >= m.opt.SnapshotEvery {
+		// Trigger asynchronously: this hook runs under a shard's apply
+		// lock, and Snapshot quiesces all shards — inline it would
+		// deadlock against ourselves.
+		if m.snapInFlight.CompareAndSwap(false, true) {
+			m.wg.Add(1)
+			go func() {
+				defer m.wg.Done()
+				defer m.snapInFlight.Store(false)
+				_ = m.Snapshot()
+			}()
+		}
+	}
+}
+
+// Snapshot quiesces the engine, captures every shard's durable state,
+// rotates the log, writes the snapshot (temp file + fsync + rename) and
+// purges the log segments the snapshot covers. Safe to call concurrently
+// with updates; one snapshot runs at a time.
+func (m *Manager) Snapshot() error {
+	m.snapMu.Lock()
+	defer m.snapMu.Unlock()
+	p := m.eng.NumShards()
+	states := make([]ShardState, p)
+	var purgeBelow uint64
+	var rotateErr error
+	m.eng.Quiesce(func() {
+		for si := range states {
+			states[si] = m.eng.ShardDurable(si)
+		}
+		m.sinceSnap.Store(0)
+		// Rotate inside the quiesce so every record in the old segments is
+		// covered by the captured state.
+		purgeBelow, rotateErr = m.log.rotate()
+	})
+	if rotateErr != nil {
+		return fmt.Errorf("wal: rotating log for snapshot: %w", rotateErr)
+	}
+	var global uint64
+	for _, st := range states {
+		global += st.Epoch
+	}
+	if err := writeSnapshot(m.dir, m.eng.NumVertices(), p, states); err != nil {
+		return err
+	}
+	m.log.purgeBefore(purgeBelow)
+	m.snapshots.Add(1)
+	m.lastSnapEp.Store(global)
+	m.lastSnapTime.Store(time.Now().UnixNano())
+	pruneSnapshots(m.dir, global)
+	return nil
+}
+
+// Err returns the sticky append error, if any append has failed since
+// Open. A non-nil Err means batches may be missing from the log.
+func (m *Manager) Err() error {
+	if p := m.appendErr.Load(); p != nil {
+		return *p
+	}
+	return nil
+}
+
+// RecoveredBatches returns how many log-tail batches Open replayed.
+func (m *Manager) RecoveredBatches() uint64 { return m.recovered }
+
+// Stats returns a point-in-time durability snapshot.
+func (m *Manager) Stats() Stats {
+	segs, bytes, appended := m.log.stats()
+	st := Stats{
+		Dir:                  m.dir,
+		Sync:                 m.opt.Sync.String(),
+		Segments:             segs,
+		LogBytes:             bytes,
+		LoggedBatches:        appended,
+		RecoveredBatches:     m.recovered,
+		Snapshots:            m.snapshots.Load(),
+		LastSnapshotEpoch:    m.lastSnapEp.Load(),
+		LastSnapshotUnixNano: m.lastSnapTime.Load(),
+		LastSyncUnixNano:     m.log.lastSync.Load(),
+	}
+	if err := m.Err(); err != nil {
+		st.Err = err.Error()
+	}
+	return st
+}
+
+// Close detaches the batch hook (under a quiesce, so no append races the
+// detach), waits for any in-flight auto-snapshot, flushes and closes the
+// log. The manager must not be used afterwards; the engine stays usable
+// in memory-only mode.
+func (m *Manager) Close() error {
+	if m.closed.Swap(true) {
+		return nil
+	}
+	m.eng.Quiesce(func() { m.eng.SetBatchLog(nil) })
+	m.wg.Wait()
+	return errors.Join(m.log.close(), m.Err())
+}

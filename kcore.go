@@ -42,6 +42,7 @@ package kcore
 
 import (
 	"fmt"
+	"time"
 
 	"kcore/internal/exact"
 	"kcore/internal/graph"
@@ -49,6 +50,7 @@ import (
 	"kcore/internal/mvcc"
 	"kcore/internal/parallel"
 	"kcore/internal/shard"
+	"kcore/internal/wal"
 )
 
 // DefaultRetainedEpochs is the default multi-version retention depth: how
@@ -91,6 +93,8 @@ type options struct {
 	workers  int
 	shards   int
 	retained int
+	walDir   string
+	walOpts  WALOptions
 }
 
 // Option configures a Decomposition.
@@ -145,6 +149,57 @@ func WithRetainedEpochs(n int) Option {
 	return func(o *options) { o.retained = n }
 }
 
+// SyncPolicy selects when write-ahead-log appends are fsynced; see the
+// WithWAL option.
+type SyncPolicy int
+
+const (
+	// SyncNone leaves flushing to the OS: appended batches survive a
+	// process crash but a machine crash can lose the page-cache tail.
+	// This is the default and the fastest policy.
+	SyncNone SyncPolicy = iota
+	// SyncInterval fsyncs at most once per WALOptions.SyncEvery,
+	// bounding machine-crash loss to that window.
+	SyncInterval
+	// SyncAlways fsyncs every batch before the update call returns:
+	// full durability, at the cost of one fsync per batch.
+	SyncAlways
+)
+
+// WALOptions tune the write-ahead log enabled by WithWAL. The zero value
+// is valid: no fsync on the append path, 64 MiB segments, manual
+// snapshots only.
+type WALOptions struct {
+	// Sync is the fsync policy for log appends (default SyncNone).
+	Sync SyncPolicy
+	// SyncEvery is the SyncInterval period (default 100ms).
+	SyncEvery time.Duration
+	// SegmentBytes rotates the log file once it crosses this size
+	// (default 64 MiB).
+	SegmentBytes int64
+	// SnapshotEvery takes an automatic snapshot (asynchronously, off the
+	// update path) after this many logged batches; 0 means snapshots are
+	// taken only via Decomposition.Snapshot.
+	SnapshotEvery uint64
+}
+
+// WithWAL makes the decomposition durable: every applied update batch is
+// appended to a write-ahead log in dir, periodic snapshots bound the log's
+// replay tail, and New recovers the pre-crash state from dir (newest valid
+// snapshot + log tail, truncating a torn tail record) before returning.
+// The directory is bound to the engine shape — vertex count and shard
+// count must match across restarts.
+//
+// Call Decomposition.Close on shutdown to flush and release the log, and
+// Decomposition.Snapshot to checkpoint manually. See WALOptions for the
+// durability/throughput trade-offs.
+func WithWAL(dir string, o WALOptions) Option {
+	return func(opts *options) {
+		opts.walDir = dir
+		opts.walOpts = o
+	}
+}
+
 // Decomposition maintains an approximate k-core decomposition of a dynamic
 // undirected graph. All methods dispatch through one internal engine
 // interface with two implementations: the single-CPLDS backend (default)
@@ -160,6 +215,7 @@ func WithRetainedEpochs(n int) Option {
 // reads may be called from any goroutine at any time in either mode.
 type Decomposition struct {
 	eng engine
+	wal *wal.Manager // nil without WithWAL
 }
 
 // New creates an empty decomposition over n vertices. It returns an error
@@ -188,14 +244,88 @@ func New(n int, opts ...Option) (*Decomposition, error) {
 	if o.workers > 0 {
 		parallel.SetWorkers(o.workers)
 	}
+	var eng engine
 	if o.shards > 1 {
-		eng := shard.New(n, o.shards, o.params)
-		eng.SetRetainedEpochs(o.retained)
-		return &Decomposition{eng: eng}, nil
+		eng = shard.New(n, o.shards, o.params)
+	} else {
+		eng = newSingleEngine(n, o.params)
 	}
-	se := newSingleEngine(n, o.params)
-	se.c.SetRetainedEpochs(o.retained)
-	return &Decomposition{eng: se}, nil
+	d := &Decomposition{eng: eng}
+	if o.walDir != "" {
+		// Recovery must precede retention setup: the multi-version logs
+		// initialize from the recovered per-shard epochs.
+		m, err := wal.Open(o.walDir, eng.(wal.Engine), wal.Options{
+			Sync:          wal.SyncPolicy(o.walOpts.Sync),
+			SyncEvery:     o.walOpts.SyncEvery,
+			SegmentBytes:  o.walOpts.SegmentBytes,
+			SnapshotEvery: o.walOpts.SnapshotEvery,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("kcore: opening WAL: %w", err)
+		}
+		d.wal = m
+	}
+	eng.SetRetainedEpochs(o.retained)
+	return d, nil
+}
+
+// Snapshot writes a durability snapshot: it briefly quiesces updates to
+// capture the committed state, persists it (temp file + fsync + rename)
+// and truncates the write-ahead log's replay tail. It requires WithWAL.
+// Safe to call concurrently with updates and reads.
+func (d *Decomposition) Snapshot() error {
+	if d.wal == nil {
+		return fmt.Errorf("kcore: Snapshot requires WithWAL")
+	}
+	return d.wal.Snapshot()
+}
+
+// Close flushes and closes the write-ahead log (a no-op without WithWAL).
+// The decomposition remains usable afterwards, but further updates are no
+// longer logged.
+func (d *Decomposition) Close() error {
+	if d.wal == nil {
+		return nil
+	}
+	return d.wal.Close()
+}
+
+// DurabilityStats is a point-in-time snapshot of the write-ahead log:
+// sizes, logged/recovered batch counts and the last snapshot/fsync marks.
+type DurabilityStats struct {
+	Dir                  string // log directory
+	Sync                 string // fsync policy ("none", "interval", "always")
+	Segments             int    // live log segment files
+	LogBytes             int64  // total bytes across live segments
+	LoggedBatches        uint64 // batches appended since open
+	RecoveredBatches     uint64 // batches replayed from the log tail at open
+	Snapshots            uint64 // snapshots taken since open
+	LastSnapshotEpoch    uint64 // global epoch of the newest snapshot (0 = none)
+	LastSnapshotUnixNano int64  // wall clock of the newest snapshot (0 = none)
+	LastSyncUnixNano     int64  // wall clock of the last fsync (0 = never)
+	Err                  string // sticky append error ("" = healthy)
+}
+
+// DurabilityStats reports the write-ahead log's state; ok is false
+// without WithWAL. Safe to call at any time.
+func (d *Decomposition) DurabilityStats() (stats DurabilityStats, ok bool) {
+	if d.wal == nil {
+		return DurabilityStats{}, false
+	}
+	s := d.wal.Stats()
+	return DurabilityStats{
+		Dir:                  s.Dir,
+		Sync:                 s.Sync,
+		Segments:             s.Segments,
+		LogBytes:             s.LogBytes,
+		LoggedBatches:        s.LoggedBatches,
+		RecoveredBatches:     s.RecoveredBatches,
+		Snapshots:            s.Snapshots,
+		LastSnapshotEpoch:    s.LastSnapshotEpoch,
+		LastSnapshotUnixNano: s.LastSnapshotUnixNano,
+		LastSyncUnixNano:     s.LastSyncUnixNano,
+		Err:                  s.Err,
+	}, true
 }
 
 // Shards returns the number of shards (1 unless WithShards was used).
