@@ -16,6 +16,13 @@
 // its pre-crash state from the directory on restart (newest valid snapshot
 // plus log tail). Note that -load re-applies (and re-logs) its file on every
 // start; use it to seed an empty WAL directory, not together with recovery.
+//
+// Overload protection: -rate-limit/-rate-burst cap each client's request
+// rate (429 past the bucket), -max-inflight sheds load on the heavy
+// endpoints (503 once that many requests are in flight), and
+// -request-timeout bounds every request by a deadline. /healthz is
+// liveness; /readyz turns 503 while the WAL is degraded (durability lost,
+// reads and updates still served — see -reattach-every).
 package main
 
 import (
@@ -29,6 +36,7 @@ import (
 	"syscall"
 	"time"
 
+	"kcore/internal/faultfs"
 	"kcore/internal/graph"
 	"kcore/internal/lds"
 	"kcore/internal/server"
@@ -52,22 +60,51 @@ func main() {
 	fsync := flag.String("fsync", "none", "WAL fsync policy: none, interval or always")
 	fsyncEvery := flag.Duration("fsync-interval", 100*time.Millisecond,
 		"minimum spacing between fsyncs under -fsync interval")
+	reattachEvery := flag.Duration("reattach-every", 5*time.Second,
+		"background re-attach period while the WAL is degraded (negative disables)")
+	rateLimit := flag.Float64("rate-limit", 0,
+		"per-client requests per second (0 disables rate limiting)")
+	rateBurst := flag.Int("rate-burst", 20, "per-client burst size under -rate-limit")
+	maxInFlight := flag.Int("max-inflight", 0,
+		"max concurrent update/bulk requests before shedding with 503 (0 disables)")
+	reqTimeout := flag.Duration("request-timeout", 10*time.Second,
+		"per-request deadline (0 disables)")
+	faultFsync := flag.Int("fault-fsync-fail", 0,
+		"TESTING ONLY: inject a failure into the next N WAL fsyncs (-1 = forever)")
 	flag.Parse()
 
 	opts := []server.Option{
 		server.WithShards(*shards), server.WithMaxBatchEdges(*maxBatch),
 		server.WithRetainedEpochs(*retain),
+		server.WithRequestTimeout(*reqTimeout),
+	}
+	if *rateLimit > 0 {
+		opts = append(opts, server.WithRateLimit(*rateLimit, *rateBurst))
+	}
+	if *maxInFlight > 0 {
+		opts = append(opts, server.WithMaxInFlight(*maxInFlight))
 	}
 	if *walDir != "" {
 		policy, err := wal.ParseSyncPolicy(*fsync)
 		if err != nil {
 			log.Fatalf("kcore-server: %v", err)
 		}
-		opts = append(opts, server.WithWAL(*walDir, wal.Options{
+		wo := wal.Options{
 			Sync:          policy,
 			SyncEvery:     *fsyncEvery,
 			SnapshotEvery: *snapEvery,
-		}))
+			ReattachEvery: *reattachEvery,
+		}
+		if *faultFsync != 0 {
+			// A finite schedule exhausts itself after N failures, so the
+			// background re-attach loop then succeeds: the smoke test sees
+			// degrade → keep serving → recover, all in one process.
+			inj := faultfs.New(nil)
+			inj.FailSyncs(0, *faultFsync)
+			wo.FS = inj
+			log.Printf("kcore-server: FAULT INJECTION armed: failing %d fsync(s)", *faultFsync)
+		}
+		opts = append(opts, server.WithWAL(*walDir, wo))
 	}
 	srv, err := server.New(*n, lds.Params{Delta: *delta, Lambda: *lambda}, opts...)
 	if err != nil {

@@ -1,0 +1,368 @@
+// Package faultfs is the injectable filesystem seam of the durability
+// subsystem. The write-ahead log performs all file I/O through the FS
+// interface; production uses the OS passthrough, and tests swap in an
+// Injector that fails operations on a programmable schedule — fail the
+// Nth fsync, short-write mid-record, report ENOSPC after a byte budget,
+// corrupt a write in flight — so every WAL error path is deterministically
+// reachable without sleeping, filling disks, or killing processes.
+package faultfs
+
+import (
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"sync"
+	"syscall"
+)
+
+// ErrInjected is the base error returned by scheduled faults (except the
+// byte-budget fault, which wraps syscall.ENOSPC to mimic a full disk).
+// Match with errors.Is.
+var ErrInjected = errors.New("faultfs: injected fault")
+
+// File is the open-file surface the WAL needs: append writes, fsync,
+// close, and the name for path-based repair (truncate after a torn write).
+type File interface {
+	Write(p []byte) (int, error)
+	Sync() error
+	Close() error
+	Name() string
+}
+
+// FS is the filesystem surface the WAL routes every operation through.
+// Methods mirror the os package functions of the same name.
+type FS interface {
+	OpenFile(name string, flag int, perm fs.FileMode) (File, error)
+	CreateTemp(dir, pattern string) (File, error)
+	Rename(oldpath, newpath string) error
+	Remove(name string) error
+	Truncate(name string, size int64) error
+	MkdirAll(path string, perm fs.FileMode) error
+	ReadDir(name string) ([]fs.DirEntry, error)
+	ReadFile(name string) ([]byte, error)
+	Stat(name string) (fs.FileInfo, error)
+}
+
+// OS returns the passthrough filesystem backed by the os package.
+func OS() FS { return osFS{} }
+
+type osFS struct{}
+
+func (osFS) OpenFile(name string, flag int, perm fs.FileMode) (File, error) {
+	return os.OpenFile(name, flag, perm)
+}
+func (osFS) CreateTemp(dir, pattern string) (File, error) { return os.CreateTemp(dir, pattern) }
+func (osFS) Rename(oldpath, newpath string) error         { return os.Rename(oldpath, newpath) }
+func (osFS) Remove(name string) error                     { return os.Remove(name) }
+func (osFS) Truncate(name string, size int64) error       { return os.Truncate(name, size) }
+func (osFS) MkdirAll(path string, perm fs.FileMode) error { return os.MkdirAll(path, perm) }
+func (osFS) ReadDir(name string) ([]fs.DirEntry, error)   { return os.ReadDir(name) }
+func (osFS) ReadFile(name string) ([]byte, error)         { return os.ReadFile(name) }
+func (osFS) Stat(name string) (fs.FileInfo, error)        { return os.Stat(name) }
+
+// plan schedules failures for one operation class: skip After successful
+// calls, then fail Count calls (negative Count = fail forever).
+type plan struct {
+	after int
+	count int
+}
+
+// take reports whether the current call should fail, advancing the plan.
+func (p *plan) take() bool {
+	if p.count == 0 {
+		return false
+	}
+	if p.after > 0 {
+		p.after--
+		return false
+	}
+	if p.count > 0 {
+		p.count--
+	}
+	return true
+}
+
+// Counters is a point-in-time snapshot of the operations an Injector has
+// seen and the faults it has fired.
+type Counters struct {
+	Writes, Syncs, Renames, Opens           uint64
+	FailedWrites, FailedSyncs               uint64
+	FailedRenames, FailedOpens              uint64
+	BytesWritten                            int64
+	ShortWrites, CorruptWrites, NoSpaceHits uint64
+}
+
+// Injector wraps a base FS with programmable faults. All schedule methods
+// are safe for concurrent use with file operations; Clear lifts every
+// armed fault (counters are preserved), which models the operator fixing
+// the disk so the WAL can re-attach.
+type Injector struct {
+	base FS
+
+	mu      sync.Mutex
+	writes  plan
+	syncs   plan
+	renames plan
+	opens   plan
+
+	byteBudget int64 // bytes still writable before ENOSPC; <0 = unlimited
+	budgetSet  bool
+
+	shortNext   int  // next write persists only this many bytes, then fails; <0 = off
+	corruptNext bool // next write flips a bit but reports success
+
+	c Counters
+}
+
+// New returns an Injector over base (nil base = the real OS filesystem)
+// with no faults armed.
+func New(base FS) *Injector {
+	if base == nil {
+		base = OS()
+	}
+	return &Injector{base: base, shortNext: -1}
+}
+
+// FailWrites arms write failures: after `after` more successful writes,
+// the next `count` writes fail with ErrInjected before touching the file
+// (count < 0 = fail forever).
+func (i *Injector) FailWrites(after, count int) {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	i.writes = plan{after: after, count: count}
+}
+
+// FailSyncs arms fsync failures with the same schedule semantics.
+func (i *Injector) FailSyncs(after, count int) {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	i.syncs = plan{after: after, count: count}
+}
+
+// FailRenames arms rename failures with the same schedule semantics.
+func (i *Injector) FailRenames(after, count int) {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	i.renames = plan{after: after, count: count}
+}
+
+// FailOpens arms OpenFile/CreateTemp failures with the same schedule
+// semantics.
+func (i *Injector) FailOpens(after, count int) {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	i.opens = plan{after: after, count: count}
+}
+
+// LimitBytes sets the remaining byte budget: once `n` more bytes have been
+// written through the injector, further writes fail with an error matching
+// syscall.ENOSPC — the full-disk footprint. n < 0 removes the limit.
+func (i *Injector) LimitBytes(n int64) {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	i.byteBudget = n
+	i.budgetSet = n >= 0
+}
+
+// ShortWrite arms a torn write: the next write persists only `keep` bytes
+// of its buffer, then fails with ErrInjected — the footprint of a crash or
+// I/O error mid-record.
+func (i *Injector) ShortWrite(keep int) {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	i.shortNext = keep
+}
+
+// CorruptNextWrite arms silent corruption: the next write flips one bit of
+// its payload but reports full success — the footprint recovery-side CRCs
+// exist to catch.
+func (i *Injector) CorruptNextWrite() {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	i.corruptNext = true
+}
+
+// Clear lifts every armed fault; counters are preserved.
+func (i *Injector) Clear() {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	i.writes, i.syncs, i.renames, i.opens = plan{}, plan{}, plan{}, plan{}
+	i.budgetSet = false
+	i.shortNext = -1
+	i.corruptNext = false
+}
+
+// Counters returns a snapshot of operation and fault counts.
+func (i *Injector) Counters() Counters {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	return i.c
+}
+
+// writeDecision is resolved under the lock, applied outside it.
+type writeDecision struct {
+	fail    bool  // fail before writing anything
+	short   int   // >= 0: write only this many bytes, then fail
+	corrupt bool  // flip a bit, report success
+	noSpace bool  // fail with ENOSPC (possibly after a partial write)
+	allowed int64 // bytes the budget permits when noSpace is set
+}
+
+func (i *Injector) decideWrite(n int) writeDecision {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	i.c.Writes++
+	var d writeDecision
+	if i.writes.take() {
+		i.c.FailedWrites++
+		d.fail = true
+		return d
+	}
+	if i.shortNext >= 0 {
+		d.short = i.shortNext
+		if d.short > n {
+			d.short = n
+		}
+		i.shortNext = -1
+		i.c.ShortWrites++
+		i.c.FailedWrites++
+		i.c.BytesWritten += int64(d.short)
+		if i.budgetSet {
+			i.byteBudget -= int64(d.short)
+		}
+		return d
+	}
+	d.short = -1
+	if i.budgetSet && i.byteBudget < int64(n) {
+		d.noSpace = true
+		d.allowed = i.byteBudget
+		if d.allowed < 0 {
+			d.allowed = 0
+		}
+		i.byteBudget -= d.allowed
+		i.c.BytesWritten += d.allowed
+		i.c.NoSpaceHits++
+		i.c.FailedWrites++
+		return d
+	}
+	if i.corruptNext {
+		d.corrupt = true
+		i.corruptNext = false
+		i.c.CorruptWrites++
+	}
+	if i.budgetSet {
+		i.byteBudget -= int64(n)
+	}
+	i.c.BytesWritten += int64(n)
+	return d
+}
+
+type injFile struct {
+	f   File
+	inj *Injector
+}
+
+func (f *injFile) Name() string { return f.f.Name() }
+func (f *injFile) Close() error { return f.f.Close() }
+
+func (f *injFile) Write(p []byte) (int, error) {
+	d := f.inj.decideWrite(len(p))
+	switch {
+	case d.fail:
+		return 0, fmt.Errorf("faultfs: write: %w", ErrInjected)
+	case d.short >= 0:
+		n, err := f.f.Write(p[:d.short])
+		if err != nil {
+			return n, err
+		}
+		return n, fmt.Errorf("faultfs: short write (%d of %d bytes): %w", n, len(p), ErrInjected)
+	case d.noSpace:
+		n := 0
+		if d.allowed > 0 {
+			n, _ = f.f.Write(p[:d.allowed])
+		}
+		return n, fmt.Errorf("faultfs: injected disk full: %w", syscall.ENOSPC)
+	case d.corrupt:
+		q := make([]byte, len(p))
+		copy(q, p)
+		if len(q) > 0 {
+			q[len(q)/2] ^= 0x40
+		}
+		return f.f.Write(q)
+	default:
+		return f.f.Write(p)
+	}
+}
+
+func (f *injFile) Sync() error {
+	f.inj.mu.Lock()
+	f.inj.c.Syncs++
+	fail := f.inj.syncs.take()
+	if fail {
+		f.inj.c.FailedSyncs++
+	}
+	f.inj.mu.Unlock()
+	if fail {
+		return fmt.Errorf("faultfs: fsync: %w", ErrInjected)
+	}
+	return f.f.Sync()
+}
+
+func (i *Injector) openFault() error {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	i.c.Opens++
+	if i.opens.take() {
+		i.c.FailedOpens++
+		return fmt.Errorf("faultfs: open: %w", ErrInjected)
+	}
+	return nil
+}
+
+func (i *Injector) OpenFile(name string, flag int, perm fs.FileMode) (File, error) {
+	if err := i.openFault(); err != nil {
+		return nil, err
+	}
+	f, err := i.base.OpenFile(name, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return &injFile{f: f, inj: i}, nil
+}
+
+func (i *Injector) CreateTemp(dir, pattern string) (File, error) {
+	if err := i.openFault(); err != nil {
+		return nil, err
+	}
+	f, err := i.base.CreateTemp(dir, pattern)
+	if err != nil {
+		return nil, err
+	}
+	return &injFile{f: f, inj: i}, nil
+}
+
+func (i *Injector) Rename(oldpath, newpath string) error {
+	i.mu.Lock()
+	i.c.Renames++
+	fail := i.renames.take()
+	if fail {
+		i.c.FailedRenames++
+	}
+	i.mu.Unlock()
+	if fail {
+		return fmt.Errorf("faultfs: rename %s: %w", newpath, ErrInjected)
+	}
+	return i.base.Rename(oldpath, newpath)
+}
+
+func (i *Injector) Remove(name string) error               { return i.base.Remove(name) }
+func (i *Injector) Truncate(name string, size int64) error { return i.base.Truncate(name, size) }
+func (i *Injector) MkdirAll(path string, perm fs.FileMode) error {
+	return i.base.MkdirAll(path, perm)
+}
+func (i *Injector) ReadDir(name string) ([]fs.DirEntry, error) { return i.base.ReadDir(name) }
+func (i *Injector) ReadFile(name string) ([]byte, error)       { return i.base.ReadFile(name) }
+func (i *Injector) Stat(name string) (fs.FileInfo, error)      { return i.base.Stat(name) }
+
+var _ FS = (*Injector)(nil)

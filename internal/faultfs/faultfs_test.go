@@ -1,0 +1,194 @@
+package faultfs
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"syscall"
+	"testing"
+)
+
+func openTestFile(t *testing.T, fs FS) File {
+	t.Helper()
+	f, err := fs.OpenFile(filepath.Join(t.TempDir(), "f"), os.O_WRONLY|os.O_CREATE, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { f.Close() })
+	return f
+}
+
+func TestOSPassthrough(t *testing.T) {
+	fs := OS()
+	dir := t.TempDir()
+	path := filepath.Join(dir, "a")
+	f, err := fs.OpenFile(path, os.O_WRONLY|os.O_CREATE, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	data, err := fs.ReadFile(path)
+	if err != nil || string(data) != "hello" {
+		t.Fatalf("read %q, %v", data, err)
+	}
+	if err := fs.Rename(path, filepath.Join(dir, "b")); err != nil {
+		t.Fatal(err)
+	}
+	ents, err := fs.ReadDir(dir)
+	if err != nil || len(ents) != 1 || ents[0].Name() != "b" {
+		t.Fatalf("readdir %v, %v", ents, err)
+	}
+	if err := fs.Truncate(filepath.Join(dir, "b"), 2); err != nil {
+		t.Fatal(err)
+	}
+	fi, err := fs.Stat(filepath.Join(dir, "b"))
+	if err != nil || fi.Size() != 2 {
+		t.Fatalf("stat %v, %v", fi, err)
+	}
+	if err := fs.Remove(filepath.Join(dir, "b")); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFailSyncsSchedule(t *testing.T) {
+	inj := New(nil)
+	f := openTestFile(t, inj)
+	inj.FailSyncs(2, 3) // 2 succeed, then 3 fail, then healthy again
+	for k := 0; k < 2; k++ {
+		if err := f.Sync(); err != nil {
+			t.Fatalf("sync %d failed before schedule: %v", k, err)
+		}
+	}
+	for k := 0; k < 3; k++ {
+		if err := f.Sync(); !errors.Is(err, ErrInjected) {
+			t.Fatalf("sync %d: %v, want injected failure", k, err)
+		}
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatalf("sync after schedule exhausted: %v", err)
+	}
+	c := inj.Counters()
+	if c.Syncs != 6 || c.FailedSyncs != 3 {
+		t.Fatalf("counters %+v", c)
+	}
+}
+
+func TestFailSyncsForeverAndClear(t *testing.T) {
+	inj := New(nil)
+	f := openTestFile(t, inj)
+	inj.FailSyncs(0, -1)
+	for k := 0; k < 5; k++ {
+		if err := f.Sync(); !errors.Is(err, ErrInjected) {
+			t.Fatalf("permanent sync fault did not fire on call %d: %v", k, err)
+		}
+	}
+	inj.Clear()
+	if err := f.Sync(); err != nil {
+		t.Fatalf("sync after Clear: %v", err)
+	}
+}
+
+func TestShortWrite(t *testing.T) {
+	inj := New(nil)
+	f := openTestFile(t, inj)
+	if _, err := f.Write([]byte("aaaa")); err != nil {
+		t.Fatal(err)
+	}
+	inj.ShortWrite(3)
+	n, err := f.Write([]byte("bbbbbbbb"))
+	if n != 3 || !errors.Is(err, ErrInjected) {
+		t.Fatalf("short write wrote %d, err %v; want 3, injected", n, err)
+	}
+	// One-shot: the next write is healthy.
+	if _, err := f.Write([]byte("cc")); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(f.Name())
+	if err != nil || string(data) != "aaaabbbcc" {
+		t.Fatalf("on-disk bytes %q, %v", data, err)
+	}
+}
+
+func TestByteBudgetENOSPC(t *testing.T) {
+	inj := New(nil)
+	f := openTestFile(t, inj)
+	inj.LimitBytes(6)
+	if _, err := f.Write([]byte("aaaa")); err != nil {
+		t.Fatal(err)
+	}
+	// 2 bytes left: a 4-byte write partially lands, then ENOSPC.
+	n, err := f.Write([]byte("bbbb"))
+	if !errors.Is(err, syscall.ENOSPC) {
+		t.Fatalf("over-budget write: %v, want ENOSPC", err)
+	}
+	if n != 2 {
+		t.Fatalf("partial write %d bytes, want 2", n)
+	}
+	if _, err := f.Write([]byte("c")); !errors.Is(err, syscall.ENOSPC) {
+		t.Fatalf("exhausted budget write: %v, want ENOSPC", err)
+	}
+	inj.LimitBytes(-1)
+	if _, err := f.Write([]byte("dd")); err != nil {
+		t.Fatalf("write after lifting budget: %v", err)
+	}
+}
+
+func TestCorruptNextWrite(t *testing.T) {
+	inj := New(nil)
+	f := openTestFile(t, inj)
+	inj.CorruptNextWrite()
+	payload := []byte("abcdefgh")
+	orig := append([]byte(nil), payload...)
+	if _, err := f.Write(payload); err != nil {
+		t.Fatalf("corrupt write must report success: %v", err)
+	}
+	if string(payload) != string(orig) {
+		t.Fatal("corrupt write mutated the caller's buffer")
+	}
+	data, _ := os.ReadFile(f.Name())
+	if string(data) == string(orig) {
+		t.Fatal("corrupt write landed unmodified bytes")
+	}
+	if len(data) != len(orig) {
+		t.Fatalf("corrupt write changed length: %d vs %d", len(data), len(orig))
+	}
+}
+
+func TestFailWritesAndOpensAndRenames(t *testing.T) {
+	inj := New(nil)
+	f := openTestFile(t, inj)
+	inj.FailWrites(0, 1)
+	if n, err := f.Write([]byte("x")); n != 0 || !errors.Is(err, ErrInjected) {
+		t.Fatalf("write fault: n=%d err=%v", n, err)
+	}
+	if _, err := f.Write([]byte("x")); err != nil {
+		t.Fatalf("write after one-shot fault: %v", err)
+	}
+
+	dir := t.TempDir()
+	inj.FailOpens(0, 1)
+	if _, err := inj.OpenFile(filepath.Join(dir, "y"), os.O_WRONLY|os.O_CREATE, 0o644); !errors.Is(err, ErrInjected) {
+		t.Fatalf("open fault: %v", err)
+	}
+	g, err := inj.CreateTemp(dir, "t-*")
+	if err != nil {
+		t.Fatalf("open after one-shot fault: %v", err)
+	}
+	g.Close()
+
+	inj.FailRenames(0, 1)
+	if err := inj.Rename(g.Name(), filepath.Join(dir, "z")); !errors.Is(err, ErrInjected) {
+		t.Fatalf("rename fault: %v", err)
+	}
+	if err := inj.Rename(g.Name(), filepath.Join(dir, "z")); err != nil {
+		t.Fatalf("rename after one-shot fault: %v", err)
+	}
+}

@@ -9,9 +9,17 @@
 //	POST /coreness/bulk              — JSON vertex list, one consistent cut
 //	GET  /top?k=<n>[&epoch=<e>]      — top-k vertices by coreness estimate
 //	GET  /stats                      — graph and batch counters
+//	GET  /healthz                    — liveness (always 200 while serving)
+//	GET  /readyz                     — readiness (503 while WAL degraded)
 //	POST /edges/insert               — body: "u v" per line; one batch
 //	POST /edges/delete               — body: "u v" per line; one batch
 //	POST /edges/batch                — JSON mixed batch (see batchRequest)
+//
+// Every error path answers with one structured JSON shape,
+// {"error": <message>, "code": <stable-code>}, and the service carries
+// its own overload protection (per-client rate limiting, per-request
+// deadlines, a max-in-flight gate on the heavy endpoints, panic
+// isolation) — see middleware.go.
 //
 // Reads are served directly from the CPLDS read protocol of the vertex's
 // owning shard and never block on updates. Update requests from concurrent
@@ -46,6 +54,7 @@ import (
 	"net/http"
 	"strconv"
 	"sync/atomic"
+	"time"
 
 	"kcore/internal/apps"
 	"kcore/internal/graph"
@@ -95,6 +104,37 @@ func WithWAL(dir string, o wal.Options) Option {
 	}
 }
 
+// WithRateLimit enables per-client token-bucket rate limiting: each
+// remote address may issue rps requests/second sustained with the given
+// burst headroom; excess requests answer 429. rps <= 0 disables limiting
+// (the default).
+func WithRateLimit(rps float64, burst int) Option {
+	return func(s *Server) {
+		if rps > 0 {
+			s.rate = newRateLimiter(rps, burst)
+		}
+	}
+}
+
+// WithMaxInFlight caps concurrently executing heavy requests (updates
+// and bulk reads): request n+1 answers 503 immediately instead of
+// queueing. n <= 0 disables the gate (the default). Single-vertex reads,
+// stats and health probes are never gated.
+func WithMaxInFlight(n int) Option {
+	return func(s *Server) {
+		if n > 0 {
+			s.gate = &inflightGate{sem: make(chan struct{}, n)}
+		}
+	}
+}
+
+// WithRequestTimeout bounds every request by d: a handler that has not
+// written its response within d answers 503 with code "timeout". d <= 0
+// disables deadlines (the default).
+func WithRequestTimeout(d time.Duration) Option {
+	return func(s *Server) { s.reqTimeout = d }
+}
+
 // Server is an HTTP k-core query/update service.
 type Server struct {
 	eng *shard.Engine
@@ -106,9 +146,18 @@ type Server struct {
 	walDir        string
 	walOpts       wal.Options
 
+	rate       *rateLimiter  // nil = no rate limiting
+	gate       *inflightGate // nil = no in-flight cap
+	reqTimeout time.Duration // <= 0 = no per-request deadline
+
 	inserted atomic.Int64
 	deleted  atomic.Int64
 	reads    atomic.Int64
+
+	rateLimited atomic.Int64
+	loadShed    atomic.Int64
+	timeouts    atomic.Int64
+	panics      atomic.Int64
 }
 
 // New creates a service over n vertices. It fails only when WithWAL is set
@@ -151,11 +200,21 @@ func (s *Server) Snapshot() error {
 }
 
 // Close flushes and closes the write-ahead log (a no-op without WithWAL).
+// Idempotent and safe to call concurrently with Snapshot.
 func (s *Server) Close() error {
 	if s.wal == nil {
 		return nil
 	}
 	return s.wal.Close()
+}
+
+// Reattach attempts to restore durability after the WAL degraded (see
+// wal.Manager.Reattach). It requires WithWAL.
+func (s *Server) Reattach() error {
+	if s.wal == nil {
+		return errors.New("server: Reattach requires WithWAL")
+	}
+	return s.wal.Reattach()
 }
 
 // InsertBatch applies an insertion batch directly (bulk loading at
@@ -166,17 +225,37 @@ func (s *Server) InsertBatch(edges []graph.Edge) int {
 	return applied
 }
 
-// Handler returns the HTTP handler for the service.
+// Handler returns the HTTP handler for the service: the route mux with
+// the heavy endpoints behind the in-flight gate, wrapped (innermost to
+// outermost) in panic recovery, the per-request deadline and the
+// per-client rate limiter.
 func (s *Server) Handler() http.Handler {
+	heavy := func(h http.Handler) http.Handler {
+		if s.gate == nil {
+			return h
+		}
+		return s.gate.wrap(h)
+	}
+	if s.gate != nil {
+		s.gate.shed = func() { s.loadShed.Add(1) }
+	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /coreness", s.handleCoreness)
-	mux.HandleFunc("POST /coreness/bulk", s.handleCorenessBulk)
-	mux.HandleFunc("GET /top", s.handleTop)
+	mux.Handle("POST /coreness/bulk", heavy(http.HandlerFunc(s.handleCorenessBulk)))
+	mux.Handle("GET /top", heavy(http.HandlerFunc(s.handleTop)))
 	mux.HandleFunc("GET /stats", s.handleStats)
-	mux.HandleFunc("POST /edges/insert", s.handleUpdate(true))
-	mux.HandleFunc("POST /edges/delete", s.handleUpdate(false))
-	mux.HandleFunc("POST /edges/batch", s.handleBatch)
-	return mux
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /readyz", s.handleReadyz)
+	mux.Handle("POST /edges/insert", heavy(s.handleUpdate(true)))
+	mux.Handle("POST /edges/delete", heavy(s.handleUpdate(false)))
+	mux.Handle("POST /edges/batch", heavy(http.HandlerFunc(s.handleBatch)))
+	var h http.Handler = mux
+	h = s.recoverMiddleware(h)
+	h = s.timeoutMiddleware(h)
+	if s.rate != nil {
+		h = s.rateLimitMiddleware(h)
+	}
+	return h
 }
 
 // corenessResponse is the JSON body of /coreness. Epoch is the committed
@@ -196,11 +275,11 @@ type corenessResponse struct {
 func writeEpochError(w http.ResponseWriter, err error) {
 	switch {
 	case errors.Is(err, mvcc.ErrEvicted):
-		http.Error(w, err.Error(), http.StatusGone)
+		writeError(w, http.StatusGone, codeEvicted, err.Error())
 	case errors.Is(err, mvcc.ErrFuture):
-		http.Error(w, err.Error(), http.StatusNotFound)
+		writeError(w, http.StatusNotFound, codeFuture, err.Error())
 	default:
-		http.Error(w, err.Error(), http.StatusInternalServerError)
+		writeError(w, http.StatusInternalServerError, codeInternal, err.Error())
 	}
 }
 
@@ -213,7 +292,7 @@ func epochParam(w http.ResponseWriter, r *http.Request) (epoch uint64, present, 
 	}
 	epoch, err := strconv.ParseUint(raw, 10, 64)
 	if err != nil {
-		http.Error(w, "bad epoch", http.StatusBadRequest)
+		writeError(w, http.StatusBadRequest, codeBadRequest, "bad epoch")
 		return 0, true, true
 	}
 	return epoch, true, false
@@ -245,7 +324,7 @@ func (s *Server) serveAt(w http.ResponseWriter, epoch uint64, read func() error)
 func (s *Server) handleCoreness(w http.ResponseWriter, r *http.Request) {
 	v64, err := strconv.ParseUint(r.URL.Query().Get("v"), 10, 32)
 	if err != nil || int(v64) >= s.eng.NumVertices() {
-		http.Error(w, "bad or out-of-range vertex id", http.StatusBadRequest)
+		writeError(w, http.StatusBadRequest, codeBadRequest, "bad or out-of-range vertex id")
 		return
 	}
 	v := uint32(v64)
@@ -255,7 +334,7 @@ func (s *Server) handleCoreness(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		if mode != "" && mode != "linearizable" {
-			http.Error(w, "mode is incompatible with a requested epoch", http.StatusBadRequest)
+			writeError(w, http.StatusBadRequest, codeBadRequest, "mode is incompatible with a requested epoch")
 			return
 		}
 		vs, out := [1]uint32{v}, [1]float64{}
@@ -281,7 +360,7 @@ func (s *Server) handleCoreness(w http.ResponseWriter, r *http.Request) {
 	case "blocking":
 		est, epoch = s.eng.ReadSync(v), s.eng.Epoch()
 	default:
-		http.Error(w, "unknown mode (want linearizable, nonsync or blocking)", http.StatusBadRequest)
+		writeError(w, http.StatusBadRequest, codeBadRequest, "unknown mode (want linearizable, nonsync or blocking)")
 		return
 	}
 	s.reads.Add(1)
@@ -314,27 +393,27 @@ func (s *Server) handleCorenessBulk(w http.ResponseWriter, r *http.Request) {
 	if err := dec.Decode(&req); err != nil {
 		var tooLarge *http.MaxBytesError
 		if errors.As(err, &tooLarge) {
-			http.Error(w, fmt.Sprintf("bulk body exceeds %d bytes", tooLarge.Limit),
-				http.StatusRequestEntityTooLarge)
+			writeError(w, http.StatusRequestEntityTooLarge, codeTooLarge,
+				fmt.Sprintf("bulk body exceeds %d bytes", tooLarge.Limit))
 			return
 		}
-		http.Error(w, fmt.Sprintf("bad bulk JSON: %v", err), http.StatusBadRequest)
+		writeError(w, http.StatusBadRequest, codeBadRequest, fmt.Sprintf("bad bulk JSON: %v", err))
 		return
 	}
 	if len(req.Vertices) == 0 {
-		http.Error(w, "empty vertex list", http.StatusBadRequest)
+		writeError(w, http.StatusBadRequest, codeBadRequest, "empty vertex list")
 		return
 	}
 	if len(req.Vertices) > s.maxBatchEdges {
-		http.Error(w, fmt.Sprintf("bulk read of %d vertices exceeds limit %d",
-			len(req.Vertices), s.maxBatchEdges), http.StatusRequestEntityTooLarge)
+		writeError(w, http.StatusRequestEntityTooLarge, codeTooLarge,
+			fmt.Sprintf("bulk read of %d vertices exceeds limit %d", len(req.Vertices), s.maxBatchEdges))
 		return
 	}
 	n := uint32(s.eng.NumVertices())
 	for _, v := range req.Vertices {
 		if v >= n {
-			http.Error(w, fmt.Sprintf("vertex %d out of range, have %d vertices", v, n),
-				http.StatusBadRequest)
+			writeError(w, http.StatusBadRequest, codeBadRequest,
+				fmt.Sprintf("vertex %d out of range, have %d vertices", v, n))
 			return
 		}
 	}
@@ -365,7 +444,7 @@ type topResponse struct {
 func (s *Server) handleTop(w http.ResponseWriter, r *http.Request) {
 	k, err := strconv.Atoi(r.URL.Query().Get("k"))
 	if err != nil || k < 1 {
-		http.Error(w, "bad k", http.StatusBadRequest)
+		writeError(w, http.StatusBadRequest, codeBadRequest, "bad k")
 		return
 	}
 	n := s.eng.NumVertices()
@@ -404,6 +483,16 @@ type statsResponse struct {
 	Reads       int64         `json:"reads_served"`
 	ShardLoad   []shard.Stats `json:"shard_load"`
 	Durability  *wal.Stats    `json:"durability,omitempty"`
+	Overload    overloadStats `json:"overload"`
+}
+
+// overloadStats counts requests turned away or cut off by the protection
+// layer, plus panics contained by the recovery middleware.
+type overloadStats struct {
+	RateLimited int64 `json:"rate_limited"`
+	LoadShed    int64 `json:"load_shed"`
+	Timeouts    int64 `json:"timeouts"`
+	Panics      int64 `json:"panics"`
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -419,6 +508,12 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		Deleted:     s.deleted.Load(),
 		Reads:       s.reads.Load(),
 		ShardLoad:   s.eng.Stats(),
+		Overload: overloadStats{
+			RateLimited: s.rateLimited.Load(),
+			LoadShed:    s.loadShed.Load(),
+			Timeouts:    s.timeouts.Load(),
+			Panics:      s.panics.Load(),
+		},
 	}
 	if s.wal != nil {
 		st := s.wal.Stats()
@@ -443,23 +538,23 @@ func (s *Server) handleUpdate(insert bool) http.HandlerFunc {
 		if err != nil {
 			var tooLarge *http.MaxBytesError
 			if errors.As(err, &tooLarge) {
-				http.Error(w, fmt.Sprintf("edge list exceeds %d bytes", tooLarge.Limit),
-					http.StatusRequestEntityTooLarge)
+				writeError(w, http.StatusRequestEntityTooLarge, codeTooLarge,
+					fmt.Sprintf("edge list exceeds %d bytes", tooLarge.Limit))
 				return
 			}
-			http.Error(w, fmt.Sprintf("bad edge list: %v", err), http.StatusBadRequest)
+			writeError(w, http.StatusBadRequest, codeBadRequest, fmt.Sprintf("bad edge list: %v", err))
 			return
 		}
 		if len(edges) > s.maxBatchEdges {
-			http.Error(w, fmt.Sprintf("batch of %d edges exceeds limit %d",
-				len(edges), s.maxBatchEdges), http.StatusRequestEntityTooLarge)
+			writeError(w, http.StatusRequestEntityTooLarge, codeTooLarge,
+				fmt.Sprintf("batch of %d edges exceeds limit %d", len(edges), s.maxBatchEdges))
 			return
 		}
 		n := uint32(s.eng.NumVertices())
 		for _, e := range edges {
 			if e.U >= n || e.V >= n {
-				http.Error(w, fmt.Sprintf("vertex out of range: edge (%d,%d), have %d vertices",
-					e.U, e.V, n), http.StatusBadRequest)
+				writeError(w, http.StatusBadRequest, codeBadRequest,
+					fmt.Sprintf("vertex out of range: edge (%d,%d), have %d vertices", e.U, e.V, n))
 				return
 			}
 		}
@@ -528,15 +623,19 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	if err := dec.Decode(&req); err != nil {
 		var tooLarge *http.MaxBytesError
 		if errors.As(err, &tooLarge) {
-			http.Error(w, fmt.Sprintf("batch body exceeds %d bytes", tooLarge.Limit),
-				http.StatusRequestEntityTooLarge)
+			writeError(w, http.StatusRequestEntityTooLarge, codeTooLarge,
+				fmt.Sprintf("batch body exceeds %d bytes", tooLarge.Limit))
 			return
 		}
-		http.Error(w, fmt.Sprintf("bad batch JSON: %v", err), http.StatusBadRequest)
+		writeError(w, http.StatusBadRequest, codeBadRequest, fmt.Sprintf("bad batch JSON: %v", err))
 		return
 	}
 	if status, err := s.validateBatch(&req); err != nil {
-		http.Error(w, err.Error(), status)
+		code := codeBadRequest
+		if status == http.StatusRequestEntityTooLarge {
+			code = codeTooLarge
+		}
+		writeError(w, status, code, err.Error())
 		return
 	}
 	toEdges := func(in []batchEdge) []graph.Edge {
@@ -554,7 +653,11 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 
 func writeJSON(w http.ResponseWriter, v any) {
 	w.Header().Set("Content-Type", "application/json")
-	if err := json.NewEncoder(w).Encode(v); err != nil {
-		http.Error(w, err.Error(), http.StatusInternalServerError)
-	}
+	_ = writeJSONBody(w, v)
+}
+
+// writeJSONBody encodes v to w without touching headers (the caller has
+// already committed the status line).
+func writeJSONBody(w http.ResponseWriter, v any) error {
+	return json.NewEncoder(w).Encode(v)
 }

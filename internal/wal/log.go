@@ -11,6 +11,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"kcore/internal/faultfs"
 	"kcore/internal/graph"
 )
 
@@ -36,19 +37,22 @@ func parseSegName(name string) (uint64, bool) {
 }
 
 // segLog is the segmented record log: one append-only file at a time,
-// rotated by size (or by snapshots), with every record CRC-framed.
+// rotated by size (or by snapshots), with every record CRC-framed. All
+// file I/O goes through fs, the injectable filesystem seam.
 type segLog struct {
 	dir       string
+	fs        faultfs.FS
 	n, shards int
 	opt       Options
 
 	mu       sync.Mutex
-	f        *os.File
+	f        faultfs.File
 	seq      uint64           // sequence of the open segment
 	size     int64            // bytes in the open segment
 	sizes    map[uint64]int64 // bytes per closed-but-retained segment
 	buf      []byte           // reused frame-encode buffer
 	appended uint64
+	retries  uint64 // append/fsync attempts retried after a transient error
 	closed   bool
 
 	lastSync atomic.Int64 // unix nanos of the last fsync (0 = never)
@@ -145,8 +149,8 @@ func decodeRecord(p []byte, shards int) (Batch, error) {
 
 // listSegments returns the directory's segment sequences in ascending
 // order.
-func listSegments(dir string) ([]uint64, error) {
-	entries, err := os.ReadDir(dir)
+func listSegments(fsys faultfs.FS, dir string) ([]uint64, error) {
+	entries, err := fsys.ReadDir(dir)
 	if err != nil {
 		return nil, err
 	}
@@ -167,11 +171,12 @@ func listSegments(dir string) ([]uint64, error) {
 // sees. It returns the log opened for appending after the last intact
 // record.
 func scanAndOpen(dir string, n, shards int, opt Options, apply func(Batch)) (*segLog, uint64, error) {
-	seqs, err := listSegments(dir)
+	fsys := opt.FS
+	seqs, err := listSegments(fsys, dir)
 	if err != nil {
 		return nil, 0, fmt.Errorf("wal: listing %s: %w", dir, err)
 	}
-	l := &segLog{dir: dir, n: n, shards: shards, opt: opt, sizes: make(map[uint64]int64)}
+	l := &segLog{dir: dir, fs: fsys, n: n, shards: shards, opt: opt, sizes: make(map[uint64]int64)}
 	var replayed uint64
 	truncated := false
 	for i, seq := range seqs {
@@ -179,10 +184,10 @@ func scanAndOpen(dir string, n, shards int, opt Options, apply func(Batch)) (*se
 		if truncated {
 			// Everything after a torn record is a later, unreachable
 			// suffix; drop it.
-			os.Remove(path)
+			fsys.Remove(path)
 			continue
 		}
-		data, err := os.ReadFile(path)
+		data, err := fsys.ReadFile(path)
 		if err != nil {
 			return nil, 0, fmt.Errorf("wal: reading %s: %w", path, err)
 		}
@@ -190,7 +195,7 @@ func scanAndOpen(dir string, n, shards int, opt Options, apply func(Batch)) (*se
 			// A crash during segment creation can leave a headerless file,
 			// but only as the very last segment.
 			if i == len(seqs)-1 {
-				os.Remove(path)
+				fsys.Remove(path)
 				truncated = true
 				continue
 			}
@@ -214,7 +219,7 @@ func scanAndOpen(dir string, n, shards int, opt Options, apply func(Batch)) (*se
 			rec, n2, ok := nextRecord(data[off:], shards)
 			if !ok {
 				// Torn or corrupt: truncate here, drop later segments.
-				if err := os.Truncate(path, int64(off)); err != nil {
+				if err := fsys.Truncate(path, int64(off)); err != nil {
 					return nil, 0, fmt.Errorf("wal: truncating torn tail of %s: %w", path, err)
 				}
 				truncated = true
@@ -227,7 +232,7 @@ func scanAndOpen(dir string, n, shards int, opt Options, apply func(Batch)) (*se
 		end := int64(len(data))
 		if truncated {
 			end = 0 // recomputed below from the truncated file
-			if fi, err := os.Stat(path); err == nil {
+			if fi, err := fsys.Stat(path); err == nil {
 				end = fi.Size()
 			}
 		}
@@ -241,7 +246,7 @@ func scanAndOpen(dir string, n, shards int, opt Options, apply func(Batch)) (*se
 				last = seq
 			}
 		}
-		f, err := os.OpenFile(filepath.Join(dir, segName(last)), os.O_WRONLY|os.O_APPEND, 0o644)
+		f, err := fsys.OpenFile(filepath.Join(dir, segName(last)), os.O_WRONLY|os.O_APPEND, 0o644)
 		if err != nil {
 			return nil, 0, fmt.Errorf("wal: opening segment for append: %w", err)
 		}
@@ -278,10 +283,15 @@ func nextRecord(data []byte, shards int) (Batch, int, bool) {
 }
 
 // newSegment creates and opens segment seq, writing its header. Caller
-// holds mu (or owns the log exclusively).
+// holds mu (or owns the log exclusively). Any stale file at the target
+// sequence (debris of an earlier failed re-attach) is removed first.
 func (l *segLog) newSegment(seq uint64) error {
 	path := filepath.Join(l.dir, segName(seq))
-	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o644)
+	l.fs.Remove(path)
+	// O_APPEND keeps every write at the real EOF, so the truncate-repair
+	// in writeRecordLocked lands the retried frame exactly where the
+	// partial one was rolled back.
+	f, err := l.fs.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_EXCL|os.O_APPEND, 0o644)
 	if err != nil {
 		return fmt.Errorf("wal: creating segment: %w", err)
 	}
@@ -299,8 +309,68 @@ func (l *segLog) newSegment(seq uint64) error {
 	return nil
 }
 
+// backoff sleeps before retry attempt k (1-based), doubling from
+// Options.RetryBackoff and capped at 100ms. A zero backoff makes retries
+// immediate (deterministic tests).
+func (l *segLog) backoff(k int) {
+	if l.opt.RetryBackoff <= 0 {
+		return
+	}
+	d := l.opt.RetryBackoff << (k - 1)
+	if max := 100 * time.Millisecond; d > max {
+		d = max
+	}
+	time.Sleep(d)
+}
+
+// writeRecordLocked writes the framed record in l.buf with bounded
+// retries. A failed write may have persisted a prefix of the frame —
+// bytes recovery would see as a torn record and truncate, taking every
+// later record with them — so before each retry the segment is truncated
+// back to its pre-record size and the whole frame is rewritten on a clean
+// boundary. Caller holds mu.
+func (l *segLog) writeRecordLocked() error {
+	var err error
+	for attempt := 0; attempt <= l.opt.AppendRetries; attempt++ {
+		if attempt > 0 {
+			l.retries++
+			l.backoff(attempt)
+			if terr := l.fs.Truncate(l.f.Name(), l.size); terr != nil {
+				// The partial frame cannot be rolled back: the segment is
+				// poisoned at this offset and retrying would bury later
+				// records behind a torn one.
+				return fmt.Errorf("wal: rolling back partial append: %w", terr)
+			}
+		}
+		if _, err = l.f.Write(l.buf); err == nil {
+			l.size += int64(len(l.buf))
+			l.appended++
+			return nil
+		}
+	}
+	return fmt.Errorf("wal: appending record: %w", err)
+}
+
+// syncLocked fsyncs the open segment with bounded retries. Caller holds mu.
+func (l *segLog) syncLocked() error {
+	var err error
+	for attempt := 0; attempt <= l.opt.AppendRetries; attempt++ {
+		if attempt > 0 {
+			l.retries++
+			l.backoff(attempt)
+		}
+		if err = l.f.Sync(); err == nil {
+			l.lastSync.Store(time.Now().UnixNano())
+			return nil
+		}
+	}
+	return fmt.Errorf("wal: fsync: %w", err)
+}
+
 // append frames and writes one record, applying the fsync policy and
-// rotating the segment once it crosses the size threshold.
+// rotating the segment once it crosses the size threshold. Transient
+// write/fsync errors are retried with backoff; the returned error means
+// the retries are exhausted and the record is not durably logged.
 func (l *segLog) append(b Batch) error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
@@ -308,24 +378,19 @@ func (l *segLog) append(b Batch) error {
 		return fmt.Errorf("wal: append after close")
 	}
 	l.buf = encodeRecord(l.buf, b)
-	if _, err := l.f.Write(l.buf); err != nil {
+	if err := l.writeRecordLocked(); err != nil {
 		return err
 	}
-	l.size += int64(len(l.buf))
-	l.appended++
 	switch l.opt.Sync {
 	case SyncAlways:
-		if err := l.f.Sync(); err != nil {
+		if err := l.syncLocked(); err != nil {
 			return err
 		}
-		l.lastSync.Store(time.Now().UnixNano())
 	case SyncInterval:
-		now := time.Now()
-		if now.UnixNano()-l.lastSync.Load() >= int64(l.opt.SyncEvery) {
-			if err := l.f.Sync(); err != nil {
+		if time.Now().UnixNano()-l.lastSync.Load() >= int64(l.opt.SyncEvery) {
+			if err := l.syncLocked(); err != nil {
 				return err
 			}
-			l.lastSync.Store(now.UnixNano())
 		}
 	}
 	if l.size >= l.opt.SegmentBytes {
@@ -363,6 +428,29 @@ func (l *segLog) rotateLocked() (uint64, error) {
 	return l.seq, nil
 }
 
+// reset abandons the current segment — its tail may hold a torn or
+// non-durable record — and opens a fresh one at the next sequence. The
+// abandoned segment joins the closed set so a following purge removes it.
+// Unlike rotate it never fsyncs the old file: reset runs on the re-attach
+// path, where the old segment is wedged by assumption. Returns the fresh
+// segment's sequence.
+func (l *segLog) reset() (uint64, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return 0, fmt.Errorf("wal: reset after close")
+	}
+	l.f.Close() // best-effort: the segment is already suspect
+	l.sizes[l.seq] = l.size
+	if err := l.newSegment(l.seq + 1); err != nil {
+		// Leave the old (closed) file installed: appends keep failing and
+		// the manager stays degraded until a later re-attach succeeds.
+		delete(l.sizes, l.seq)
+		return 0, err
+	}
+	return l.seq, nil
+}
+
 // purgeBefore deletes every closed segment with sequence < seq (called
 // after a snapshot covering them is durable).
 func (l *segLog) purgeBefore(seq uint64) {
@@ -370,14 +458,15 @@ func (l *segLog) purgeBefore(seq uint64) {
 	defer l.mu.Unlock()
 	for s := range l.sizes {
 		if s < seq {
-			os.Remove(filepath.Join(l.dir, segName(s)))
+			l.fs.Remove(filepath.Join(l.dir, segName(s)))
 			delete(l.sizes, s)
 		}
 	}
 }
 
-// stats returns the segment count, total log bytes and appended records.
-func (l *segLog) stats() (segments int, bytes int64, appended uint64) {
+// stats returns the segment count, total log bytes, appended records and
+// retried attempts.
+func (l *segLog) stats() (segments int, bytes int64, appended, retries uint64) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	segments = len(l.sizes) + 1
@@ -385,7 +474,7 @@ func (l *segLog) stats() (segments int, bytes int64, appended uint64) {
 	for _, sz := range l.sizes {
 		bytes += sz
 	}
-	return segments, bytes, l.appended
+	return segments, bytes, l.appended, l.retries
 }
 
 // close fsyncs and closes the open segment.

@@ -5,10 +5,10 @@ import (
 	"errors"
 	"fmt"
 	"hash/crc32"
-	"os"
 	"path/filepath"
 	"sort"
 
+	"kcore/internal/faultfs"
 	"kcore/internal/graph"
 )
 
@@ -35,7 +35,7 @@ func parseSnapName(name string) (uint64, bool) {
 // header, per shard: epoch u64, batches u64, inserted i64, deleted i64,
 // targetsLen u64, degrees [n]u32, targets [targetsLen]u32, levels [n]i32;
 // then a trailing CRC32 over everything before it.
-func writeSnapshot(dir string, n, shards int, states []ShardState) error {
+func writeSnapshot(fsys faultfs.FS, dir string, n, shards int, states []ShardState) error {
 	le := binary.LittleEndian
 	size := snapHdrLen + 4 // header + trailing CRC
 	for _, st := range states {
@@ -71,11 +71,11 @@ func writeSnapshot(dir string, n, shards int, states []ShardState) error {
 	}
 	le.PutUint32(buf[off:], crc32.ChecksumIEEE(buf[:off]))
 
-	tmp, err := os.CreateTemp(dir, "snap-*.tmp")
+	tmp, err := fsys.CreateTemp(dir, "snap-*.tmp")
 	if err != nil {
 		return fmt.Errorf("wal: creating snapshot temp file: %w", err)
 	}
-	defer os.Remove(tmp.Name())
+	defer fsys.Remove(tmp.Name())
 	if _, err := tmp.Write(buf); err != nil {
 		tmp.Close()
 		return fmt.Errorf("wal: writing snapshot: %w", err)
@@ -87,7 +87,7 @@ func writeSnapshot(dir string, n, shards int, states []ShardState) error {
 	if err := tmp.Close(); err != nil {
 		return err
 	}
-	if err := os.Rename(tmp.Name(), filepath.Join(dir, snapName(global))); err != nil {
+	if err := fsys.Rename(tmp.Name(), filepath.Join(dir, snapName(global))); err != nil {
 		return fmt.Errorf("wal: publishing snapshot: %w", err)
 	}
 	return nil
@@ -96,8 +96,8 @@ func writeSnapshot(dir string, n, shards int, states []ShardState) error {
 // readSnapshot parses and CRC-validates one snapshot file. Every length is
 // bounds-checked against the actual file size before use, so a corrupt
 // header can only fail the read, never demand an oversized allocation.
-func readSnapshot(path string, n, shards int) ([]ShardState, error) {
-	buf, err := os.ReadFile(path)
+func readSnapshot(fsys faultfs.FS, path string, n, shards int) ([]ShardState, error) {
+	buf, err := fsys.ReadFile(path)
 	if err != nil {
 		return nil, err
 	}
@@ -172,8 +172,8 @@ func readSnapshot(path string, n, shards int) ([]ShardState, error) {
 }
 
 // listSnapshots returns the directory's snapshot epochs, newest first.
-func listSnapshots(dir string) ([]uint64, error) {
-	entries, err := os.ReadDir(dir)
+func listSnapshots(fsys faultfs.FS, dir string) ([]uint64, error) {
+	entries, err := fsys.ReadDir(dir)
 	if err != nil {
 		return nil, err
 	}
@@ -192,14 +192,14 @@ func listSnapshots(dir string) ([]uint64, error) {
 // snapshot that fails its checksum (crash or bit rot) falls back to the
 // next older one; no snapshot at all restores nothing (vec stays zero).
 // Returns the global epoch of the restored snapshot (0 = none).
-func restoreNewestSnapshot(dir string, eng Engine, vec []uint64) (uint64, error) {
-	eps, err := listSnapshots(dir)
+func restoreNewestSnapshot(fsys faultfs.FS, dir string, eng Engine, vec []uint64) (uint64, error) {
+	eps, err := listSnapshots(fsys, dir)
 	if err != nil {
 		return 0, fmt.Errorf("wal: listing snapshots in %s: %w", dir, err)
 	}
 	for _, ep := range eps {
 		path := filepath.Join(dir, snapName(ep))
-		states, err := readSnapshot(path, eng.NumVertices(), eng.NumShards())
+		states, err := readSnapshot(fsys, path, eng.NumVertices(), eng.NumShards())
 		if err != nil {
 			// Config mismatches are hard errors; a failed checksum or torn
 			// file falls back to the next older snapshot.
@@ -232,14 +232,14 @@ func isConfigMismatch(err error) bool {
 }
 
 // pruneSnapshots removes all snapshots older than the one at keepEpoch.
-func pruneSnapshots(dir string, keepEpoch uint64) {
-	eps, err := listSnapshots(dir)
+func pruneSnapshots(fsys faultfs.FS, dir string, keepEpoch uint64) {
+	eps, err := listSnapshots(fsys, dir)
 	if err != nil {
 		return
 	}
 	for _, ep := range eps {
 		if ep < keepEpoch {
-			os.Remove(filepath.Join(dir, snapName(ep)))
+			fsys.Remove(filepath.Join(dir, snapName(ep)))
 		}
 	}
 }

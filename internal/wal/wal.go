@@ -23,6 +23,30 @@
 // footprint of a crash mid-append — truncates the log at that record's
 // start instead of failing recovery; everything before it is recovered.
 //
+// # Fault tolerance and degraded mode
+//
+// All file I/O goes through an injectable filesystem (Options.FS, see
+// package faultfs), so every error path below is deterministically
+// testable. Transient append and fsync errors are retried in place with
+// bounded backoff (Options.AppendRetries/RetryBackoff); a partially
+// written record is rolled back by truncating the segment to the previous
+// record boundary before each retry, so a retry never buries later
+// records behind a torn frame.
+//
+// When the retries are exhausted the manager does not wedge the engine:
+// it enters *degraded mode*. Reads and batch applies continue normally,
+// but batches are no longer logged (counted in Stats.DroppedBatches), and
+// Stats.Degraded/Err report the failure. A background loop (every
+// Options.ReattachEvery) — or an explicit Reattach call — attempts to
+// restore durability: it quiesces the engine, writes a full snapshot of
+// the current in-memory state (which contains every batch dropped while
+// degraded), opens a fresh log segment and purges the old ones, then
+// clears the flag. All of that happens inside the quiesce, so once a
+// re-attach succeeds there is no window in which a batch is neither in
+// the snapshot nor in the log: post-re-attach durability is exactly as
+// strong as a freshly opened WAL. Batches dropped while degraded are lost
+// only if the process dies before a re-attach succeeds.
+//
 // # Formats
 //
 // Log segments (wal-<seq>.seg) start with a 16-byte header (magic,
@@ -38,11 +62,11 @@ package wal
 import (
 	"errors"
 	"fmt"
-	"os"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"kcore/internal/faultfs"
 	"kcore/internal/graph"
 )
 
@@ -91,6 +115,22 @@ type Options struct {
 	SyncEvery     time.Duration // SyncInterval period (default 100ms)
 	SegmentBytes  int64         // segment rotation threshold (default 64 MiB)
 	SnapshotEvery uint64        // auto-snapshot after this many logged batches (0 = manual only)
+
+	// FS is the filesystem all log and snapshot I/O goes through. nil =
+	// the real OS filesystem; tests inject a faultfs.Injector.
+	FS faultfs.FS
+	// AppendRetries is how many times a failed append write or fsync is
+	// retried before the manager degrades (0 = default of 2, negative =
+	// no retries).
+	AppendRetries int
+	// RetryBackoff is the sleep before the first retry, doubling per
+	// attempt and capped at 100ms. 0 = retry immediately (deterministic,
+	// the right choice for injected faults and tests).
+	RetryBackoff time.Duration
+	// ReattachEvery is the period of the background re-attach loop that
+	// runs while degraded (0 = default of 5s, negative = no background
+	// loop; Reattach can still be called explicitly).
+	ReattachEvery time.Duration
 }
 
 func (o Options) withDefaults() Options {
@@ -99,6 +139,18 @@ func (o Options) withDefaults() Options {
 	}
 	if o.SegmentBytes <= 0 {
 		o.SegmentBytes = 64 << 20
+	}
+	if o.FS == nil {
+		o.FS = faultfs.OS()
+	}
+	switch {
+	case o.AppendRetries == 0:
+		o.AppendRetries = 2
+	case o.AppendRetries < 0:
+		o.AppendRetries = 0
+	}
+	if o.ReattachEvery == 0 {
+		o.ReattachEvery = 5 * time.Second
 	}
 	return o
 }
@@ -163,13 +215,21 @@ type Stats struct {
 	Sync                 string `json:"sync"`
 	Segments             int    `json:"segments"`
 	LogBytes             int64  `json:"log_bytes"`
-	LoggedBatches        uint64 `json:"logged_batches"`    // appended since open
-	RecoveredBatches     uint64 `json:"recovered_batches"` // replayed from the log tail at open
-	Snapshots            uint64 `json:"snapshots"`         // taken since open
+	LoggedBatches        uint64 `json:"logged_batches"`      // appended since open
+	RecoveredBatches     uint64 `json:"recovered_batches"`   // replayed from the log tail at open
+	Snapshots            uint64 `json:"snapshots"`           // taken since open
 	LastSnapshotEpoch    uint64 `json:"last_snapshot_epoch"` // global (summed) epoch; 0 = none yet
 	LastSnapshotUnixNano int64  `json:"last_snapshot_unix_nano"`
 	LastSyncUnixNano     int64  `json:"last_fsync_unix_nano"`
-	Err                  string `json:"error,omitempty"` // sticky append error, if any
+
+	// Degraded is true while durability is lost: appends failed past
+	// their retry budget and batches are being applied in memory only.
+	Degraded              bool   `json:"degraded"`
+	DegradedSinceUnixNano int64  `json:"degraded_since_unix_nano,omitempty"`
+	DroppedBatches        uint64 `json:"dropped_batches,omitempty"` // applied but not logged (degraded mode)
+	Reattaches            uint64 `json:"reattaches,omitempty"`      // successful degraded → durable transitions
+	AppendRetries         uint64 `json:"append_retries,omitempty"`  // write/fsync attempts that needed a retry
+	Err                   string `json:"error,omitempty"`           // last durability error; cleared by re-attach
 }
 
 // Manager ties a log directory to an engine: it recovers the engine from
@@ -180,20 +240,33 @@ type Manager struct {
 	dir string
 	eng Engine
 	opt Options
+	fs  faultfs.FS
 	log *segLog
 
 	recovered uint64 // batches replayed at Open
-	appendErr atomic.Pointer[error]
 
-	snapMu       sync.Mutex // one snapshot at a time
+	// Degraded-mode state. degraded is flipped true by an exhausted
+	// append (inside a shard's apply section) and flipped false only
+	// inside a full-engine quiesce, so onBatch observes a consistent
+	// value for the whole of any one batch.
+	degraded      atomic.Bool
+	degradedSince atomic.Int64
+	dropped       atomic.Uint64
+	reattaches    atomic.Uint64
+	lastErr       atomic.Pointer[error]
+
+	snapMu       sync.Mutex // one snapshot or re-attach at a time
 	snapInFlight atomic.Bool
 	sinceSnap    atomic.Uint64
 	snapshots    atomic.Uint64
 	lastSnapEp   atomic.Uint64
 	lastSnapTime atomic.Int64
 
-	closed atomic.Bool
-	wg     sync.WaitGroup // in-flight auto-snapshot goroutines
+	closed    atomic.Bool
+	stopCh    chan struct{}
+	closeOnce sync.Once
+	closeErr  error
+	wg        sync.WaitGroup // auto-snapshot + re-attach goroutines
 }
 
 // Open recovers eng from dir (creating it if needed) and attaches the
@@ -204,14 +277,14 @@ type Manager struct {
 // restored epochs).
 func Open(dir string, eng Engine, opt Options) (*Manager, error) {
 	opt = opt.withDefaults()
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	if err := opt.FS.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("wal: creating %s: %w", dir, err)
 	}
-	m := &Manager{dir: dir, eng: eng, opt: opt}
+	m := &Manager{dir: dir, eng: eng, opt: opt, fs: opt.FS, stopCh: make(chan struct{})}
 
 	// 1) Restore the newest snapshot whose checksum validates.
 	vec := make([]uint64, eng.NumShards())
-	snapEpoch, err := restoreNewestSnapshot(dir, eng, vec)
+	snapEpoch, err := restoreNewestSnapshot(m.fs, dir, eng, vec)
 	if err != nil {
 		return nil, err
 	}
@@ -240,12 +313,18 @@ func Open(dir string, eng Engine, opt Options) (*Manager, error) {
 
 // onBatch appends one committed batch; it runs inside the committing
 // shard's one-updater section, so per-shard records land in commit order.
+// While degraded it drops the record (the batch is still applied in
+// memory) instead of hammering a broken disk from the hot path.
 func (m *Manager) onBatch(b Batch) {
+	if m.degraded.Load() {
+		m.dropped.Add(1)
+		return
+	}
 	if err := m.log.append(b); err != nil {
-		// Sticky: the first failure (disk full, dir removed) is reported
-		// through Err/Stats and Close; later appends still run so the
-		// engine keeps serving, but durability is flagged as broken.
-		m.appendErr.CompareAndSwap(nil, &err)
+		// Retries are exhausted: this batch is applied but not logged.
+		m.dropped.Add(1)
+		m.enterDegraded(err)
+		return
 	}
 	if m.opt.SnapshotEvery > 0 && m.sinceSnap.Add(1) >= m.opt.SnapshotEvery {
 		// Trigger asynchronously: this hook runs under a shard's apply
@@ -262,13 +341,122 @@ func (m *Manager) onBatch(b Batch) {
 	}
 }
 
+// enterDegraded records the durability failure and, on the first
+// transition, starts the background re-attach loop.
+func (m *Manager) enterDegraded(err error) {
+	e := err
+	m.lastErr.Store(&e)
+	if m.degraded.CompareAndSwap(false, true) {
+		m.degradedSince.Store(time.Now().UnixNano())
+		if m.opt.ReattachEvery > 0 && !m.closed.Load() {
+			m.wg.Add(1)
+			go m.reattachLoop()
+		}
+	}
+}
+
+// reattachLoop periodically retries Reattach until it succeeds or the
+// manager closes.
+func (m *Manager) reattachLoop() {
+	defer m.wg.Done()
+	t := time.NewTicker(m.opt.ReattachEvery)
+	defer t.Stop()
+	for {
+		select {
+		case <-m.stopCh:
+			return
+		case <-t.C:
+			if m.Reattach() == nil {
+				return
+			}
+		}
+	}
+}
+
+// Reattach attempts to restore durability after the manager has degraded:
+// it quiesces the engine, snapshots the full in-memory state (including
+// every batch dropped while degraded), switches logging to a fresh
+// segment, purges the abandoned ones and clears the degraded flag — all
+// inside the quiesce, so a batch committed after Reattach returns nil is
+// durable under the configured policy with no gap. Returns nil immediately
+// if the manager is not degraded; a failed attempt leaves it degraded and
+// is safe to retry.
+func (m *Manager) Reattach() error {
+	m.snapMu.Lock()
+	defer m.snapMu.Unlock()
+	if m.closed.Load() {
+		return fmt.Errorf("wal: reattach after close")
+	}
+	if !m.degraded.Load() {
+		return nil
+	}
+	return m.reattachLocked()
+}
+
+// reattachLocked does the quiesced re-attach. Caller holds snapMu.
+//
+// Ordering inside the quiesce is load-bearing. The snapshot must be
+// durable before logging resumes: batches dropped while degraded exist
+// only in memory, so a fresh segment without the snapshot would recover
+// to a state missing them. And the old segments must be purged before
+// appends resume: recovery drops every segment after a torn record, so a
+// fresh segment living behind an old segment with a torn tail would be
+// discarded wholesale at the next open.
+func (m *Manager) reattachLocked() error {
+	p := m.eng.NumShards()
+	states := make([]ShardState, p)
+	var err error
+	m.eng.Quiesce(func() {
+		for si := range states {
+			states[si] = m.eng.ShardDurable(si)
+		}
+		if werr := writeSnapshot(m.fs, m.dir, m.eng.NumVertices(), p, states); werr != nil {
+			err = fmt.Errorf("wal: re-attach snapshot: %w", werr)
+			return
+		}
+		fresh, rerr := m.log.reset()
+		if rerr != nil {
+			err = fmt.Errorf("wal: re-attach log: %w", rerr)
+			return
+		}
+		m.log.purgeBefore(fresh)
+		m.sinceSnap.Store(0)
+		m.degraded.Store(false)
+		m.lastErr.Store(nil)
+		m.degradedSince.Store(0)
+		m.reattaches.Add(1)
+	})
+	if err != nil {
+		e := err
+		m.lastErr.Store(&e)
+		return err
+	}
+	var global uint64
+	for _, st := range states {
+		global += st.Epoch
+	}
+	m.snapshots.Add(1)
+	m.lastSnapEp.Store(global)
+	m.lastSnapTime.Store(time.Now().UnixNano())
+	pruneSnapshots(m.fs, m.dir, global)
+	return nil
+}
+
 // Snapshot quiesces the engine, captures every shard's durable state,
 // rotates the log, writes the snapshot (temp file + fsync + rename) and
 // purges the log segments the snapshot covers. Safe to call concurrently
-// with updates; one snapshot runs at a time.
+// with updates and Close; one snapshot runs at a time. While degraded it
+// performs a re-attach instead (the normal rotate path would just fail
+// against the wedged segment).
 func (m *Manager) Snapshot() error {
 	m.snapMu.Lock()
 	defer m.snapMu.Unlock()
+	if m.closed.Load() {
+		return fmt.Errorf("wal: snapshot after close")
+	}
+	if m.degraded.Load() {
+		return m.reattachLocked()
+	}
 	p := m.eng.NumShards()
 	states := make([]ShardState, p)
 	var purgeBelow uint64
@@ -289,43 +477,53 @@ func (m *Manager) Snapshot() error {
 	for _, st := range states {
 		global += st.Epoch
 	}
-	if err := writeSnapshot(m.dir, m.eng.NumVertices(), p, states); err != nil {
+	if err := writeSnapshot(m.fs, m.dir, m.eng.NumVertices(), p, states); err != nil {
 		return err
 	}
 	m.log.purgeBefore(purgeBelow)
 	m.snapshots.Add(1)
 	m.lastSnapEp.Store(global)
 	m.lastSnapTime.Store(time.Now().UnixNano())
-	pruneSnapshots(m.dir, global)
+	pruneSnapshots(m.fs, m.dir, global)
 	return nil
 }
 
-// Err returns the sticky append error, if any append has failed since
-// Open. A non-nil Err means batches may be missing from the log.
+// Err returns the last durability error: the failure that degraded the
+// manager (or the latest failed re-attach). A successful re-attach clears
+// it. Non-nil means batches may be missing from the log.
 func (m *Manager) Err() error {
-	if p := m.appendErr.Load(); p != nil {
+	if p := m.lastErr.Load(); p != nil {
 		return *p
 	}
 	return nil
 }
+
+// Degraded reports whether the manager is currently in degraded mode:
+// applying batches in memory without logging them.
+func (m *Manager) Degraded() bool { return m.degraded.Load() }
 
 // RecoveredBatches returns how many log-tail batches Open replayed.
 func (m *Manager) RecoveredBatches() uint64 { return m.recovered }
 
 // Stats returns a point-in-time durability snapshot.
 func (m *Manager) Stats() Stats {
-	segs, bytes, appended := m.log.stats()
+	segs, bytes, appended, retries := m.log.stats()
 	st := Stats{
-		Dir:                  m.dir,
-		Sync:                 m.opt.Sync.String(),
-		Segments:             segs,
-		LogBytes:             bytes,
-		LoggedBatches:        appended,
-		RecoveredBatches:     m.recovered,
-		Snapshots:            m.snapshots.Load(),
-		LastSnapshotEpoch:    m.lastSnapEp.Load(),
-		LastSnapshotUnixNano: m.lastSnapTime.Load(),
-		LastSyncUnixNano:     m.log.lastSync.Load(),
+		Dir:                   m.dir,
+		Sync:                  m.opt.Sync.String(),
+		Segments:              segs,
+		LogBytes:              bytes,
+		LoggedBatches:         appended,
+		RecoveredBatches:      m.recovered,
+		Snapshots:             m.snapshots.Load(),
+		LastSnapshotEpoch:     m.lastSnapEp.Load(),
+		LastSnapshotUnixNano:  m.lastSnapTime.Load(),
+		LastSyncUnixNano:      m.log.lastSync.Load(),
+		Degraded:              m.degraded.Load(),
+		DegradedSinceUnixNano: m.degradedSince.Load(),
+		DroppedBatches:        m.dropped.Load(),
+		Reattaches:            m.reattaches.Load(),
+		AppendRetries:         retries,
 	}
 	if err := m.Err(); err != nil {
 		st.Err = err.Error()
@@ -334,14 +532,25 @@ func (m *Manager) Stats() Stats {
 }
 
 // Close detaches the batch hook (under a quiesce, so no append races the
-// detach), waits for any in-flight auto-snapshot, flushes and closes the
-// log. The manager must not be used afterwards; the engine stays usable
-// in memory-only mode.
+// detach), stops the re-attach loop, waits for any in-flight background
+// work, then flushes and closes the log. Idempotent and safe to call
+// concurrently with Snapshot and in-flight batch commits: every caller
+// gets the same result, and a snapshot that lost the race gets a clean
+// "after close" error instead of a torn log. The engine stays usable in
+// memory-only mode afterwards.
 func (m *Manager) Close() error {
-	if m.closed.Swap(true) {
-		return nil
-	}
-	m.eng.Quiesce(func() { m.eng.SetBatchLog(nil) })
-	m.wg.Wait()
-	return errors.Join(m.log.close(), m.Err())
+	m.closeOnce.Do(func() {
+		close(m.stopCh)
+		m.eng.Quiesce(func() { m.eng.SetBatchLog(nil) })
+		// The closed flag is set only after the in-flight background work
+		// drains: an auto-snapshot already spawned by the last batches must
+		// be allowed to land, not aborted with "snapshot after close".
+		m.wg.Wait()
+		m.closed.Store(true)
+		m.snapMu.Lock()
+		logErr := m.log.close()
+		m.snapMu.Unlock()
+		m.closeErr = errors.Join(logErr, m.Err())
+	})
+	return m.closeErr
 }

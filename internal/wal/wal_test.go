@@ -10,6 +10,7 @@ import (
 	"testing"
 	"time"
 
+	"kcore/internal/faultfs"
 	"kcore/internal/graph"
 )
 
@@ -254,7 +255,7 @@ func TestRotationAndSegmentScan(t *testing.T) {
 	// SegmentBytes small enough that every record rotates.
 	opt := Options{SegmentBytes: 1}
 	opt.SyncEvery = time.Hour
-	lg, _, err := scanAndOpen(dir, 8, 2, opt, func(Batch) {})
+	lg, _, err := scanAndOpen(dir, 8, 2, opt.withDefaults(), func(Batch) {})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -267,7 +268,7 @@ func TestRotationAndSegmentScan(t *testing.T) {
 	if err := lg.close(); err != nil {
 		t.Fatal(err)
 	}
-	segs, err := listSegments(dir)
+	segs, err := listSegments(faultfs.OS(), dir)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -287,7 +288,7 @@ func TestRotationAndSegmentScan(t *testing.T) {
 	if n != 2 {
 		t.Fatalf("replayed %d records after mid-log tear, want 2", n)
 	}
-	segs, _ = listSegments(dir)
+	segs, _ = listSegments(faultfs.OS(), dir)
 	for _, s := range segs {
 		if s > mid+1 { // mid survives truncated; scanAndOpen opened a fresh head at most
 			t.Fatalf("segment %d survived a tear in segment %d", s, mid)
@@ -302,10 +303,10 @@ func TestSnapshotRoundTrip(t *testing.T) {
 	f.applied[0] = make([]Batch, 3)
 	f.applied[1] = make([]Batch, 5)
 	states := []ShardState{f.ShardDurable(0), f.ShardDurable(1)}
-	if err := writeSnapshot(dir, 8, 2, states); err != nil {
+	if err := writeSnapshot(faultfs.OS(), dir, 8, 2, states); err != nil {
 		t.Fatal(err)
 	}
-	got, err := readSnapshot(filepath.Join(dir, snapName(8)), 8, 2)
+	got, err := readSnapshot(faultfs.OS(), filepath.Join(dir, snapName(8)), 8, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -336,11 +337,11 @@ func TestSnapshotCorruptFallsBackToOlder(t *testing.T) {
 	dir := t.TempDir()
 	f := newFakeEngine(8, 1)
 	f.epochs[0] = 2
-	if err := writeSnapshot(dir, 8, 1, []ShardState{f.ShardDurable(0)}); err != nil {
+	if err := writeSnapshot(faultfs.OS(), dir, 8, 1, []ShardState{f.ShardDurable(0)}); err != nil {
 		t.Fatal(err)
 	}
 	f.epochs[0] = 7
-	if err := writeSnapshot(dir, 8, 1, []ShardState{f.ShardDurable(0)}); err != nil {
+	if err := writeSnapshot(faultfs.OS(), dir, 8, 1, []ShardState{f.ShardDurable(0)}); err != nil {
 		t.Fatal(err)
 	}
 	// Corrupt the newer snapshot.
@@ -350,7 +351,7 @@ func TestSnapshotCorruptFallsBackToOlder(t *testing.T) {
 	os.WriteFile(path, data, 0o644)
 
 	vec := make([]uint64, 1)
-	ep, err := restoreNewestSnapshot(dir, f, vec)
+	ep, err := restoreNewestSnapshot(faultfs.OS(), dir, f, vec)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -363,11 +364,11 @@ func TestSnapshotConfigMismatchIsHardError(t *testing.T) {
 	dir := t.TempDir()
 	f := newFakeEngine(8, 1)
 	f.epochs[0] = 2
-	if err := writeSnapshot(dir, 8, 1, []ShardState{f.ShardDurable(0)}); err != nil {
+	if err := writeSnapshot(faultfs.OS(), dir, 8, 1, []ShardState{f.ShardDurable(0)}); err != nil {
 		t.Fatal(err)
 	}
 	vec := make([]uint64, 1)
-	if _, err := restoreNewestSnapshot(dir, newFakeEngine(9, 1), vec); err == nil {
+	if _, err := restoreNewestSnapshot(faultfs.OS(), dir, newFakeEngine(9, 1), vec); err == nil {
 		t.Fatal("vertex-count mismatch did not fail recovery")
 	} else if !isConfigMismatch(err) {
 		t.Fatalf("want config mismatch, got %v", err)
@@ -479,16 +480,18 @@ func TestManagerAutoSnapshot(t *testing.T) {
 	if err := m.Close(); err != nil {
 		t.Fatal(err)
 	}
-	snaps, err := listSnapshots(dir)
+	snaps, err := listSnapshots(faultfs.OS(), dir)
 	if err != nil || len(snaps) == 0 {
 		t.Fatalf("no snapshot on disk (err %v)", err)
 	}
 }
 
-func TestManagerAppendErrorIsSticky(t *testing.T) {
+func TestManagerAppendErrorDegrades(t *testing.T) {
 	dir := t.TempDir()
 	f := newFakeEngine(8, 1)
-	m, err := Open(dir, f, Options{})
+	// Negative ReattachEvery: no background loop, so the degraded state is
+	// stable for the assertions below.
+	m, err := Open(dir, f, Options{ReattachEvery: -1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -496,12 +499,80 @@ func TestManagerAppendErrorIsSticky(t *testing.T) {
 	m.log.close()
 	f.commit(Batch{Shard: 0, Epoch: 1, HasIns: true})
 	if m.Err() == nil {
-		t.Fatal("append onto a closed log did not set the sticky error")
+		t.Fatal("append onto a closed log did not record a durability error")
 	}
-	if st := m.Stats(); st.Err == "" || !strings.Contains(st.Err, "close") {
+	if !m.Degraded() {
+		t.Fatal("exhausted append did not flip the manager to degraded")
+	}
+	st := m.Stats()
+	if st.Err == "" || !strings.Contains(st.Err, "close") {
 		t.Fatalf("stats error %q does not surface the failure", st.Err)
 	}
+	if !st.Degraded || st.DroppedBatches != 1 || st.DegradedSinceUnixNano == 0 {
+		t.Fatalf("degraded stats not populated: %+v", st)
+	}
+	// Later batches are applied but dropped from the log, not re-attempted.
+	f.commit(Batch{Shard: 0, Epoch: 2, HasIns: true})
+	if got := m.Stats().DroppedBatches; got != 2 {
+		t.Fatalf("dropped %d batches, want 2", got)
+	}
 	if err := m.Close(); err == nil {
-		t.Fatal("Close did not report the sticky append error")
+		t.Fatal("Close did not report the outstanding durability error")
+	}
+}
+
+func TestManagerCloseIdempotentAndConcurrent(t *testing.T) {
+	dir := t.TempDir()
+	f := newFakeEngine(8, 2)
+	m, err := Open(dir, f, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range testBatches() {
+		f.commit(b)
+	}
+	// Concurrent Close calls, a racing Snapshot, and racing commits: none
+	// may panic, and every Close returns the same (nil) result.
+	var wg sync.WaitGroup
+	errs := make([]error, 4)
+	for i := range errs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			errs[i] = m.Close()
+		}(i)
+	}
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		_ = m.Snapshot() // either runs cleanly or reports "after close"
+	}()
+	go func() {
+		defer wg.Done()
+		f.commit(Batch{Shard: 1, Epoch: 3, HasIns: true})
+	}()
+	wg.Wait()
+	for i, err := range errs {
+		if err != errs[0] {
+			t.Fatalf("Close call %d returned %v, call 0 returned %v", i, err, errs[0])
+		}
+	}
+	if errs[0] != nil {
+		t.Fatalf("Close failed: %v", errs[0])
+	}
+	if err := m.Snapshot(); err == nil || !strings.Contains(err.Error(), "close") {
+		t.Fatalf("Snapshot after Close: %v, want after-close error", err)
+	}
+	// The log tail must still be intact: reopen and check nothing is torn.
+	f2 := newFakeEngine(8, 2)
+	m2, err := Open(dir, f2, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m2.RecoveredBatches(); got < uint64(len(testBatches())) {
+		t.Fatalf("recovered %d batches after concurrent close, want >= %d", got, len(testBatches()))
+	}
+	if err := m2.Close(); err != nil {
+		t.Fatal(err)
 	}
 }

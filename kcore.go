@@ -45,6 +45,7 @@ import (
 	"time"
 
 	"kcore/internal/exact"
+	"kcore/internal/faultfs"
 	"kcore/internal/graph"
 	"kcore/internal/lds"
 	"kcore/internal/mvcc"
@@ -181,6 +182,22 @@ type WALOptions struct {
 	// update path) after this many logged batches; 0 means snapshots are
 	// taken only via Decomposition.Snapshot.
 	SnapshotEvery uint64
+	// AppendRetries bounds the in-place retries of a failed log append or
+	// fsync before the log degrades (default 2; negative disables
+	// retries). Each retry rolls the segment back to the record boundary
+	// and rewrites the whole frame.
+	AppendRetries int
+	// RetryBackoff is the initial pause between append retries, doubling
+	// per attempt and capped at 100ms (default 0: retry immediately).
+	RetryBackoff time.Duration
+	// ReattachEvery is the period of the background re-attach loop while
+	// the log is degraded: each tick attempts a fresh snapshot + empty log
+	// to restore durability (default 5s; negative disables the loop —
+	// re-attach then happens only via Decomposition.Reattach or Snapshot).
+	ReattachEvery time.Duration
+	// FS overrides the filesystem all WAL I/O goes through. Intended for
+	// fault-injection tests (see internal/faultfs); nil means the real OS.
+	FS faultfs.FS
 }
 
 // WithWAL makes the decomposition durable: every applied update batch is
@@ -259,6 +276,10 @@ func New(n int, opts ...Option) (*Decomposition, error) {
 			SyncEvery:     o.walOpts.SyncEvery,
 			SegmentBytes:  o.walOpts.SegmentBytes,
 			SnapshotEvery: o.walOpts.SnapshotEvery,
+			AppendRetries: o.walOpts.AppendRetries,
+			RetryBackoff:  o.walOpts.RetryBackoff,
+			ReattachEvery: o.walOpts.ReattachEvery,
+			FS:            o.walOpts.FS,
 		})
 		if err != nil {
 			return nil, fmt.Errorf("kcore: opening WAL: %w", err)
@@ -280,9 +301,25 @@ func (d *Decomposition) Snapshot() error {
 	return d.wal.Snapshot()
 }
 
+// Reattach attempts to restore durability while the write-ahead log is
+// degraded (see DurabilityStats.Degraded): it snapshots the current state
+// and starts a fresh, empty log, so batches applied only in memory during
+// the outage become durable again. A no-op when the log is healthy; it
+// requires WithWAL. Safe to call concurrently with updates and reads, and
+// called automatically by the background re-attach loop
+// (WALOptions.ReattachEvery).
+func (d *Decomposition) Reattach() error {
+	if d.wal == nil {
+		return fmt.Errorf("kcore: Reattach requires WithWAL")
+	}
+	return d.wal.Reattach()
+}
+
 // Close flushes and closes the write-ahead log (a no-op without WithWAL).
 // The decomposition remains usable afterwards, but further updates are no
-// longer logged.
+// longer logged. Close is idempotent — every call returns the first call's
+// result — and safe to call concurrently with Snapshot and in-flight
+// update batches.
 func (d *Decomposition) Close() error {
 	if d.wal == nil {
 		return nil
@@ -303,7 +340,17 @@ type DurabilityStats struct {
 	LastSnapshotEpoch    uint64 // global epoch of the newest snapshot (0 = none)
 	LastSnapshotUnixNano int64  // wall clock of the newest snapshot (0 = none)
 	LastSyncUnixNano     int64  // wall clock of the last fsync (0 = never)
-	Err                  string // sticky append error ("" = healthy)
+	AppendRetries        uint64 // failed appends repaired in place by retry
+	Err                  string // last durability error ("" = healthy; cleared by re-attach)
+
+	// Degraded reports that the log gave up on persisting batches after an
+	// I/O failure: updates and reads keep working, but batches apply only
+	// in memory until a re-attach (background loop, Reattach or Snapshot)
+	// succeeds.
+	Degraded              bool
+	DegradedSinceUnixNano int64  // wall clock of the degradation (0 = healthy)
+	DroppedBatches        uint64 // batches applied but not logged while degraded
+	Reattaches            uint64 // successful re-attach cycles
 }
 
 // DurabilityStats reports the write-ahead log's state; ok is false
@@ -324,7 +371,13 @@ func (d *Decomposition) DurabilityStats() (stats DurabilityStats, ok bool) {
 		LastSnapshotEpoch:    s.LastSnapshotEpoch,
 		LastSnapshotUnixNano: s.LastSnapshotUnixNano,
 		LastSyncUnixNano:     s.LastSyncUnixNano,
+		AppendRetries:        s.AppendRetries,
 		Err:                  s.Err,
+
+		Degraded:              s.Degraded,
+		DegradedSinceUnixNano: s.DegradedSinceUnixNano,
+		DroppedBatches:        s.DroppedBatches,
+		Reattaches:            s.Reattaches,
 	}, true
 }
 

@@ -1,0 +1,188 @@
+#!/usr/bin/env bash
+# Fault-injection smoke test, two phases:
+#
+#  1. Degraded-mode durability: run kcore-server with -fsync always and an
+#     injected fsync fault (-fault-fsync-fail). The first update batch
+#     exhausts its retries and degrades the WAL — /readyz turns 503 and
+#     /stats reports it — while reads and further updates keep answering.
+#     The fault schedule then runs dry, the background re-attach loop
+#     restores durability (readyz 200, reattaches >= 1), and a kill -9 +
+#     restart recovers the full pre-crash epoch: nothing applied during
+#     the outage is lost.
+#
+#  2. Overload protection: with -max-inflight 1, concurrent bulk
+#     /edges/batch posts shed structured 429/503 errors while single
+#     /coreness reads still answer; with -rate-limit, a hammering client
+#     draws 429s while /healthz stays exempt.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+ADDR=${ADDR:-127.0.0.1:18081}
+N=1000
+work=$(mktemp -d)
+pid=""
+trap '[ -n "$pid" ] && kill -9 $pid 2>/dev/null || true; rm -rf "$work"' EXIT
+
+go build -o "$work/kcore-server" ./cmd/kcore-server
+
+start_server() { # args: extra server flags
+    "$work/kcore-server" -n $N -addr "$ADDR" "$@" &
+    pid=$!
+    for _ in $(seq 1 100); do
+        if curl -sf "http://$ADDR/healthz" >/dev/null 2>&1; then
+            return 0
+        fi
+        sleep 0.1
+    done
+    echo "fault_smoke: server did not come up" >&2
+    exit 1
+}
+
+stop_server() {
+    kill -9 "$pid" 2>/dev/null || true
+    wait "$pid" 2>/dev/null || true
+    pid=""
+}
+
+### Phase 1: fsync fault -> degraded -> re-attach -> crash-recover. #######
+# Default append retries = 2, so one append fsyncs up to 3 times: a
+# 3-failure schedule degrades the log on the first batch and is then
+# exhausted, letting the re-attach loop succeed.
+start_server -wal "$work/wal" -fsync always -fault-fsync-fail 3 \
+    -reattach-every 200ms
+
+curl -sf --data-binary '0 1' "http://$ADDR/edges/insert" >/dev/null
+
+degraded=$(curl -sf "http://$ADDR/stats" | jq .durability.degraded)
+if [ "$degraded" != "true" ]; then
+    echo "fault_smoke: durability.degraded=$degraded after injected fsync failure, want true" >&2
+    exit 1
+fi
+ready_status=$(curl -s -o /dev/null -w '%{http_code}' "http://$ADDR/readyz")
+if [ "$ready_status" != "503" ]; then
+    echo "fault_smoke: readyz $ready_status while degraded, want 503" >&2
+    exit 1
+fi
+
+# Degraded is not down: reads answer and updates advance the epoch.
+read_status=$(curl -s -o /dev/null -w '%{http_code}' "http://$ADDR/coreness?v=0")
+if [ "$read_status" != "200" ]; then
+    echo "fault_smoke: coreness read $read_status while degraded, want 200" >&2
+    exit 1
+fi
+epoch_degraded=$(curl -sf "http://$ADDR/stats" | jq .epoch)
+curl -sf --data-binary '1 2' "http://$ADDR/edges/insert" >/dev/null
+epoch_after=$(curl -sf "http://$ADDR/stats" | jq .epoch)
+if [ "$epoch_after" -le "$epoch_degraded" ]; then
+    echo "fault_smoke: epoch stuck at $epoch_after while degraded" >&2
+    exit 1
+fi
+
+# The background loop re-attaches once the fault schedule is exhausted.
+for _ in $(seq 1 100); do
+    if [ "$(curl -s -o /dev/null -w '%{http_code}' "http://$ADDR/readyz")" = "200" ]; then
+        break
+    fi
+    sleep 0.1
+done
+reattaches=$(curl -sf "http://$ADDR/stats" | jq .durability.reattaches)
+if [ -z "$reattaches" ] || [ "$reattaches" = "null" ] || [ "$reattaches" -lt 1 ]; then
+    echo "fault_smoke: no re-attach after fault lifted (reattaches=$reattaches)" >&2
+    exit 1
+fi
+
+# Post-re-attach updates are durable again; a hard crash loses nothing.
+curl -sf --data-binary '0 2' "http://$ADDR/edges/insert" >/dev/null
+before_epoch=$(curl -sf "http://$ADDR/stats" | jq .epoch)
+before_edges=$(curl -sf "http://$ADDR/stats" | jq .edges)
+stop_server
+
+start_server -wal "$work/wal" -fsync always
+after_epoch=$(curl -sf "http://$ADDR/stats" | jq .epoch)
+after_edges=$(curl -sf "http://$ADDR/stats" | jq .edges)
+stop_server
+if [ "$before_epoch" != "$after_epoch" ] || [ "$before_edges" != "$after_edges" ]; then
+    echo "fault_smoke: recovered epoch/edges $after_epoch/$after_edges, want $before_epoch/$before_edges" >&2
+    exit 1
+fi
+echo "fault_smoke: phase 1 OK (degraded, kept serving, re-attached, recovered epoch $after_epoch)"
+
+### Phase 2: overload protection. #########################################
+start_server -max-inflight 1 -rate-limit 0
+
+# A saturating bulk client: concurrent large batches against a gate of 1.
+batch_file="$work/batch.json"
+python3 - >"$batch_file" <<'EOF'
+import json, random
+r = random.Random(7)
+print(json.dumps({"insert": [{"u": r.randrange(1000), "v": r.randrange(1000)}
+                             for _ in range(50000)]}))
+EOF
+codes_file="$work/codes"
+: >"$codes_file"
+shed=0
+for _ in $(seq 1 5); do
+    curl_pids=()
+    for _ in $(seq 1 8); do
+        curl -s -o /dev/null -w '%{http_code}\n' \
+            --data-binary "@$batch_file" "http://$ADDR/edges/batch" >>"$codes_file" &
+        curl_pids+=($!)
+    done
+    # Single reads must keep answering while the heavy path sheds.
+    if [ "$(curl -s -o /dev/null -w '%{http_code}' "http://$ADDR/coreness?v=0")" != "200" ]; then
+        echo "fault_smoke: coreness read failed under saturating batch load" >&2
+        exit 1
+    fi
+    wait "${curl_pids[@]}"
+    shed=$(grep -c -e '^503$' -e '^429$' "$codes_file" || true)
+    [ "$shed" -ge 1 ] && break
+done
+if [ "$shed" -lt 1 ]; then
+    echo "fault_smoke: no 429/503 shed under saturating batch load" >&2
+    cat "$codes_file" >&2
+    exit 1
+fi
+# The shed responses carry the structured error body.
+found_body=0
+for _ in $(seq 1 5); do
+    curl_pids=()
+    for i in $(seq 1 8); do
+        curl -s --data-binary "@$batch_file" "http://$ADDR/edges/batch" \
+            >"$work/body.$i" &
+        curl_pids+=($!)
+    done
+    wait "${curl_pids[@]}"
+    if grep -q '"code":"overloaded"' "$work"/body.*; then
+        found_body=1
+        break
+    fi
+done
+if [ "$found_body" != "1" ]; then
+    echo "fault_smoke: shed responses lack the structured overloaded body" >&2
+    exit 1
+fi
+stats_shed=$(curl -sf "http://$ADDR/stats" | jq .overload.load_shed)
+if [ "$stats_shed" -lt 1 ]; then
+    echo "fault_smoke: /stats overload.load_shed=$stats_shed, want >= 1" >&2
+    exit 1
+fi
+stop_server
+
+# Rate limiting: a burst past the bucket draws 429s; health probes exempt.
+start_server -rate-limit 1 -rate-burst 2
+limited=0
+for _ in $(seq 1 6); do
+    code=$(curl -s -o /dev/null -w '%{http_code}' "http://$ADDR/coreness?v=0")
+    [ "$code" = "429" ] && limited=$((limited + 1))
+done
+if [ "$limited" -lt 1 ]; then
+    echo "fault_smoke: no 429 from a 6-request burst against rate-limit 1/burst 2" >&2
+    exit 1
+fi
+if [ "$(curl -s -o /dev/null -w '%{http_code}' "http://$ADDR/healthz")" != "200" ]; then
+    echo "fault_smoke: healthz rate-limited, must be exempt" >&2
+    exit 1
+fi
+stop_server
+echo "fault_smoke: phase 2 OK (shed=$shed overload responses, $limited rate-limited)"
+echo "fault_smoke: OK"
