@@ -23,6 +23,16 @@
 // -request-timeout bounds every request by a deadline. /healthz is
 // liveness; /readyz turns 503 while the WAL is degraded (durability lost,
 // reads and updates still served — see -reattach-every).
+//
+// Replication: -replicate-listen serves the batch-log shipping stream on a
+// second listener (the primary role); -replicate-from points a read-only
+// replica at that listener. A replica serves the full read surface from
+// byte-identical state, answers every write with 403 "read_only", and
+// honors ?min_epoch= read floors, waiting up to -min-epoch-wait before
+// shedding with 412:
+//
+//	kcore-server -n 1000000 -addr :8080 -replicate-listen :7070
+//	kcore-server -n 1000000 -addr :8081 -replicate-from localhost:7070
 package main
 
 import (
@@ -69,6 +79,12 @@ func main() {
 		"max concurrent update/bulk requests before shedding with 503 (0 disables)")
 	reqTimeout := flag.Duration("request-timeout", 10*time.Second,
 		"per-request deadline (0 disables)")
+	replListen := flag.String("replicate-listen", "",
+		"serve the replication stream for followers on this address (primary role)")
+	replFrom := flag.String("replicate-from", "",
+		"replicate from the primary's -replicate-listen address (read-only replica role)")
+	minEpochWait := flag.Duration("min-epoch-wait", server.DefaultMinEpochWait,
+		"how long a ?min_epoch= read may wait for the epoch floor before shedding with 412")
 	faultFsync := flag.Int("fault-fsync-fail", 0,
 		"TESTING ONLY: inject a failure into the next N WAL fsyncs (-1 = forever)")
 	flag.Parse()
@@ -77,6 +93,13 @@ func main() {
 		server.WithShards(*shards), server.WithMaxBatchEdges(*maxBatch),
 		server.WithRetainedEpochs(*retain),
 		server.WithRequestTimeout(*reqTimeout),
+		server.WithMinEpochWait(*minEpochWait),
+	}
+	if *replListen != "" {
+		opts = append(opts, server.WithReplicationListen(*replListen))
+	}
+	if *replFrom != "" {
+		opts = append(opts, server.WithReplicationSource(*replFrom))
 	}
 	if *rateLimit > 0 {
 		opts = append(opts, server.WithRateLimit(*rateLimit, *rateBurst))
@@ -106,6 +129,9 @@ func main() {
 		}
 		opts = append(opts, server.WithWAL(*walDir, wo))
 	}
+	if *load != "" && *replFrom != "" {
+		log.Fatal("kcore-server: -load on a replica would fork it from the primary; load on the primary instead")
+	}
 	srv, err := server.New(*n, lds.Params{Delta: *delta, Lambda: *lambda}, opts...)
 	if err != nil {
 		log.Fatalf("kcore-server: %v", err)
@@ -114,6 +140,12 @@ func main() {
 		if err := loadFile(srv, *load, *batch); err != nil {
 			log.Fatalf("kcore-server: %v", err)
 		}
+	}
+	switch {
+	case *replListen != "":
+		log.Printf("kcore-server: replication primary, shipping on %s", srv.ReplicationAddr())
+	case *replFrom != "":
+		log.Printf("kcore-server: read-only replica of %s (synced)", *replFrom)
 	}
 	log.Printf("kcore-server: %d vertices, %d shard(s), listening on %s", *n, *shards, *addr)
 

@@ -1,6 +1,7 @@
 package kcore
 
 import (
+	"fmt"
 	"sync"
 	"sync/atomic"
 
@@ -8,6 +9,7 @@ import (
 	"kcore/internal/exact"
 	"kcore/internal/graph"
 	"kcore/internal/lds"
+	"kcore/internal/replica"
 	"kcore/internal/shard"
 	"kcore/internal/wal"
 )
@@ -72,12 +74,14 @@ type engine interface {
 }
 
 // Both backends must satisfy the engine contract, and both must be
-// drivable by the durability subsystem.
+// drivable by the durability subsystem and the replication follower.
 var (
-	_ engine     = (*singleEngine)(nil)
-	_ engine     = (*shard.Engine)(nil)
-	_ wal.Engine = (*singleEngine)(nil)
-	_ wal.Engine = (*shard.Engine)(nil)
+	_ engine         = (*singleEngine)(nil)
+	_ engine         = (*shard.Engine)(nil)
+	_ wal.Engine     = (*singleEngine)(nil)
+	_ wal.Engine     = (*shard.Engine)(nil)
+	_ replica.Engine = (*singleEngine)(nil)
+	_ replica.Engine = (*shard.Engine)(nil)
 )
 
 // singleEngine adapts one CPLDS to the engine interface. It also keeps the
@@ -192,8 +196,9 @@ func (s *singleEngine) ShardDurable(int) wal.ShardState {
 	return st
 }
 
-// RestoreShard restores the engine from a captured state. Must be called
-// on a fresh engine, before it serves traffic.
+// RestoreShard restores the engine from a captured state. Recovery calls
+// it on a fresh engine; replication bootstrap calls it on a live one via
+// RestoreAll (the CPLDS restore is reader-safe).
 func (s *singleEngine) RestoreShard(_ int, st wal.ShardState) error {
 	if err := s.c.Restore(st.Graph, st.Levels, st.Epoch); err != nil {
 		return err
@@ -201,6 +206,18 @@ func (s *singleEngine) RestoreShard(_ int, st wal.ShardState) error {
 	s.ins.Store(st.Inserted)
 	s.del.Store(st.Deleted)
 	return nil
+}
+
+// RestoreAll restores the engine (one shard) under the update lock. Safe
+// on a live engine serving concurrent reads — the follower-side entry
+// point for replication bootstrap.
+func (s *singleEngine) RestoreAll(states []wal.ShardState) error {
+	if len(states) != 1 {
+		return fmt.Errorf("kcore: restore of %d shard states into a single engine", len(states))
+	}
+	var err error
+	s.Quiesce(func() { err = s.RestoreShard(0, states[0]) })
+	return err
 }
 
 func (s *singleEngine) SetRetainedEpochs(n int) { s.c.SetRetainedEpochs(n) }

@@ -1,0 +1,200 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"kcore/internal/replica"
+	"kcore/internal/shard"
+	"kcore/internal/stats"
+	"kcore/internal/wal"
+)
+
+// ReplicaResult is one row of the replication experiment: how fast a
+// follower absorbs the primary's batch stream, and how the follower's
+// read path behaves while it does.
+type ReplicaResult struct {
+	Dataset string
+	Shards  int
+	Readers int
+	Edges   int64 // edges applied on the primary during measurement
+
+	PrimaryElapsed time.Duration // primary-side apply time
+	CatchupElapsed time.Duration // primary t0 -> follower at primary's epoch
+	PrimaryPerS    float64       // primary apply throughput (edges/s)
+	FollowerPerS   float64       // follower end-to-end throughput (edges/s)
+	BytesShipped   uint64        // stream bytes to the follower
+	FollowerReads  int64         // pinned multi-reads served by the follower meanwhile
+	ReadsPerS      float64
+}
+
+// RunReplica measures one replication configuration: a primary and one
+// follower connected over a real TCP stream, cfg.Writers client goroutines
+// racing insertion batches into the primary, cfg.Readers goroutines
+// hammering the follower's epoch-pinned read path throughout. The row
+// reports the primary's apply throughput, the follower's end-to-end
+// throughput (apply start to full catch-up: shipping + re-applying), the
+// shipped byte volume and the follower's concurrent read rate.
+func RunReplica(cfg Config, shards int) (ReplicaResult, error) {
+	cfg = cfg.withDefaults()
+	res := ReplicaResult{Dataset: cfg.Dataset, Shards: shards, Readers: cfg.Readers}
+	for trial := 0; trial < cfg.Trials; trial++ {
+		p, err := prepare(cfg)
+		if err != nil {
+			return res, err
+		}
+		batches := p.stream.Insertions
+		if cfg.MaxBatches > 0 && len(batches) > cfg.MaxBatches {
+			batches = batches[:cfg.MaxBatches]
+		}
+		primary := shard.New(p.n, shards, cfg.Params)
+		primary.Insert(p.stream.Base)
+
+		src := wal.NewTailSource(primary)
+		feeder := replica.NewFeeder(src, replica.FeederOptions{Heartbeat: 50 * time.Millisecond})
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return res, err
+		}
+		hs := &http.Server{Handler: feeder.Handler()}
+		go hs.Serve(ln)
+
+		folEng := shard.New(p.n, shards, cfg.Params)
+		fol, err := replica.StartFollower(folEng, ln.Addr().String(), replica.FollowerOptions{
+			BackoffMin: 10 * time.Millisecond, InitialSync: 30 * time.Second,
+		})
+		if err != nil {
+			hs.Close()
+			src.Close()
+			return res, err
+		}
+
+		// Follower-side readers: the replica's whole point is serving reads,
+		// so measure its pinned read path concurrent with the live stream.
+		stop := make(chan struct{})
+		var reads atomic.Int64
+		var rwg sync.WaitGroup
+		for rd := 0; rd < cfg.Readers; rd++ {
+			rwg.Add(1)
+			go func(seed int) {
+				defer rwg.Done()
+				vs := make([]uint32, 16)
+				out := make([]float64, len(vs))
+				for i := 0; ; i++ {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+					for j := range vs {
+						vs[j] = uint32((seed + i*len(vs) + j) % p.n)
+					}
+					folEng.ReadManyPinned(vs, out)
+					reads.Add(1)
+				}
+			}(rd * 1000)
+		}
+
+		var next, edges atomic.Int64
+		var wg sync.WaitGroup
+		t0 := time.Now()
+		for w := 0; w < cfg.Writers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= len(batches) {
+						return
+					}
+					edges.Add(int64(primary.Insert(batches[i])))
+				}
+			}()
+		}
+		wg.Wait()
+		primaryElapsed := time.Since(t0)
+
+		target := primary.Epoch()
+		for folEng.Epoch() != target {
+			time.Sleep(200 * time.Microsecond)
+		}
+		catchup := time.Since(t0)
+		close(stop)
+		rwg.Wait()
+
+		// Parity sanity: a benchmark over a diverged follower is meaningless.
+		nOut := make([]float64, p.n)
+		fOut := make([]float64, p.n)
+		pe := primary.ReadAllPinned(nOut)
+		fe := folEng.ReadAllPinned(fOut)
+		if pe != fe {
+			fol.Close()
+			hs.Close()
+			src.Close()
+			return res, fmt.Errorf("bench: follower at epoch %d, primary at %d after catch-up", fe, pe)
+		}
+		for v := range nOut {
+			if nOut[v] != fOut[v] {
+				fol.Close()
+				hs.Close()
+				src.Close()
+				return res, fmt.Errorf("bench: follower diverged at vertex %d", v)
+			}
+		}
+
+		res.Edges += edges.Load()
+		res.PrimaryElapsed += primaryElapsed
+		res.CatchupElapsed += catchup
+		res.PrimaryPerS += stats.Throughput(edges.Load(), primaryElapsed)
+		res.FollowerPerS += stats.Throughput(edges.Load(), catchup)
+		res.BytesShipped += feeder.Stats().BytesShipped
+		res.FollowerReads += reads.Load()
+		res.ReadsPerS += stats.Throughput(reads.Load(), catchup)
+
+		fol.Close()
+		hs.Close()
+		src.Close()
+	}
+	res.PrimaryPerS /= float64(cfg.Trials)
+	res.FollowerPerS /= float64(cfg.Trials)
+	res.ReadsPerS /= float64(cfg.Trials)
+	return res, nil
+}
+
+// FigureReplica runs and prints the replication experiment: follower
+// end-to-end apply throughput against the primary's apply rate (their
+// ratio is the steady-state headroom before a follower lags), shipped
+// bytes per edge, and the follower's concurrent pinned-read rate.
+func FigureReplica(w io.Writer, datasets []string, shardCounts []int, cfg Config) error {
+	cfg = cfg.withDefaults()
+	fmt.Fprintf(w, "Replication: follower apply throughput and read scaling (writers=%d, readers=%d)\n",
+		cfg.Writers, cfg.Readers)
+	fmt.Fprintf(w, "%-10s %8s %14s %14s %10s %12s %14s\n",
+		"graph", "shards", "primary e/s", "follower e/s", "ratio", "bytes/edge", "fol reads/s")
+	for _, ds := range datasets {
+		c := cfg
+		c.Dataset = ds
+		for _, shards := range shardCounts {
+			r, err := RunReplica(c, shards)
+			if err != nil {
+				return err
+			}
+			ratio, bpe := 0.0, 0.0
+			if r.PrimaryPerS > 0 {
+				ratio = r.FollowerPerS / r.PrimaryPerS
+			}
+			if r.Edges > 0 {
+				bpe = float64(r.BytesShipped) / float64(r.Edges)
+			}
+			fmt.Fprintf(w, "%-10s %8d %14.0f %14.0f %9.2fx %12.1f %14.0f\n",
+				ds, shards, r.PrimaryPerS, r.FollowerPerS, ratio, bpe, r.ReadsPerS)
+		}
+	}
+	fmt.Fprintln(w)
+	return nil
+}

@@ -1,0 +1,45 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunReplica(t *testing.T) {
+	for _, shards := range []int{1, 2} {
+		r, err := RunReplica(smallCfg(), shards)
+		if err != nil {
+			t.Fatalf("shards=%d: %v", shards, err)
+		}
+		if r.Edges == 0 {
+			t.Fatalf("shards=%d: no edges applied", shards)
+		}
+		if r.PrimaryPerS <= 0 || r.FollowerPerS <= 0 {
+			t.Fatalf("shards=%d: non-positive throughput: %+v", shards, r)
+		}
+		if r.CatchupElapsed < r.PrimaryElapsed {
+			t.Fatalf("shards=%d: catch-up %v before primary finished at %v",
+				shards, r.CatchupElapsed, r.PrimaryElapsed)
+		}
+		if r.BytesShipped == 0 {
+			t.Fatalf("shards=%d: nothing shipped", shards)
+		}
+	}
+}
+
+func TestFigureReplicaDriver(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	var buf bytes.Buffer
+	if err := FigureReplica(&buf, []string{"tiny"}, []int{1, 2}, smallCfg()); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"Replication", "follower e/s", "bytes/edge", "tiny"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+}

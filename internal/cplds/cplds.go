@@ -799,15 +799,25 @@ func (c *CPLDS) Levels(out []int32) {
 	}
 }
 
-// Restore resets a freshly constructed CPLDS to a previously captured
-// quiescent state: the graph (from a CSR snapshot), every vertex's level,
-// and the committed epoch. The PLDS rebuilds its derived state (up
-// counters) from the restored graph and levels; the batch counter and
-// commit sequence are re-seeded to the restored epoch so the epoch
-// arithmetic of the pinned read protocols continues seamlessly; and the
-// multi-version store, if retention is enabled, restarts empty (pre-crash
-// retired epochs are not recoverable — only their final state is).
-// Quiescent use only, on an engine that has not yet applied any batch.
+// Restore resets the CPLDS to a previously captured quiescent state: the
+// graph (from a CSR snapshot), every vertex's level, and the committed
+// epoch. The PLDS rebuilds its derived state (up counters) from the
+// restored graph and levels; the batch counter and commit sequence are
+// re-seeded to the restored epoch so the epoch arithmetic of the pinned
+// read protocols continues seamlessly; and the multi-version store, if
+// retention is enabled, restarts empty (pre-restore retired epochs are
+// not recoverable — only their final state is).
+//
+// The caller must exclude updaters (no batch in flight — recovery runs
+// single-threaded, replication bootstrap runs under the engine's
+// quiesce), but concurrent *readers* are safe: the restore runs under the
+// batch gate with the commit sequence held odd, exactly the visibility
+// protocol of a batch's unmark phase, so a pinned multi-vertex read that
+// overlaps the restore fails its sequence validation and retries (or
+// falls back to the gate and blocks), and a single-vertex read retries on
+// the batch-number change. Restored epochs must be >= the current epoch
+// (replication only moves forward), keeping the retry arithmetic
+// monotone.
 func (c *CPLDS) Restore(csr *graph.CSR, levels []int32, epoch uint64) error {
 	n := c.NumVertices()
 	if csr.NumVertices() != n {
@@ -823,12 +833,15 @@ func (c *CPLDS) Restore(csr *graph.CSR, levels []int32, epoch uint64) error {
 				l, v, c.S.MaxLevel())
 		}
 	}
+	c.gate.Lock()
+	defer c.gate.Unlock()
+	c.commitSeq.Add(1) // odd: multi-vertex readers retry until the new state is whole
 	c.P.Restore(graph.FromCSR(csr), levels, epoch)
 	c.batchNum.Store(epoch)
-	c.commitSeq.Store(2 * epoch)
 	if c.store != nil {
-		c.store = mvcc.NewStore(c.store.Retain())
+		c.store.Reset()
 	}
+	c.commitSeq.Store(2 * epoch)
 	return nil
 }
 

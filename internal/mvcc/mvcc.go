@@ -191,6 +191,23 @@ func (s *Store) Append(epoch uint64, movers []uint32, oldOf func(uint32) int32) 
 	s.evictLocked()
 }
 
+// Reset drops every retained delta and pin, recycling the record buffers:
+// the ring restarts empty, exactly as if the store were freshly built.
+// Used when the owning instance is restored to an externally supplied
+// state (replication bootstrap) — pre-restore epochs are no longer
+// reconstructable, and the next Append may start at any epoch. Safe
+// concurrent with readers, which simply observe an empty ring; reads and
+// unpins of previously pinned epochs fail softly afterwards.
+func (s *Store) Reset() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, d := range s.deltas {
+		s.free = append(s.free, d.recs)
+	}
+	s.deltas = s.deltas[:0]
+	clear(s.pins)
+}
+
 // evictLocked drops oldest deltas beyond the retention bound, never
 // crossing the oldest pin (reading pinned epoch E needs every delta with
 // epoch > E; deltas at epochs <= E are evictable).

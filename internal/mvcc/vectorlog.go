@@ -77,6 +77,36 @@ func (l *VectorLog) Commit(shard int, publish func()) {
 	l.evictLocked()
 }
 
+// Reset reinitializes the log over new per-shard committed counts,
+// dropping every retained vector and pin: the history restarts at the new
+// sum, exactly as if the log were freshly built with NewVectorLog(counts).
+// Used when the engine is restored to an externally supplied state
+// (replication bootstrap). Safe concurrent with readers and commit
+// publication from the caller's side only if the engine is quiesced — the
+// per-shard counts must not move under the swap.
+func (l *VectorLog) Reset(counts []uint64) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.free = append(l.free, l.vecs...)
+	copy(l.cur, counts)
+	var sum uint64
+	for _, c := range l.cur {
+		sum += c
+	}
+	l.sum = sum
+	l.base = sum
+	var first []uint64
+	if n := len(l.free); n > 0 {
+		first = l.free[n-1]
+		l.free = l.free[:n-1]
+	} else {
+		first = make([]uint64, len(l.cur))
+	}
+	copy(first, l.cur)
+	l.vecs = append(l.vecs[:0], first)
+	clear(l.pins)
+}
+
 // evictLocked drops oldest vectors beyond the retention bound, never
 // crossing the oldest pin (the pinned epoch's own vector is needed).
 func (l *VectorLog) evictLocked() {

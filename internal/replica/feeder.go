@@ -1,0 +1,241 @@
+package replica
+
+import (
+	"context"
+	"encoding/binary"
+	"encoding/json"
+	"net/http"
+	"sync/atomic"
+	"time"
+
+	"kcore/internal/wal"
+)
+
+// DefaultHeartbeat is the feeder's idle-stream heartbeat period.
+const DefaultHeartbeat = 500 * time.Millisecond
+
+// FeederOptions configure the primary-side log-shipping server.
+type FeederOptions struct {
+	// Heartbeat is how often an idle stream sends its commit vector
+	// (default 500ms). Followers treat a stream silent for several
+	// heartbeats as dead, so this also bounds partition detection.
+	Heartbeat time.Duration
+	// Buffer is the per-follower tail buffer in batches (default
+	// wal.DefaultTailBuffer). A follower that falls further behind than
+	// this is disconnected and re-bootstraps.
+	Buffer int
+}
+
+func (o FeederOptions) withDefaults() FeederOptions {
+	if o.Heartbeat <= 0 {
+		o.Heartbeat = DefaultHeartbeat
+	}
+	if o.Buffer <= 0 {
+		o.Buffer = wal.DefaultTailBuffer
+	}
+	return o
+}
+
+// FeederStats is a point-in-time snapshot of the feeder's counters,
+// served in the primary's /stats replication block.
+type FeederStats struct {
+	Followers      int    `json:"followers"` // currently connected
+	Connects       uint64 `json:"total_connects"`
+	Bootstraps     uint64 `json:"bootstraps"`
+	RecordsShipped uint64 `json:"records_shipped"`
+	BytesShipped   uint64 `json:"bytes_shipped"`
+	Overruns       uint64 `json:"overruns"` // followers dropped for falling behind
+	Paused         bool   `json:"paused,omitempty"`
+}
+
+// Feeder is the primary-side replication server: each follower connection
+// gets a bootstrap (every shard's durable state captured atomically with
+// the tail subscription) followed by the live record stream. The Feeder is
+// an http.Handler; the integration layer owns the listener.
+type Feeder struct {
+	src wal.Source
+	opt FeederOptions
+	mux *http.ServeMux
+
+	// paused is the fault-injection/test hook: while set, connections
+	// stop forwarding records (they keep heartbeating with the shipped
+	// vector, so the link stays alive) and followers visibly lag.
+	paused atomic.Bool
+
+	followers  atomic.Int64
+	connects   atomic.Uint64
+	bootstraps atomic.Uint64
+	records    atomic.Uint64
+	bytes      atomic.Uint64
+	overruns   atomic.Uint64
+}
+
+// NewFeeder returns a feeder shipping src's capture + batch stream.
+func NewFeeder(src wal.Source, opt FeederOptions) *Feeder {
+	f := &Feeder{src: src, opt: opt.withDefaults()}
+	f.mux = http.NewServeMux()
+	f.mux.HandleFunc("GET "+StreamPath, f.handleStream)
+	f.mux.HandleFunc("GET "+InfoPath, f.handleInfo)
+	return f
+}
+
+// Handler returns the feeder's HTTP handler (StreamPath + InfoPath).
+func (f *Feeder) Handler() http.Handler { return f.mux }
+
+// Pause stops record forwarding on every connection (heartbeats continue,
+// so followers stay connected but lag). Test and fault-drill hook.
+func (f *Feeder) Pause() { f.paused.Store(true) }
+
+// Resume re-enables record forwarding after a Pause.
+func (f *Feeder) Resume() { f.paused.Store(false) }
+
+// Stats returns a point-in-time counter snapshot.
+func (f *Feeder) Stats() FeederStats {
+	return FeederStats{
+		Followers:      int(f.followers.Load()),
+		Connects:       f.connects.Load(),
+		Bootstraps:     f.bootstraps.Load(),
+		RecordsShipped: f.records.Load(),
+		BytesShipped:   f.bytes.Load(),
+		Overruns:       f.overruns.Load(),
+		Paused:         f.paused.Load(),
+	}
+}
+
+func (f *Feeder) handleInfo(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(struct {
+		Vertices int `json:"vertices"`
+		Shards   int `json:"shards"`
+		FeederStats
+	}{f.src.NumVertices(), f.src.NumShards(), f.Stats()})
+}
+
+// handleStream serves one follower for the lifetime of its connection:
+// bootstrap, then live tail. Any write error or client disconnect ends
+// the stream; the follower reconnects and re-bootstraps.
+func (f *Feeder) handleStream(w http.ResponseWriter, r *http.Request) {
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		http.Error(w, "streaming unsupported", http.StatusInternalServerError)
+		return
+	}
+	states, tail, err := f.src.Bootstrap(f.opt.Buffer)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusServiceUnavailable)
+		return
+	}
+	defer tail.Close()
+	f.connects.Add(1)
+	f.followers.Add(1)
+	defer f.followers.Add(-1)
+
+	w.Header().Set("Content-Type", "application/octet-stream")
+	n, shards := f.src.NumVertices(), f.src.NumShards()
+	cw := &countingWriter{w: w, f: f}
+	if err := writeStreamHeader(cw, n, shards); err != nil {
+		return
+	}
+
+	// Bootstrap: one state frame per shard, then the captured vector.
+	vec := make([]uint64, shards)
+	var frame []byte
+	for si, st := range states {
+		frame = frame[:0]
+		var sihdr [4]byte
+		binary.LittleEndian.PutUint32(sihdr[:], uint32(si))
+		payload := wal.MarshalShardState(sihdr[:4:4], n, st)
+		frame = appendFrame(frame, frameState, payload)
+		if _, err := cw.Write(frame); err != nil {
+			return
+		}
+		vec[si] = st.Epoch
+	}
+	if err := f.writeVectorFrame(cw, frameEnd, vec); err != nil {
+		return
+	}
+	flusher.Flush()
+	f.bootstraps.Add(1)
+
+	// Live tail. Records are flushed eagerly when the tail drains (low
+	// latency) and batched while it is backed up (throughput).
+	hb := time.NewTicker(f.opt.Heartbeat)
+	defer hb.Stop()
+	ctx := r.Context()
+	var recBuf []byte
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case b, open := <-tail.C():
+			if !open {
+				// Overrun (or source shutdown): the follower is too far
+				// behind this buffer — drop the stream, it re-bootstraps.
+				if tail.Overrun() {
+					f.overruns.Add(1)
+				}
+				return
+			}
+			// The pause hook blocks *before* the record hits the socket,
+			// so a paused feed ships nothing — the drained record is held
+			// here and shipped on resume, never lost.
+			if err := f.waitWhilePaused(ctx, cw, flusher, vec); err != nil {
+				return
+			}
+			recBuf = wal.EncodeRecord(recBuf, b)
+			frame = appendFrame(frame[:0], frameRecord, recBuf)
+			if _, err := cw.Write(frame); err != nil {
+				return
+			}
+			vec[b.Shard] = b.Epoch
+			f.records.Add(1)
+			if len(tail.C()) == 0 {
+				flusher.Flush()
+			}
+		case <-hb.C:
+			if err := f.writeVectorFrame(cw, frameHeartbeat, vec); err != nil {
+				return
+			}
+			flusher.Flush()
+		}
+	}
+}
+
+// waitWhilePaused parks a stream while the pause hook is set, keeping the
+// link alive with heartbeats (carrying the last *shipped* vector, so a
+// paused feed is indistinguishable from an idle primary to the follower's
+// liveness logic — only its epoch lag shows).
+func (f *Feeder) waitWhilePaused(ctx context.Context, cw *countingWriter, flusher http.Flusher, vec []uint64) error {
+	for f.paused.Load() {
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(f.opt.Heartbeat):
+			if err := f.writeVectorFrame(cw, frameHeartbeat, vec); err != nil {
+				return err
+			}
+			flusher.Flush()
+		}
+	}
+	return nil
+}
+
+func (f *Feeder) writeVectorFrame(cw *countingWriter, typ byte, vec []uint64) error {
+	payload := appendVector(make([]byte, 0, 8*len(vec)), vec)
+	_, err := cw.Write(appendFrame(nil, typ, payload))
+	return err
+}
+
+// countingWriter tracks shipped bytes into the feeder's counter.
+type countingWriter struct {
+	w interface{ Write([]byte) (int, error) }
+	f *Feeder
+}
+
+func (c *countingWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	if c.f != nil {
+		c.f.bytes.Add(uint64(n))
+	}
+	return n, err
+}

@@ -1,0 +1,374 @@
+package replica
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"kcore/internal/wal"
+)
+
+// FollowerOptions configure the follower runtime.
+type FollowerOptions struct {
+	// DialTimeout bounds each connection attempt (default 5s).
+	DialTimeout time.Duration
+	// StreamTimeout is the silent-stream watchdog: a connection that
+	// delivers no frame (record or heartbeat) for this long is torn down
+	// and redialed (default 10s; must comfortably exceed the feeder's
+	// heartbeat period).
+	StreamTimeout time.Duration
+	// BackoffMin/BackoffMax bound the reconnect backoff: the delay starts
+	// at BackoffMin and doubles per consecutive failure up to BackoffMax
+	// (defaults 100ms and 5s). A connection that reached bootstrap resets
+	// the backoff.
+	BackoffMin, BackoffMax time.Duration
+	// InitialSync is how long StartFollower waits for the first bootstrap
+	// to complete before giving up (default 30s; negative = do not wait,
+	// the follower syncs in the background).
+	InitialSync time.Duration
+}
+
+func (o FollowerOptions) withDefaults() FollowerOptions {
+	if o.DialTimeout <= 0 {
+		o.DialTimeout = 5 * time.Second
+	}
+	if o.StreamTimeout <= 0 {
+		o.StreamTimeout = 10 * time.Second
+	}
+	if o.BackoffMin <= 0 {
+		o.BackoffMin = 100 * time.Millisecond
+	}
+	if o.BackoffMax <= 0 {
+		o.BackoffMax = 5 * time.Second
+	}
+	if o.InitialSync == 0 {
+		o.InitialSync = 30 * time.Second
+	}
+	return o
+}
+
+// FollowerStats is a point-in-time snapshot of the follower's replication
+// state, served in the follower's /stats replication block and /metrics
+// lag gauges.
+type FollowerStats struct {
+	Primary   string `json:"primary"`
+	Connected bool   `json:"connected"`
+	Synced    bool   `json:"synced"` // bootstrapped on the current connection
+
+	// Epoch is the follower's applied cross-shard epoch; PrimaryEpoch is
+	// the newest epoch the primary has announced on this connection
+	// (records + heartbeats). LagEpochs is their difference — epochs
+	// shipped but not yet applied, or accruing while disconnected.
+	Epoch        uint64 `json:"epoch"`
+	PrimaryEpoch uint64 `json:"primary_epoch"`
+	LagEpochs    uint64 `json:"lag_epochs"`
+
+	// BytesReceived counts stream payload bytes read; BytesApplied counts
+	// the bytes of records already applied. Their difference is the lag
+	// in bytes (received but not yet applied).
+	BytesReceived  uint64 `json:"bytes_received"`
+	BytesApplied   uint64 `json:"bytes_applied"`
+	LagBytes       uint64 `json:"lag_bytes"`
+	RecordsApplied uint64 `json:"records_applied"`
+	Bootstraps     uint64 `json:"bootstraps"`
+	Reconnects     uint64 `json:"reconnects"`
+
+	LastRecordUnixNano    int64  `json:"last_record_unix_nano,omitempty"`
+	LastHeartbeatUnixNano int64  `json:"last_heartbeat_unix_nano,omitempty"`
+	Err                   string `json:"error,omitempty"` // last connection error
+}
+
+// Follower replicates a primary into a local engine: it dials the
+// primary's replication listener, restores the bootstrapped states, then
+// applies every shipped record through the engine's normal batch path —
+// the engine serves its full read stack concurrently throughout. On any
+// stream failure it reconnects with exponential backoff and
+// re-bootstraps (see the package comment for why there is no resume).
+type Follower struct {
+	eng     Engine
+	primary string // normalized base URL
+	opt     FollowerOptions
+	client  *http.Client
+
+	ctx    context.Context
+	cancel context.CancelFunc
+	wg     sync.WaitGroup
+
+	connected  atomic.Bool
+	synced     atomic.Bool
+	primaryEp  atomic.Uint64
+	bytesRecv  atomic.Uint64
+	bytesAppl  atomic.Uint64
+	records    atomic.Uint64
+	bootstraps atomic.Uint64
+	reconnects atomic.Uint64
+	lastRec    atomic.Int64
+	lastHB     atomic.Int64
+	lastErr    atomic.Pointer[error]
+
+	firstSync chan struct{} // closed after the first successful bootstrap
+	syncOnce  sync.Once
+}
+
+// StartFollower connects eng to the primary at addr (host:port or a full
+// http:// URL) and keeps it replicating until Close. Unless
+// opt.InitialSync is negative it blocks until the first bootstrap has
+// been applied, so a successful return means the engine already holds a
+// recent primary state.
+func StartFollower(eng Engine, addr string, opt FollowerOptions) (*Follower, error) {
+	opt = opt.withDefaults()
+	base := addr
+	if !strings.Contains(base, "://") {
+		base = "http://" + base
+	}
+	base = strings.TrimRight(base, "/")
+	f := &Follower{
+		eng:     eng,
+		primary: base,
+		opt:     opt,
+		// The stream is long-lived by design: liveness comes from the
+		// per-frame watchdog, not a client timeout.
+		client:    &http.Client{Transport: &http.Transport{ResponseHeaderTimeout: opt.DialTimeout}},
+		firstSync: make(chan struct{}),
+	}
+	f.ctx, f.cancel = context.WithCancel(context.Background())
+	f.wg.Add(1)
+	go f.run()
+	if opt.InitialSync >= 0 {
+		select {
+		case <-f.firstSync:
+		case <-time.After(opt.InitialSync):
+			err := fmt.Errorf("replica: no bootstrap from %s within %v", base, opt.InitialSync)
+			if last := f.Err(); last != nil {
+				err = fmt.Errorf("%w (last error: %v)", err, last)
+			}
+			f.Close()
+			return nil, err
+		}
+	}
+	return f, nil
+}
+
+// Primary returns the normalized primary base URL.
+func (f *Follower) Primary() string { return f.primary }
+
+// Epoch returns the follower engine's applied cross-shard epoch.
+func (f *Follower) Epoch() uint64 { return f.eng.Epoch() }
+
+// Synced reports whether the current connection has completed bootstrap.
+func (f *Follower) Synced() bool { return f.synced.Load() }
+
+// Err returns the last connection error (nil after a healthy [re]connect).
+func (f *Follower) Err() error {
+	if p := f.lastErr.Load(); p != nil {
+		return *p
+	}
+	return nil
+}
+
+// Stats returns a point-in-time replication snapshot.
+func (f *Follower) Stats() FollowerStats {
+	st := FollowerStats{
+		Primary:               f.primary,
+		Connected:             f.connected.Load(),
+		Synced:                f.synced.Load(),
+		Epoch:                 f.eng.Epoch(),
+		PrimaryEpoch:          f.primaryEp.Load(),
+		BytesReceived:         f.bytesRecv.Load(),
+		BytesApplied:          f.bytesAppl.Load(),
+		RecordsApplied:        f.records.Load(),
+		Bootstraps:            f.bootstraps.Load(),
+		Reconnects:            f.reconnects.Load(),
+		LastRecordUnixNano:    f.lastRec.Load(),
+		LastHeartbeatUnixNano: f.lastHB.Load(),
+	}
+	if st.PrimaryEpoch > st.Epoch {
+		st.LagEpochs = st.PrimaryEpoch - st.Epoch
+	}
+	if st.BytesReceived > st.BytesApplied {
+		st.LagBytes = st.BytesReceived - st.BytesApplied
+	}
+	if err := f.Err(); err != nil {
+		st.Err = err.Error()
+	}
+	return st
+}
+
+// Close stops replication and waits for the stream goroutine to exit. The
+// engine keeps the last applied state and stays fully readable.
+func (f *Follower) Close() {
+	f.cancel()
+	f.wg.Wait()
+}
+
+// run is the reconnect loop: one stream() per connection, exponential
+// backoff between failures, reset once a connection bootstraps.
+func (f *Follower) run() {
+	defer f.wg.Done()
+	backoff := f.opt.BackoffMin
+	for {
+		if f.ctx.Err() != nil {
+			return
+		}
+		bootstrapped, err := f.stream()
+		f.connected.Store(false)
+		f.synced.Store(false)
+		if f.ctx.Err() != nil {
+			return
+		}
+		if err != nil {
+			e := err
+			f.lastErr.Store(&e)
+		}
+		f.reconnects.Add(1)
+		if bootstrapped {
+			backoff = f.opt.BackoffMin
+		}
+		select {
+		case <-f.ctx.Done():
+			return
+		case <-time.After(backoff):
+		}
+		if backoff *= 2; backoff > f.opt.BackoffMax {
+			backoff = f.opt.BackoffMax
+		}
+	}
+}
+
+// stream runs one connection lifetime: dial, bootstrap, apply the live
+// tail until the stream breaks, goes silent, or the follower closes.
+// Returns whether the bootstrap completed (for backoff reset).
+func (f *Follower) stream() (bootstrapped bool, err error) {
+	req, err := http.NewRequestWithContext(f.ctx, http.MethodGet, f.primary+StreamPath, nil)
+	if err != nil {
+		return false, err
+	}
+	resp, err := f.client.Do(req)
+	if err != nil {
+		return false, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return false, fmt.Errorf("replica: primary returned %s", resp.Status)
+	}
+
+	// Silent-stream watchdog: tear the connection down if no frame lands
+	// within StreamTimeout. Reset after every frame.
+	watchdog := time.AfterFunc(f.opt.StreamTimeout, func() { resp.Body.Close() })
+	defer watchdog.Stop()
+
+	body := &countingReader{r: resp.Body, n: &f.bytesRecv}
+	n, shards := f.eng.NumVertices(), f.eng.NumShards()
+	if err := readStreamHeader(body, n, shards); err != nil {
+		return false, err
+	}
+	watchdog.Reset(f.opt.StreamTimeout)
+	f.connected.Store(true)
+
+	states := make([]wal.ShardState, shards)
+	seen := make([]bool, shards)
+	vec := make([]uint64, shards)
+	var buf []byte
+	for {
+		typ, payload, rerr := readFrame(body, buf)
+		if rerr != nil {
+			if f.ctx.Err() != nil {
+				return bootstrapped, nil
+			}
+			return bootstrapped, rerr
+		}
+		buf = payload[:0]
+		watchdog.Reset(f.opt.StreamTimeout)
+		switch typ {
+		case frameState:
+			si, st, perr := parseStateFrame(payload, n, shards)
+			if perr != nil {
+				return bootstrapped, perr
+			}
+			states[si], seen[si] = st, true
+		case frameEnd:
+			if err := parseVector(payload, vec); err != nil {
+				return bootstrapped, err
+			}
+			for si, ok := range seen {
+				if !ok {
+					return bootstrapped, fmt.Errorf("replica: bootstrap missing shard %d", si)
+				}
+				if states[si].Epoch != vec[si] {
+					return bootstrapped, fmt.Errorf("replica: bootstrap vector %d != shard %d state epoch %d",
+						vec[si], si, states[si].Epoch)
+				}
+			}
+			if err := f.eng.RestoreAll(states); err != nil {
+				return bootstrapped, fmt.Errorf("replica: applying bootstrap: %w", err)
+			}
+			f.observePrimaryVec(vec)
+			// Free the bootstrap copies; the tail loop does not need them.
+			states, seen = nil, nil
+			bootstrapped = true
+			f.bootstraps.Add(1)
+			f.bytesAppl.Store(f.bytesRecv.Load())
+			f.synced.Store(true)
+			f.lastErr.Store(nil)
+			f.syncOnce.Do(func() { close(f.firstSync) })
+		case frameRecord:
+			if !bootstrapped {
+				return false, errors.New("replica: record frame before end of bootstrap")
+			}
+			b, used, ok := wal.DecodeRecord(payload, shards)
+			if !ok || used != len(payload) {
+				return bootstrapped, errors.New("replica: corrupt record frame")
+			}
+			// Apply under the engine's quiesce: the stream goroutine is
+			// the follower's only updater, but quiescing keeps the
+			// engine's snapshot/invariant surfaces (which assume no
+			// concurrent apply) safe to use on a live follower.
+			f.eng.Quiesce(func() { f.eng.ApplyLogged(b) })
+			vec[b.Shard] = b.Epoch
+			f.observePrimaryVec(vec)
+			f.records.Add(1)
+			f.bytesAppl.Store(f.bytesRecv.Load())
+			f.lastRec.Store(time.Now().UnixNano())
+		case frameHeartbeat:
+			if err := parseVector(payload, vec); err != nil {
+				return bootstrapped, err
+			}
+			f.observePrimaryVec(vec)
+			f.lastHB.Store(time.Now().UnixNano())
+		default:
+			return bootstrapped, fmt.Errorf("replica: unknown frame type %d", typ)
+		}
+	}
+}
+
+// observePrimaryVec publishes the newest primary epoch announced on the
+// stream (monotone: reconnects bootstrap at an epoch >= anything seen).
+func (f *Follower) observePrimaryVec(vec []uint64) {
+	var sum uint64
+	for _, e := range vec {
+		sum += e
+	}
+	for {
+		old := f.primaryEp.Load()
+		if sum <= old || f.primaryEp.CompareAndSwap(old, sum) {
+			return
+		}
+	}
+}
+
+// countingReader tracks received stream bytes.
+type countingReader struct {
+	r interface{ Read([]byte) (int, error) }
+	n *atomic.Uint64
+}
+
+func (c *countingReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	c.n.Add(uint64(n))
+	return n, err
+}

@@ -1,0 +1,345 @@
+package replica_test
+
+import (
+	"fmt"
+	"math/rand"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"kcore/internal/graph"
+	"kcore/internal/lds"
+	"kcore/internal/replica"
+	"kcore/internal/shard"
+	"kcore/internal/wal"
+)
+
+var testParams = lds.Params{Delta: 0.2, Lambda: 9}
+
+func newEngine(n, p int) *shard.Engine {
+	e := shard.New(n, p, testParams)
+	e.SetRetainedEpochs(4)
+	return e
+}
+
+// randomBatches returns deterministic insert/delete rounds over n vertices.
+func randomBatches(n, rounds, perRound int, seed int64) [][2][]graph.Edge {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([][2][]graph.Edge, rounds)
+	var live []graph.Edge
+	for r := range out {
+		ins := make([]graph.Edge, 0, perRound)
+		for i := 0; i < perRound; i++ {
+			u := uint32(rng.Intn(n))
+			v := uint32(rng.Intn(n))
+			if u != v {
+				ins = append(ins, graph.Edge{U: u, V: v})
+			}
+		}
+		var del []graph.Edge
+		if len(live) > 0 && r%3 == 2 {
+			for i := 0; i < perRound/4 && len(live) > 0; i++ {
+				j := rng.Intn(len(live))
+				del = append(del, live[j])
+				live[j] = live[len(live)-1]
+				live = live[:len(live)-1]
+			}
+		}
+		live = append(live, ins...)
+		out[r] = [2][]graph.Edge{ins, del}
+	}
+	return out
+}
+
+func waitFor(t *testing.T, d time.Duration, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("timed out after %v waiting for %s", d, what)
+}
+
+// expectParity asserts byte-identical coreness estimates and equal epochs
+// between two quiescent engines.
+func expectParity(t *testing.T, primary, follower *shard.Engine) {
+	t.Helper()
+	if pe, fe := primary.Epoch(), follower.Epoch(); pe != fe {
+		t.Fatalf("epoch mismatch: primary %d, follower %d", pe, fe)
+	}
+	n := primary.NumVertices()
+	pOut, fOut := make([]float64, n), make([]float64, n)
+	pep := primary.ReadAllPinned(pOut)
+	fep := follower.ReadAllPinned(fOut)
+	if pep != fep {
+		t.Fatalf("pinned read epochs differ: primary %d, follower %d", pep, fep)
+	}
+	for v := range pOut {
+		if pOut[v] != fOut[v] {
+			t.Fatalf("coreness of vertex %d differs at epoch %d: primary %v, follower %v",
+				v, pep, pOut[v], fOut[v])
+		}
+	}
+}
+
+// startFeeder wires a TailSource + Feeder onto an httptest server.
+func startFeeder(t *testing.T, eng *shard.Engine, opt replica.FeederOptions) (*replica.Feeder, *httptest.Server, *wal.TailSource) {
+	t.Helper()
+	src := wal.NewTailSource(eng)
+	feeder := replica.NewFeeder(src, opt)
+	srv := httptest.NewServer(feeder.Handler())
+	t.Cleanup(func() { srv.Close(); src.Close() })
+	return feeder, srv, src
+}
+
+func fastFollowerOpts() replica.FollowerOptions {
+	return replica.FollowerOptions{
+		BackoffMin:    5 * time.Millisecond,
+		BackoffMax:    50 * time.Millisecond,
+		StreamTimeout: 2 * time.Second,
+		InitialSync:   5 * time.Second,
+	}
+}
+
+func TestFollowerParity(t *testing.T) {
+	for _, shards := range []int{1, 4} {
+		t.Run(fmt.Sprintf("shards=%d", shards), func(t *testing.T) {
+			const n = 300
+			primary := newEngine(n, shards)
+			batches := randomBatches(n, 30, 40, 7)
+
+			// Half the history lands before the follower exists: the
+			// bootstrap must carry it.
+			for _, b := range batches[:15] {
+				primary.Apply(b[0], b[1])
+			}
+			_, srv, _ := startFeeder(t, primary, replica.FeederOptions{Heartbeat: 20 * time.Millisecond})
+
+			follower := newEngine(n, shards)
+			fol, err := replica.StartFollower(follower, srv.URL, fastFollowerOpts())
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer fol.Close()
+			if got, want := fol.Epoch(), primary.Epoch(); got != want {
+				t.Fatalf("post-bootstrap epoch %d, want %d", got, want)
+			}
+
+			// The other half streams live, with concurrent follower
+			// readers asserting monotone epochs throughout (-race).
+			stop := make(chan struct{})
+			var wg sync.WaitGroup
+			var readerErr atomic.Value
+			for r := 0; r < 2; r++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					out := make([]float64, 8)
+					vs := []uint32{1, 2, 3, 4, 5, 6, 7, 8}
+					var last uint64
+					for {
+						select {
+						case <-stop:
+							return
+						default:
+						}
+						ep := follower.ReadManyPinned(vs, out)
+						if ep < last {
+							readerErr.Store(fmt.Errorf("follower epoch went backwards: %d after %d", ep, last))
+							return
+						}
+						last = ep
+					}
+				}()
+			}
+			for _, b := range batches[15:] {
+				primary.Apply(b[0], b[1])
+			}
+			waitFor(t, 10*time.Second, "follower catch-up", func() bool {
+				return fol.Epoch() == primary.Epoch()
+			})
+			close(stop)
+			wg.Wait()
+			if err, ok := readerErr.Load().(error); ok && err != nil {
+				t.Fatal(err)
+			}
+			expectParity(t, primary, follower)
+			if err := follower.CheckInvariants(); err != nil {
+				t.Fatal(err)
+			}
+			st := fol.Stats()
+			if !st.Synced || st.Bootstraps != 1 {
+				t.Fatalf("unexpected follower stats: %+v", st)
+			}
+		})
+	}
+}
+
+func TestFollowerReconnectsAndReBootstraps(t *testing.T) {
+	const n, shards = 200, 2
+	primary := newEngine(n, shards)
+	batches := randomBatches(n, 24, 30, 11)
+	for _, b := range batches[:8] {
+		primary.Apply(b[0], b[1])
+	}
+
+	// A plain listener (not httptest) so the same address can be re-bound
+	// after the "crash".
+	src := wal.NewTailSource(primary)
+	defer src.Close()
+	feeder := replica.NewFeeder(src, replica.FeederOptions{Heartbeat: 20 * time.Millisecond})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	hs := &http.Server{Handler: feeder.Handler()}
+	go hs.Serve(ln)
+
+	follower := newEngine(n, shards)
+	fol, err := replica.StartFollower(follower, addr, fastFollowerOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fol.Close()
+
+	// Partition: kill the primary's replication listener mid-stream.
+	hs.Close()
+	for _, b := range batches[8:16] {
+		primary.Apply(b[0], b[1])
+	}
+	// Heal: a fresh listener on the same address. The follower's backoff
+	// loop finds it and re-bootstraps (no resume protocol).
+	waitFor(t, 5*time.Second, "listener rebind", func() bool {
+		ln2, err := net.Listen("tcp", addr)
+		if err != nil {
+			return false
+		}
+		ln = ln2
+		return true
+	})
+	hs2 := &http.Server{Handler: feeder.Handler()}
+	go hs2.Serve(ln)
+	defer hs2.Close()
+
+	for _, b := range batches[16:] {
+		primary.Apply(b[0], b[1])
+	}
+	waitFor(t, 10*time.Second, "catch-up after reconnect", func() bool {
+		return fol.Epoch() == primary.Epoch()
+	})
+	expectParity(t, primary, follower)
+	st := fol.Stats()
+	if st.Bootstraps < 2 {
+		t.Fatalf("expected a re-bootstrap after the partition, got stats %+v", st)
+	}
+	if st.Reconnects < 1 {
+		t.Fatalf("expected reconnect attempts, got stats %+v", st)
+	}
+}
+
+func TestFeederPauseCreatesLagResumeCatchesUp(t *testing.T) {
+	const n, shards = 150, 2
+	primary := newEngine(n, shards)
+	batches := randomBatches(n, 12, 25, 3)
+	for _, b := range batches[:4] {
+		primary.Apply(b[0], b[1])
+	}
+	feeder, srv, _ := startFeeder(t, primary, replica.FeederOptions{Heartbeat: 10 * time.Millisecond})
+
+	follower := newEngine(n, shards)
+	fol, err := replica.StartFollower(follower, srv.URL, fastFollowerOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fol.Close()
+
+	feeder.Pause()
+	// Records shipped before the pause landed may still be in flight on
+	// the follower side; let them settle before freezing the reference.
+	time.Sleep(30 * time.Millisecond)
+	frozen := fol.Epoch()
+	for _, b := range batches[4:] {
+		primary.Apply(b[0], b[1])
+	}
+	// The feed is paused: the follower must not advance, but must stay
+	// connected (heartbeats flow).
+	time.Sleep(50 * time.Millisecond)
+	if got := fol.Epoch(); got != frozen {
+		t.Fatalf("follower advanced to %d while the feed was paused (was %d)", got, frozen)
+	}
+	if st := fol.Stats(); !st.Connected {
+		t.Fatalf("follower disconnected during pause: %+v", st)
+	}
+	if primary.Epoch() == frozen {
+		t.Fatal("primary did not advance; the pause test is vacuous")
+	}
+
+	feeder.Resume()
+	waitFor(t, 10*time.Second, "catch-up after resume", func() bool {
+		return fol.Epoch() == primary.Epoch()
+	})
+	expectParity(t, primary, follower)
+}
+
+func TestOverrunForcesReBootstrap(t *testing.T) {
+	const n, shards = 120, 1
+	primary := newEngine(n, shards)
+	primary.Insert([]graph.Edge{{U: 0, V: 1}})
+	// Tiny tail buffer: while the feed is paused the primary outruns it,
+	// the hub drops the subscription, and the follower must recover by
+	// reconnecting into a fresh bootstrap.
+	feeder, srv, _ := startFeeder(t, primary,
+		replica.FeederOptions{Heartbeat: 10 * time.Millisecond, Buffer: 2})
+
+	follower := newEngine(n, shards)
+	fol, err := replica.StartFollower(follower, srv.URL, fastFollowerOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fol.Close()
+
+	feeder.Pause()
+	for _, b := range randomBatches(n, 8, 10, 5) {
+		primary.Apply(b[0], b[1])
+	}
+	feeder.Resume()
+	waitFor(t, 10*time.Second, "catch-up after overrun", func() bool {
+		return fol.Epoch() == primary.Epoch()
+	})
+	expectParity(t, primary, follower)
+	if feeder.Stats().Overruns == 0 {
+		t.Fatal("expected the tiny tail buffer to overrun")
+	}
+	if fol.Stats().Bootstraps < 2 {
+		t.Fatalf("expected a re-bootstrap after the overrun, got %+v", fol.Stats())
+	}
+}
+
+func TestStartFollowerRejectsShapeMismatch(t *testing.T) {
+	primary := newEngine(100, 2)
+	_, srv, _ := startFeeder(t, primary, replica.FeederOptions{})
+	opts := fastFollowerOpts()
+	opts.InitialSync = 500 * time.Millisecond
+	if _, err := replica.StartFollower(newEngine(100, 4), srv.URL, opts); err == nil {
+		t.Fatal("follower with a different shard count must not sync")
+	}
+	if _, err := replica.StartFollower(newEngine(50, 2), srv.URL, opts); err == nil {
+		t.Fatal("follower with a different vertex count must not sync")
+	}
+}
+
+func TestStartFollowerNoPrimary(t *testing.T) {
+	opts := fastFollowerOpts()
+	opts.InitialSync = 200 * time.Millisecond
+	if _, err := replica.StartFollower(newEngine(10, 1), "127.0.0.1:1", opts); err == nil {
+		t.Fatal("expected an initial-sync failure with no primary")
+	}
+}

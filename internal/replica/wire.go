@@ -1,0 +1,197 @@
+// Package replica implements read replicas by deterministic batch-log
+// shipping: a primary-side Feeder streams a consistent engine capture
+// followed by the live committed-batch stream to any number of followers,
+// and a follower-side runtime applies that stream through the engine's
+// normal batch path. Replay parity (same batch stream ⇒ byte-identical
+// state, the property the trace and recovery tests pin down) is what makes
+// this correct: a follower that bootstraps from the captured state and
+// applies every later record in per-shard commit order converges to
+// exactly the primary's levels, graph and epoch — so its read stack
+// (views, pinned reads, top-k) serves answers byte-identical to the
+// primary's at the same commit vector.
+//
+// # Protocol
+//
+// A follower issues GET /replicate/stream against the primary's
+// replication listener and receives one long-lived response body:
+//
+//	stream header: magic u32, version u32, vertices u32, shards u32
+//	frames:        [type u8][len u32][payload], little-endian
+//
+//	frameState     one shard's durable state: shard u32 + the snapshot
+//	               shard-state block (wal.MarshalShardState)
+//	frameEnd       end of bootstrap: the captured per-shard commit vector
+//	               ([shards]u64) — apply the states, then go live
+//	frameRecord    one committed batch, framed exactly as the on-disk WAL
+//	               record (wal.EncodeRecord); per-shard order = commit order
+//	frameHeartbeat the shipped per-shard commit vector ([shards]u64),
+//	               sent when the stream is otherwise idle; carries
+//	               liveness and lets the follower measure lag
+//
+// There is no resume protocol on purpose: a (re)connecting follower always
+// receives a fresh bootstrap. Resuming from a follower-supplied vector
+// would require the primary to retain arbitrarily old log segments and to
+// race their purges; re-bootstrapping costs one state transfer and is
+// always correct. The capture and the tail subscription happen inside one
+// engine quiesce (wal.Source.Bootstrap), so the record stream continues
+// exactly where the captured states end — no gap, no overlap.
+package replica
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"kcore/internal/wal"
+)
+
+const (
+	streamMagic   = uint32(0x6b72706c) // "krpl"
+	streamVersion = uint32(1)
+	streamHdrLen  = 16
+
+	frameHdrLen = 5 // [type u8][len u32]
+
+	frameState     = byte(1)
+	frameEnd       = byte(2)
+	frameRecord    = byte(3)
+	frameHeartbeat = byte(4)
+
+	// maxFrameLen bounds a frame's claimed payload length before the
+	// follower allocates for it: a corrupt or hostile length field can
+	// only fail the connection, never demand an unbounded allocation.
+	// State frames carry a whole shard (graph + levels), so the bound is
+	// generous.
+	maxFrameLen = 1 << 30
+)
+
+// StreamPath is the HTTP path a follower requests on the primary's
+// replication listener.
+const StreamPath = "/replicate/stream"
+
+// InfoPath serves a small JSON diagnostic block (vertex/shard counts,
+// feeder counters) next to the stream endpoint.
+const InfoPath = "/replicate/info"
+
+// writeStreamHeader writes the 16-byte stream identification header.
+func writeStreamHeader(w io.Writer, n, shards int) error {
+	var hdr [streamHdrLen]byte
+	le := binary.LittleEndian
+	le.PutUint32(hdr[0:], streamMagic)
+	le.PutUint32(hdr[4:], streamVersion)
+	le.PutUint32(hdr[8:], uint32(n))
+	le.PutUint32(hdr[12:], uint32(shards))
+	_, err := w.Write(hdr[:])
+	return err
+}
+
+// readStreamHeader reads and validates the stream header against the
+// follower engine's shape. A mismatch is a configuration error, not a
+// transient fault.
+func readStreamHeader(r io.Reader, n, shards int) error {
+	var hdr [streamHdrLen]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return fmt.Errorf("replica: reading stream header: %w", err)
+	}
+	le := binary.LittleEndian
+	if got := le.Uint32(hdr[0:]); got != streamMagic {
+		return fmt.Errorf("replica: bad stream magic %#x", got)
+	}
+	if got := le.Uint32(hdr[4:]); got != streamVersion {
+		return fmt.Errorf("replica: unsupported stream version %d", got)
+	}
+	if got := int(le.Uint32(hdr[8:])); got != n {
+		return fmt.Errorf("replica: primary has %d vertices, follower has %d", got, n)
+	}
+	if got := int(le.Uint32(hdr[12:])); got != shards {
+		return fmt.Errorf("replica: primary has %d shards, follower has %d", got, shards)
+	}
+	return nil
+}
+
+// appendFrame appends one framed payload to dst.
+func appendFrame(dst []byte, typ byte, payload []byte) []byte {
+	var hdr [frameHdrLen]byte
+	hdr[0] = typ
+	binary.LittleEndian.PutUint32(hdr[1:], uint32(len(payload)))
+	dst = append(dst, hdr[:]...)
+	return append(dst, payload...)
+}
+
+// readFrame reads one frame, reusing buf for the payload when it fits.
+func readFrame(r io.Reader, buf []byte) (typ byte, payload []byte, err error) {
+	var hdr [frameHdrLen]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return 0, nil, err
+	}
+	typ = hdr[0]
+	plen := int(binary.LittleEndian.Uint32(hdr[1:]))
+	if plen > maxFrameLen {
+		return 0, nil, fmt.Errorf("replica: frame of %d bytes exceeds limit", plen)
+	}
+	if cap(buf) < plen {
+		buf = make([]byte, plen)
+	} else {
+		buf = buf[:plen]
+	}
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return 0, nil, fmt.Errorf("replica: reading %d-byte frame payload: %w", plen, err)
+	}
+	return typ, buf, nil
+}
+
+// appendVector appends the per-shard commit vector as [len(vec)]u64.
+func appendVector(dst []byte, vec []uint64) []byte {
+	le := binary.LittleEndian
+	off := len(dst)
+	dst = append(dst, make([]byte, 8*len(vec))...)
+	for i, e := range vec {
+		le.PutUint64(dst[off+8*i:], e)
+	}
+	return dst
+}
+
+// parseVector decodes a commit-vector payload into dst.
+func parseVector(payload []byte, dst []uint64) error {
+	if len(payload) != 8*len(dst) {
+		return fmt.Errorf("replica: vector payload of %d bytes for %d shards", len(payload), len(dst))
+	}
+	le := binary.LittleEndian
+	for i := range dst {
+		dst[i] = le.Uint64(payload[8*i:])
+	}
+	return nil
+}
+
+// parseStateFrame decodes a frameState payload: shard index + state block.
+func parseStateFrame(payload []byte, n, shards int) (int, wal.ShardState, error) {
+	if len(payload) < 4 {
+		return 0, wal.ShardState{}, fmt.Errorf("replica: state frame of %d bytes", len(payload))
+	}
+	si := int(binary.LittleEndian.Uint32(payload))
+	if si < 0 || si >= shards {
+		return 0, wal.ShardState{}, fmt.Errorf("replica: state frame for shard %d of %d", si, shards)
+	}
+	st, used, err := wal.UnmarshalShardState(payload[4:], n)
+	if err != nil {
+		return 0, wal.ShardState{}, fmt.Errorf("replica: shard %d state: %w", si, err)
+	}
+	if used != len(payload)-4 {
+		return 0, wal.ShardState{}, fmt.Errorf("replica: %d trailing bytes in shard %d state frame",
+			len(payload)-4-used, si)
+	}
+	return si, st, nil
+}
+
+// Engine is what a follower drives: the durability surface (bootstrap
+// restore + logged-batch apply + quiesce) plus whole-engine restore and
+// the committed epoch. Both kcore backends implement it.
+type Engine interface {
+	wal.Engine
+	// RestoreAll restores every shard inside one quiesce section, safe on
+	// a live engine serving concurrent reads.
+	RestoreAll(states []wal.ShardState) error
+	// Epoch returns the cross-shard committed epoch (sum of per-shard
+	// epochs).
+	Epoch() uint64
+}

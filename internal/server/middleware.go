@@ -35,6 +35,8 @@ const (
 	codeRateLimited = "rate_limited"
 	codeOverloaded  = "overloaded"
 	codeTimeout     = "timeout"
+	codeReadOnly    = "read_only"
+	codeEpochBehind = "epoch_behind"
 )
 
 // errorResponse is the one JSON shape every error path answers with.
@@ -330,7 +332,7 @@ func (s *Server) timeoutMiddleware(next http.Handler) http.Handler {
 
 // healthResponse is the JSON body of /healthz and /readyz.
 type healthResponse struct {
-	Status                string `json:"status"` // "ok", "ready" or "degraded"
+	Status                string `json:"status"` // "ok", "ready", "degraded" or "syncing"
 	Error                 string `json:"error,omitempty"`
 	DegradedSinceUnixNano int64  `json:"degraded_since_unix_nano,omitempty"`
 	DroppedBatches        uint64 `json:"dropped_batches,omitempty"`
@@ -344,8 +346,18 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 // handleReadyz is readiness: 200 while the service meets its durability
 // contract, 503 with the failure detail while the WAL is degraded (reads
 // and updates still work, but commits are not durable — an orchestrator
-// should route traffic elsewhere if it can).
+// should route traffic elsewhere if it can). On a replica, readiness
+// additionally requires a synced replication stream: a replica that is
+// bootstrapping (or cut off from the primary mid-reconnect) answers 503
+// "syncing" so it is not routed read traffic while stale.
 func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	if s.follower != nil && !s.follower.Synced() {
+		st := s.follower.Stats()
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusServiceUnavailable)
+		_ = writeJSONBody(w, healthResponse{Status: "syncing", Error: st.Err})
+		return
+	}
 	if s.wal == nil || !s.wal.Degraded() {
 		writeJSON(w, healthResponse{Status: "ready"})
 		return

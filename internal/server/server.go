@@ -5,21 +5,41 @@
 //
 // Endpoints:
 //
-//	GET  /coreness?v=<id>[&mode=linearizable|nonsync|blocking][&epoch=<e>]
+//	GET  /coreness?v=<id>[&mode=...][&epoch=<e>][&min_epoch=<e>]
 //	POST /coreness/bulk              — JSON vertex list, one consistent cut
-//	GET  /top?k=<n>[&epoch=<e>]      — top-k vertices by coreness estimate
-//	GET  /stats                      — graph and batch counters
+//	GET  /top?k=<n>[&epoch=<e>][&min_epoch=<e>]
+//	GET  /stats                      — graph, batch and replication counters
+//	GET  /metrics                    — Prometheus text exposition (metrics.go)
 //	GET  /healthz                    — liveness (always 200 while serving)
-//	GET  /readyz                     — readiness (503 while WAL degraded)
+//	GET  /readyz                     — readiness (503 while WAL degraded or
+//	                                   a replica is not yet synced)
 //	POST /edges/insert               — body: "u v" per line; one batch
 //	POST /edges/delete               — body: "u v" per line; one batch
 //	POST /edges/batch                — JSON mixed batch (see batchRequest)
+//	POST /snapshot                   — trigger a durability snapshot
 //
 // Every error path answers with one structured JSON shape,
 // {"error": <message>, "code": <stable-code>}, and the service carries
 // its own overload protection (per-client rate limiting, per-request
 // deadlines, a max-in-flight gate on the heavy endpoints, panic
 // isolation) — see middleware.go.
+//
+// # Replication
+//
+// WithReplicationListen serves the batch-log shipping stream on a second
+// listener; any number of follower servers (WithReplicationSource) each
+// bootstrap from it and then apply the primary's committed batches,
+// serving the full read surface from byte-identical state. On a follower
+// every mutating endpoint answers 403 with the stable code "read_only".
+//
+// Because a follower's epochs advance exactly as the primary's did, an
+// epoch observed on one server is meaningful on the other. A client that
+// has seen epoch e (any response's "epoch" field) passes it as a floor —
+// `?min_epoch=e` on /coreness and /top, "min_epoch" in the bulk body —
+// and the server either serves at an epoch >= e or, if still behind the
+// floor after WithMinEpochWait, sheds the request with 412 and the stable
+// code "epoch_behind". Bouncing between primary and replicas then never
+// reads time backwards.
 //
 // Reads are served directly from the CPLDS read protocol of the vertex's
 // owning shard and never block on updates. Update requests from concurrent
@@ -51,6 +71,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"net"
 	"net/http"
 	"strconv"
 	"sync/atomic"
@@ -60,6 +81,7 @@ import (
 	"kcore/internal/graph"
 	"kcore/internal/lds"
 	"kcore/internal/mvcc"
+	"kcore/internal/replica"
 	"kcore/internal/shard"
 	"kcore/internal/wal"
 )
@@ -135,6 +157,46 @@ func WithRequestTimeout(d time.Duration) Option {
 	return func(s *Server) { s.reqTimeout = d }
 }
 
+// DefaultMinEpochWait is how long an epoch-floor read (min_epoch) waits
+// for the engine to catch up before shedding with 412. Override with
+// WithMinEpochWait.
+const DefaultMinEpochWait = 2 * time.Second
+
+// WithReplicationListen makes this server a replication primary: the
+// batch-log shipping stream is served on its own listener at addr
+// (host:port; ":0" picks a free port, see ReplicationAddr). Composes with
+// WithWAL. Follower servers point WithReplicationSource here.
+func WithReplicationListen(addr string) Option {
+	return func(s *Server) { s.replListen = addr }
+}
+
+// WithReplicationSource makes this server a read-only replica of the
+// primary whose replication listener is at addr: New blocks until the
+// first bootstrap has been applied, every mutating endpoint answers 403
+// "read_only", and the read surface serves the primary's replicated
+// state. Incompatible with WithWAL (durability belongs to the primary; a
+// restarted replica re-bootstraps).
+func WithReplicationSource(addr string) Option {
+	return func(s *Server) { s.replSource = addr }
+}
+
+// WithReplicationOptions overrides the replication transport tuning
+// (heartbeat and tail buffer for the primary, timeouts and reconnect
+// backoff for a replica).
+func WithReplicationOptions(feed replica.FeederOptions, follow replica.FollowerOptions) Option {
+	return func(s *Server) {
+		s.replFeedOpts = feed
+		s.replFolOpts = follow
+	}
+}
+
+// WithMinEpochWait bounds how long an epoch-floor read (min_epoch) may
+// wait for the engine to reach the floor before answering 412
+// "epoch_behind". d <= 0 sheds immediately when behind.
+func WithMinEpochWait(d time.Duration) Option {
+	return func(s *Server) { s.minEpochWait = d }
+}
+
 // Server is an HTTP k-core query/update service.
 type Server struct {
 	eng *shard.Engine
@@ -150,6 +212,20 @@ type Server struct {
 	gate       *inflightGate // nil = no in-flight cap
 	reqTimeout time.Duration // <= 0 = no per-request deadline
 
+	// Replication role (nil fields when off; at most one role is set).
+	replListen   string
+	replSource   string
+	replFeedOpts replica.FeederOptions
+	replFolOpts  replica.FollowerOptions
+	minEpochWait time.Duration
+	feeder       *replica.Feeder
+	feederSrv    *http.Server
+	feederLn     net.Listener
+	tailSrc      *wal.TailSource // batch tee when feeding without a WAL
+	follower     *replica.Follower
+
+	metrics *metrics
+
 	inserted atomic.Int64
 	deleted  atomic.Int64
 	reads    atomic.Int64
@@ -163,7 +239,13 @@ type Server struct {
 // New creates a service over n vertices. It fails only when WithWAL is set
 // and the log directory cannot be opened or recovered.
 func New(n int, p lds.Params, opts ...Option) (*Server, error) {
-	s := &Server{shards: 1, maxBatchEdges: DefaultMaxBatchEdges, retained: DefaultRetainedEpochs}
+	s := &Server{
+		shards:        1,
+		maxBatchEdges: DefaultMaxBatchEdges,
+		retained:      DefaultRetainedEpochs,
+		minEpochWait:  DefaultMinEpochWait,
+		metrics:       newMetrics(),
+	}
 	for _, opt := range opts {
 		opt(s)
 	}
@@ -172,6 +254,12 @@ func New(n int, p lds.Params, opts ...Option) (*Server, error) {
 	}
 	if s.retained < 0 {
 		s.retained = 0
+	}
+	if s.replListen != "" && s.replSource != "" {
+		return nil, errors.New("server: WithReplicationListen and WithReplicationSource are mutually exclusive")
+	}
+	if s.replSource != "" && s.walDir != "" {
+		return nil, errors.New("server: WithWAL on a replica is unsupported (durability belongs to the primary)")
 	}
 	s.eng = shard.New(n, s.shards, p)
 	if s.walDir != "" {
@@ -184,7 +272,44 @@ func New(n int, p lds.Params, opts ...Option) (*Server, error) {
 		s.wal = m
 	}
 	s.eng.SetRetainedEpochs(s.retained)
+	if s.replListen != "" {
+		var src wal.Source
+		if s.wal != nil {
+			src = s.wal
+		} else {
+			s.tailSrc = wal.NewTailSource(s.eng)
+			src = s.tailSrc
+		}
+		s.feeder = replica.NewFeeder(src, s.replFeedOpts)
+		ln, err := net.Listen("tcp", s.replListen)
+		if err != nil {
+			s.Close()
+			return nil, fmt.Errorf("server: replication listener: %w", err)
+		}
+		s.feederLn = ln
+		s.feederSrv = &http.Server{Handler: s.feeder.Handler()}
+		go s.feederSrv.Serve(ln)
+	}
+	if s.replSource != "" {
+		fol, err := replica.StartFollower(s.eng, s.replSource, s.replFolOpts)
+		if err != nil {
+			return nil, fmt.Errorf("server: %w", err)
+		}
+		s.follower = fol
+	}
 	return s, nil
+}
+
+// ReadOnly reports whether this server is a replica (WithReplicationSource).
+func (s *Server) ReadOnly() bool { return s.follower != nil }
+
+// ReplicationAddr returns the bound replication listener address
+// (WithReplicationListen; useful with ":0"), or "" when not a primary.
+func (s *Server) ReplicationAddr() string {
+	if s.feederLn == nil {
+		return ""
+	}
+	return s.feederLn.Addr().String()
 }
 
 // Engine exposes the underlying sharded engine (tests, bulk tooling).
@@ -199,9 +324,19 @@ func (s *Server) Snapshot() error {
 	return s.wal.Snapshot()
 }
 
-// Close flushes and closes the write-ahead log (a no-op without WithWAL).
-// Idempotent and safe to call concurrently with Snapshot.
+// Close stops replication (either role) and flushes and closes the
+// write-ahead log. Idempotent and safe to call concurrently with
+// Snapshot; a closed replica keeps serving its last applied state.
 func (s *Server) Close() error {
+	if s.follower != nil {
+		s.follower.Close()
+	}
+	if s.feederSrv != nil {
+		s.feederSrv.Close() // also closes feederLn
+	}
+	if s.tailSrc != nil {
+		s.tailSrc.Close()
+	}
 	if s.wal == nil {
 		return nil
 	}
@@ -226,9 +361,10 @@ func (s *Server) InsertBatch(edges []graph.Edge) int {
 }
 
 // Handler returns the HTTP handler for the service: the route mux with
-// the heavy endpoints behind the in-flight gate, wrapped (innermost to
-// outermost) in panic recovery, the per-request deadline and the
-// per-client rate limiter.
+// every endpoint instrumented for /metrics, the heavy endpoints behind
+// the in-flight gate, the mutating endpoints behind the read-only guard,
+// wrapped (innermost to outermost) in panic recovery, the per-request
+// deadline and the per-client rate limiter.
 func (s *Server) Handler() http.Handler {
 	heavy := func(h http.Handler) http.Handler {
 		if s.gate == nil {
@@ -240,15 +376,20 @@ func (s *Server) Handler() http.Handler {
 		s.gate.shed = func() { s.loadShed.Add(1) }
 	}
 	mux := http.NewServeMux()
-	mux.HandleFunc("GET /coreness", s.handleCoreness)
-	mux.Handle("POST /coreness/bulk", heavy(http.HandlerFunc(s.handleCorenessBulk)))
-	mux.Handle("GET /top", heavy(http.HandlerFunc(s.handleTop)))
-	mux.HandleFunc("GET /stats", s.handleStats)
-	mux.HandleFunc("GET /healthz", s.handleHealthz)
-	mux.HandleFunc("GET /readyz", s.handleReadyz)
-	mux.Handle("POST /edges/insert", heavy(s.handleUpdate(true)))
-	mux.Handle("POST /edges/delete", heavy(s.handleUpdate(false)))
-	mux.Handle("POST /edges/batch", heavy(http.HandlerFunc(s.handleBatch)))
+	route := func(pattern, name string, h http.Handler) {
+		mux.Handle(pattern, s.metrics.instrument(name, h))
+	}
+	route("GET /coreness", "/coreness", http.HandlerFunc(s.handleCoreness))
+	route("POST /coreness/bulk", "/coreness/bulk", heavy(http.HandlerFunc(s.handleCorenessBulk)))
+	route("GET /top", "/top", heavy(http.HandlerFunc(s.handleTop)))
+	route("GET /stats", "/stats", http.HandlerFunc(s.handleStats))
+	route("GET /healthz", "/healthz", http.HandlerFunc(s.handleHealthz))
+	route("GET /readyz", "/readyz", http.HandlerFunc(s.handleReadyz))
+	route("POST /edges/insert", "/edges/insert", heavy(s.readOnlyGuard(s.handleUpdate(true))))
+	route("POST /edges/delete", "/edges/delete", heavy(s.readOnlyGuard(s.handleUpdate(false))))
+	route("POST /edges/batch", "/edges/batch", heavy(s.readOnlyGuard(http.HandlerFunc(s.handleBatch))))
+	route("POST /snapshot", "/snapshot", s.readOnlyGuard(http.HandlerFunc(s.handleSnapshot)))
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	var h http.Handler = mux
 	h = s.recoverMiddleware(h)
 	h = s.timeoutMiddleware(h)
@@ -256,6 +397,39 @@ func (s *Server) Handler() http.Handler {
 		h = s.rateLimitMiddleware(h)
 	}
 	return h
+}
+
+// readOnlyGuard rejects mutating requests on a replica with the stable
+// "read_only" code: a replica's state may advance only by applying the
+// primary's batch stream, never by local writes (which would fork it from
+// the primary permanently — there is no reconciliation).
+func (s *Server) readOnlyGuard(next http.Handler) http.Handler {
+	if s.follower == nil && s.replSource == "" {
+		return next
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		writeError(w, http.StatusForbidden, codeReadOnly,
+			"this server is a read replica; send writes to the primary")
+	})
+}
+
+// snapshotResponse is the JSON body of POST /snapshot.
+type snapshotResponse struct {
+	Epoch uint64 `json:"epoch"`
+}
+
+// handleSnapshot triggers a durability snapshot (an admin operation: it
+// checkpoints the engine and truncates the log's replay tail).
+func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
+	if s.wal == nil {
+		writeError(w, http.StatusBadRequest, codeBadRequest, "snapshots require a WAL (-wal)")
+		return
+	}
+	if err := s.wal.Snapshot(); err != nil {
+		writeError(w, http.StatusInternalServerError, codeInternal, err.Error())
+		return
+	}
+	writeJSON(w, snapshotResponse{Epoch: s.eng.Epoch()})
 }
 
 // corenessResponse is the JSON body of /coreness. Epoch is the committed
@@ -298,6 +472,66 @@ func epochParam(w http.ResponseWriter, r *http.Request) (epoch uint64, present, 
 	return epoch, true, false
 }
 
+// minEpochParam extracts the optional epoch floor from the query string,
+// answering 400 itself on a malformed value (bad reports that case).
+func minEpochParam(w http.ResponseWriter, r *http.Request) (floor uint64, bad bool) {
+	raw := r.URL.Query().Get("min_epoch")
+	if raw == "" {
+		return 0, false
+	}
+	floor, err := strconv.ParseUint(raw, 10, 64)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, codeBadRequest, "bad min_epoch")
+		return 0, true
+	}
+	return floor, false
+}
+
+// epochBehindResponse is the structured 412 body of an epoch-floor read
+// that timed out: the client learns how far behind the server is and can
+// retry here or fall back to the primary.
+type epochBehindResponse struct {
+	Error    string `json:"error"`
+	Code     string `json:"code"`
+	Epoch    uint64 `json:"epoch"`     // server's committed epoch
+	MinEpoch uint64 `json:"min_epoch"` // the requested floor
+}
+
+// awaitEpochFloor blocks until the engine's committed epoch reaches
+// floor, the wait budget (WithMinEpochWait) runs out, or the client goes
+// away. On timeout it answers 412 "epoch_behind" and reports false. The
+// fast path — floor already committed, which is always the case on a
+// primary serving a floor it issued — costs one atomic load.
+func (s *Server) awaitEpochFloor(w http.ResponseWriter, r *http.Request, floor uint64) bool {
+	if floor == 0 || s.eng.Epoch() >= floor {
+		return true
+	}
+	deadline := time.Now().Add(s.minEpochWait)
+	for s.minEpochWait > 0 {
+		select {
+		case <-r.Context().Done():
+			return false // client gone; nothing to answer
+		case <-time.After(time.Millisecond):
+		}
+		if s.eng.Epoch() >= floor {
+			return true
+		}
+		if !time.Now().Before(deadline) {
+			break
+		}
+	}
+	w.Header().Set("Retry-After", "1")
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusPreconditionFailed)
+	_ = writeJSONBody(w, epochBehindResponse{
+		Error:    fmt.Sprintf("committed epoch %d is behind the requested floor %d", s.eng.Epoch(), floor),
+		Code:     codeEpochBehind,
+		Epoch:    s.eng.Epoch(),
+		MinEpoch: floor,
+	})
+	return false
+}
+
 // serveAt runs read against the requested epoch with the epoch pinned for
 // the duration, so a response that starts serving cannot be torn by
 // concurrent eviction; on failure it writes the mapped HTTP error and
@@ -328,6 +562,11 @@ func (s *Server) handleCoreness(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	v := uint32(v64)
+	if floor, bad := minEpochParam(w, r); bad {
+		return
+	} else if !s.awaitEpochFloor(w, r, floor) {
+		return
+	}
 	mode := r.URL.Query().Get("mode")
 	if epoch, ok, bad := epochParam(w, r); ok {
 		if bad {
@@ -369,11 +608,14 @@ func (s *Server) handleCoreness(w http.ResponseWriter, r *http.Request) {
 
 // bulkRequest is the JSON body of POST /coreness/bulk: the vertices to
 // read and, optionally, the committed epoch to read them at (absent =
-// latest). The response values are epoch-pinned: all estimates belong to
-// the single committed batch boundary reported in the response.
+// latest) and/or an epoch floor the server must have reached before
+// serving (see the package comment's replication section). The response
+// values are epoch-pinned: all estimates belong to the single committed
+// batch boundary reported in the response.
 type bulkRequest struct {
 	Vertices []uint32 `json:"vertices"`
 	Epoch    *uint64  `json:"epoch"`
+	MinEpoch *uint64  `json:"min_epoch"`
 }
 
 // bulkResponse is the JSON body of the bulk coreness endpoint. Coreness[i]
@@ -417,6 +659,9 @@ func (s *Server) handleCorenessBulk(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
+	if req.MinEpoch != nil && !s.awaitEpochFloor(w, r, *req.MinEpoch) {
+		return
+	}
 	out := make([]float64, len(req.Vertices))
 	var epoch uint64
 	if req.Epoch != nil {
@@ -445,6 +690,11 @@ func (s *Server) handleTop(w http.ResponseWriter, r *http.Request) {
 	k, err := strconv.Atoi(r.URL.Query().Get("k"))
 	if err != nil || k < 1 {
 		writeError(w, http.StatusBadRequest, codeBadRequest, "bad k")
+		return
+	}
+	if floor, bad := minEpochParam(w, r); bad {
+		return
+	} else if !s.awaitEpochFloor(w, r, floor) {
 		return
 	}
 	n := s.eng.NumVertices()
@@ -481,9 +731,19 @@ type statsResponse struct {
 	Inserted    int64         `json:"edges_inserted"`
 	Deleted     int64         `json:"edges_deleted"`
 	Reads       int64         `json:"reads_served"`
-	ShardLoad   []shard.Stats `json:"shard_load"`
-	Durability  *wal.Stats    `json:"durability,omitempty"`
-	Overload    overloadStats `json:"overload"`
+	ShardLoad   []shard.Stats     `json:"shard_load"`
+	Durability  *wal.Stats        `json:"durability,omitempty"`
+	Replication *replicationStats `json:"replication,omitempty"`
+	Overload    overloadStats     `json:"overload"`
+}
+
+// replicationStats is the /stats replication block: the feeder's counters
+// on a primary, the follower's sync/lag state on a replica.
+type replicationStats struct {
+	Role       string                 `json:"role"` // "primary" or "replica"
+	ListenAddr string                 `json:"listen_addr,omitempty"`
+	Feeder     *replica.FeederStats   `json:"feeder,omitempty"`
+	Follower   *replica.FollowerStats `json:"follower,omitempty"`
 }
 
 // overloadStats counts requests turned away or cut off by the protection
@@ -518,6 +778,14 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	if s.wal != nil {
 		st := s.wal.Stats()
 		resp.Durability = &st
+	}
+	switch {
+	case s.feeder != nil:
+		fs := s.feeder.Stats()
+		resp.Replication = &replicationStats{Role: "primary", ListenAddr: s.ReplicationAddr(), Feeder: &fs}
+	case s.follower != nil:
+		fs := s.follower.Stats()
+		resp.Replication = &replicationStats{Role: "replica", Follower: &fs}
 	}
 	writeJSON(w, resp)
 }

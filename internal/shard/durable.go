@@ -88,12 +88,13 @@ func (e *Engine) ShardDurable(si int) wal.ShardState {
 	return st
 }
 
-// RestoreShard restores shard si of a freshly constructed engine from st:
-// the shard's CPLDS is rebuilt from the snapshot, the cumulative counters
-// are re-seeded, and the live edge counters (local, primary, global) are
-// recomputed from the restored subgraph. Must be called before the engine
-// serves traffic and before SetRetainedEpochs (the vector log initializes
-// from the restored epochs).
+// RestoreShard restores shard si from st: the shard's CPLDS is rebuilt
+// from the snapshot, the cumulative counters are re-seeded, and the live
+// edge counters (local, primary, global) are recomputed from the restored
+// subgraph. Recovery calls it on a fresh engine before it serves traffic;
+// replication bootstrap calls it on a live read-serving engine via
+// RestoreAll (the CPLDS restore is reader-safe, and the global edge
+// counter is adjusted by the delta against the shard's previous count).
 func (e *Engine) RestoreShard(si int, st wal.ShardState) error {
 	s := e.shards[si]
 	if err := s.c.Restore(st.Graph, st.Levels, st.Epoch); err != nil {
@@ -109,9 +110,36 @@ func (e *Engine) RestoreShard(si int, st wal.ShardState) error {
 			primary++
 		}
 	}
-	// The global counter accumulates each shard's primary count; correct
-	// only because restore starts from an empty engine.
 	e.numEdges.Add(primary - s.primaryEdges.Swap(primary))
 	s.localEdges.Store(local)
 	return nil
+}
+
+// RestoreAll restores every shard from states inside one quiesce section
+// and re-bases the multi-version bookkeeping on the restored epochs: each
+// shard's delta store restarts empty (inside its CPLDS restore) and the
+// cross-shard vector log, when retention is on, restarts at the restored
+// commit vector. Safe on a live engine serving concurrent reads — this is
+// the follower-side entry point for replication bootstrap. Updaters are
+// excluded for the duration (they queue and drain after).
+func (e *Engine) RestoreAll(states []wal.ShardState) error {
+	if len(states) != e.p {
+		return fmt.Errorf("shard: restore of %d shard states into %d shards", len(states), e.p)
+	}
+	var err error
+	e.Quiesce(func() {
+		for si, st := range states {
+			if err = e.RestoreShard(si, st); err != nil {
+				return
+			}
+		}
+		if e.vlog != nil {
+			counts := make([]uint64, e.p)
+			for si, s := range e.shards {
+				counts[si] = s.c.Epoch()
+			}
+			e.vlog.Reset(counts)
+		}
+	})
+	return err
 }

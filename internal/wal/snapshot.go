@@ -29,17 +29,94 @@ func parseSnapName(name string) (uint64, bool) {
 	return ep, true
 }
 
+// shardStateSize returns the encoded size of one shard-state block.
+func shardStateSize(n int, st ShardState) int {
+	return 40 + 4*n + 4*len(st.Graph.Targets) + 4*n
+}
+
+// putShardState encodes one shard-state block — epoch u64, batches u64,
+// inserted i64, deleted i64, targetsLen u64, degrees [n]u32, targets
+// [targetsLen]u32, levels [n]i32 — into buf at off, returning the offset
+// past the block. buf must have room (shardStateSize).
+func putShardState(buf []byte, off, n int, st ShardState) int {
+	le := binary.LittleEndian
+	le.PutUint64(buf[off:], st.Epoch)
+	le.PutUint64(buf[off+8:], st.Batches)
+	le.PutUint64(buf[off+16:], uint64(st.Inserted))
+	le.PutUint64(buf[off+24:], uint64(st.Deleted))
+	le.PutUint64(buf[off+32:], uint64(len(st.Graph.Targets)))
+	off += 40
+	for v := 0; v < n; v++ {
+		le.PutUint32(buf[off:], uint32(st.Graph.Offsets[v+1]-st.Graph.Offsets[v]))
+		off += 4
+	}
+	for _, t := range st.Graph.Targets {
+		le.PutUint32(buf[off:], t)
+		off += 4
+	}
+	for _, l := range st.Levels {
+		le.PutUint32(buf[off:], uint32(l))
+		off += 4
+	}
+	return off
+}
+
+// getShardState decodes one shard-state block from buf[pos:end]. Every
+// length is bounds-checked against end before use, so corrupt input can
+// only fail the read, never demand an oversized allocation.
+func getShardState(buf []byte, pos, end, n int) (ShardState, int, error) {
+	le := binary.LittleEndian
+	if pos+40 > end {
+		return ShardState{}, pos, fmt.Errorf("wal: shard state truncated in header")
+	}
+	st := ShardState{
+		Epoch:    le.Uint64(buf[pos:]),
+		Batches:  le.Uint64(buf[pos+8:]),
+		Inserted: int64(le.Uint64(buf[pos+16:])),
+		Deleted:  int64(le.Uint64(buf[pos+24:])),
+	}
+	targetsLen := le.Uint64(buf[pos+32:])
+	pos += 40
+	need := 4*n + 4*int(targetsLen) + 4*n
+	if targetsLen > uint64(end) || pos+need > end {
+		return ShardState{}, pos, fmt.Errorf("wal: shard state block exceeds input")
+	}
+	offsets := make([]int64, n+1)
+	var total int64
+	for v := 0; v < n; v++ {
+		offsets[v] = total
+		total += int64(le.Uint32(buf[pos:]))
+		pos += 4
+	}
+	offsets[n] = total
+	if total != int64(targetsLen) {
+		return ShardState{}, pos, fmt.Errorf("wal: shard state degrees sum %d != targets %d", total, targetsLen)
+	}
+	targets := make([]uint32, targetsLen)
+	for i := range targets {
+		targets[i] = le.Uint32(buf[pos:])
+		pos += 4
+	}
+	levels := make([]int32, n)
+	for v := range levels {
+		levels[v] = int32(le.Uint32(buf[pos:]))
+		pos += 4
+	}
+	st.Graph = &graph.CSR{Offsets: offsets, Targets: targets}
+	st.Levels = levels
+	return st, pos, nil
+}
+
 // writeSnapshot serializes the per-shard durable states to a temp file,
 // fsyncs it and renames it into place, so a crash mid-write can never
-// damage an existing snapshot. Layout after the 16-byte identification
-// header, per shard: epoch u64, batches u64, inserted i64, deleted i64,
-// targetsLen u64, degrees [n]u32, targets [targetsLen]u32, levels [n]i32;
-// then a trailing CRC32 over everything before it.
+// damage an existing snapshot. Layout: 16-byte identification header, one
+// shard-state block per shard (see putShardState), then a trailing CRC32
+// over everything before it.
 func writeSnapshot(fsys faultfs.FS, dir string, n, shards int, states []ShardState) error {
 	le := binary.LittleEndian
 	size := snapHdrLen + 4 // header + trailing CRC
 	for _, st := range states {
-		size += 8*4 + 8 + 4*n + 4*len(st.Graph.Targets) + 4*n
+		size += shardStateSize(n, st)
 	}
 	buf := make([]byte, size)
 	le.PutUint32(buf[0:], snapMagic)
@@ -50,24 +127,7 @@ func writeSnapshot(fsys faultfs.FS, dir string, n, shards int, states []ShardSta
 	var global uint64
 	for _, st := range states {
 		global += st.Epoch
-		le.PutUint64(buf[off:], st.Epoch)
-		le.PutUint64(buf[off+8:], st.Batches)
-		le.PutUint64(buf[off+16:], uint64(st.Inserted))
-		le.PutUint64(buf[off+24:], uint64(st.Deleted))
-		le.PutUint64(buf[off+32:], uint64(len(st.Graph.Targets)))
-		off += 40
-		for v := 0; v < n; v++ {
-			le.PutUint32(buf[off:], uint32(st.Graph.Offsets[v+1]-st.Graph.Offsets[v]))
-			off += 4
-		}
-		for _, t := range st.Graph.Targets {
-			le.PutUint32(buf[off:], t)
-			off += 4
-		}
-		for _, l := range st.Levels {
-			le.PutUint32(buf[off:], uint32(l))
-			off += 4
-		}
+		off = putShardState(buf, off, n, st)
 	}
 	le.PutUint32(buf[off:], crc32.ChecksumIEEE(buf[:off]))
 
@@ -124,46 +184,12 @@ func readSnapshot(fsys faultfs.FS, path string, n, shards int) ([]ShardState, er
 	pos := snapHdrLen
 	states := make([]ShardState, shards)
 	for si := range states {
-		if pos+40 > crcOff {
-			return nil, fmt.Errorf("wal: snapshot %s truncated in shard %d header", path, si)
+		st, next, err := getShardState(buf, pos, crcOff, n)
+		if err != nil {
+			return nil, fmt.Errorf("wal: snapshot %s: shard %d: %w", path, si, err)
 		}
-		st := ShardState{
-			Epoch:    le.Uint64(buf[pos:]),
-			Batches:  le.Uint64(buf[pos+8:]),
-			Inserted: int64(le.Uint64(buf[pos+16:])),
-			Deleted:  int64(le.Uint64(buf[pos+24:])),
-		}
-		targetsLen := le.Uint64(buf[pos+32:])
-		pos += 40
-		need := 4*n + 4*int(targetsLen) + 4*n
-		if targetsLen > uint64(crcOff) || pos+need > crcOff {
-			return nil, fmt.Errorf("wal: snapshot %s: shard %d block exceeds file", path, si)
-		}
-		offsets := make([]int64, n+1)
-		var total int64
-		for v := 0; v < n; v++ {
-			offsets[v] = total
-			total += int64(le.Uint32(buf[pos:]))
-			pos += 4
-		}
-		offsets[n] = total
-		if total != int64(targetsLen) {
-			return nil, fmt.Errorf("wal: snapshot %s: shard %d degrees sum %d != targets %d",
-				path, si, total, targetsLen)
-		}
-		targets := make([]uint32, targetsLen)
-		for i := range targets {
-			targets[i] = le.Uint32(buf[pos:])
-			pos += 4
-		}
-		levels := make([]int32, n)
-		for v := range levels {
-			levels[v] = int32(le.Uint32(buf[pos:]))
-			pos += 4
-		}
-		st.Graph = &graph.CSR{Offsets: offsets, Targets: targets}
-		st.Levels = levels
 		states[si] = st
+		pos = next
 	}
 	if pos != crcOff {
 		return nil, fmt.Errorf("wal: snapshot %s: %d trailing bytes", path, crcOff-pos)

@@ -1,0 +1,240 @@
+package wal
+
+// Tail streaming: the primary-side surface of log-shipping replication.
+//
+// The WAL already observes the full applied-batch stream (onBatch runs
+// inside each shard's one-updater section), and the replay-parity property
+// means that stream *is* the state: a follower that starts from a
+// consistent engine capture and applies every later batch in per-shard
+// commit order is byte-identical to the primary. The tail hub below hands
+// both halves to a subscriber atomically: Bootstrap captures every shard's
+// durable state and registers the tail reader inside one quiesce section,
+// so no batch can commit between the capture and the subscription — the
+// reader's channel carries exactly the batches after the captured vector.
+//
+// Subscribers that cannot keep up are disconnected, not waited for: the
+// publish path runs on the update hot path and must never block on a slow
+// network peer. An overrun reader's channel is closed and Overrun reports
+// it; the replication layer responds by re-bootstrapping.
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"kcore/internal/graph"
+)
+
+// DefaultTailBuffer is the per-subscriber channel depth used when
+// Bootstrap is called with buffer <= 0.
+const DefaultTailBuffer = 4096
+
+// TailReader is one subscription to the live committed-batch stream.
+// Batches arrive on C in per-shard commit order (the same linearization
+// the log records); the edge slices are deep copies owned by the reader.
+type TailReader struct {
+	hub     *tailHub
+	ch      chan Batch
+	overrun atomic.Bool
+	closed  bool // guarded by hub.mu
+}
+
+// C returns the batch channel. It is closed when the reader falls too far
+// behind (check Overrun) or the hub shuts down.
+func (r *TailReader) C() <-chan Batch { return r.ch }
+
+// Overrun reports whether the subscription was dropped because the reader
+// could not keep up with the commit rate.
+func (r *TailReader) Overrun() bool { return r.overrun.Load() }
+
+// Close unsubscribes. Idempotent; safe concurrent with publishes.
+func (r *TailReader) Close() {
+	r.hub.mu.Lock()
+	defer r.hub.mu.Unlock()
+	r.closeLocked()
+}
+
+func (r *TailReader) closeLocked() {
+	if r.closed {
+		return
+	}
+	r.closed = true
+	delete(r.hub.subs, r)
+	close(r.ch)
+}
+
+// tailHub fans the committed-batch stream out to subscribers. The zero
+// value is ready to use.
+type tailHub struct {
+	mu   sync.Mutex
+	subs map[*TailReader]struct{}
+}
+
+// subscribe registers a new reader. Callers that need the stream to start
+// at a known state must call it where no batch can commit (see Bootstrap).
+func (h *tailHub) subscribe(buffer int) *TailReader {
+	if buffer <= 0 {
+		buffer = DefaultTailBuffer
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.subs == nil {
+		h.subs = make(map[*TailReader]struct{})
+	}
+	r := &TailReader{hub: h, ch: make(chan Batch, buffer)}
+	h.subs[r] = struct{}{}
+	return r
+}
+
+// publish delivers one committed batch to every subscriber. It runs inside
+// the committing shard's one-updater section, so per-shard batches are
+// published in commit order; shards publish concurrently, which the hub
+// lock serializes. The batch's edge slices alias the caller's buffers and
+// are deep-copied once, shared read-only by all subscribers. A subscriber
+// whose channel is full is dropped (overrun) rather than blocked on.
+func (h *tailHub) publish(b Batch) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if len(h.subs) == 0 {
+		return
+	}
+	cp := b
+	if len(b.Ins) > 0 {
+		cp.Ins = append([]graph.Edge(nil), b.Ins...)
+	}
+	if len(b.Del) > 0 {
+		cp.Del = append([]graph.Edge(nil), b.Del...)
+	}
+	for r := range h.subs {
+		select {
+		case r.ch <- cp:
+		default:
+			r.overrun.Store(true)
+			r.closeLocked()
+		}
+	}
+}
+
+// closeAll drops every subscriber (hub shutdown).
+func (h *tailHub) closeAll() {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	for r := range h.subs {
+		r.closeLocked()
+	}
+}
+
+// Source is the primary-side replication surface: anything that can hand
+// out a consistent engine capture plus the batch stream from exactly that
+// point. The Manager implements it (WAL-backed primaries); TailSource
+// implements it for primaries running without durability.
+type Source interface {
+	NumVertices() int
+	NumShards() int
+	// Bootstrap captures every shard's durable state and subscribes to the
+	// batch stream atomically: the returned reader's channel carries
+	// exactly the batches committed after the captured per-shard epochs.
+	// buffer <= 0 uses DefaultTailBuffer.
+	Bootstrap(buffer int) ([]ShardState, *TailReader, error)
+}
+
+// NumVertices returns the attached engine's vertex count.
+func (m *Manager) NumVertices() int { return m.eng.NumVertices() }
+
+// NumShards returns the attached engine's shard count.
+func (m *Manager) NumShards() int { return m.eng.NumShards() }
+
+// Bootstrap implements Source: it quiesces the engine, captures every
+// shard's durable state and registers a tail subscription inside the same
+// quiesce section. Works while degraded (replication does not depend on
+// the disk) but not after Close.
+func (m *Manager) Bootstrap(buffer int) ([]ShardState, *TailReader, error) {
+	if m.closed.Load() {
+		return nil, nil, fmt.Errorf("wal: bootstrap after close")
+	}
+	states := make([]ShardState, m.eng.NumShards())
+	var tr *TailReader
+	m.eng.Quiesce(func() {
+		for si := range states {
+			states[si] = m.eng.ShardDurable(si)
+		}
+		tr = m.hub.subscribe(buffer)
+	})
+	return states, tr, nil
+}
+
+// TailSource adapts a bare engine (no WAL attached) to Source by
+// installing its own batch hook. An engine has a single batch-log slot, so
+// a TailSource must not be combined with an open Manager on the same
+// engine — the Manager is already a Source in that case.
+type TailSource struct {
+	eng    Engine
+	hub    tailHub
+	closed atomic.Bool
+}
+
+// NewTailSource installs the tail hook on eng (under a quiesce, so it is
+// safe on a live engine) and returns the source.
+func NewTailSource(eng Engine) *TailSource {
+	t := &TailSource{eng: eng}
+	eng.Quiesce(func() { eng.SetBatchLog(t.hub.publish) })
+	return t
+}
+
+// NumVertices returns the engine's vertex count.
+func (t *TailSource) NumVertices() int { return t.eng.NumVertices() }
+
+// NumShards returns the engine's shard count.
+func (t *TailSource) NumShards() int { return t.eng.NumShards() }
+
+// Bootstrap implements Source (see Manager.Bootstrap).
+func (t *TailSource) Bootstrap(buffer int) ([]ShardState, *TailReader, error) {
+	if t.closed.Load() {
+		return nil, nil, fmt.Errorf("wal: bootstrap after close")
+	}
+	states := make([]ShardState, t.eng.NumShards())
+	var tr *TailReader
+	t.eng.Quiesce(func() {
+		for si := range states {
+			states[si] = t.eng.ShardDurable(si)
+		}
+		tr = t.hub.subscribe(buffer)
+	})
+	return states, tr, nil
+}
+
+// Close uninstalls the batch hook and drops every subscriber.
+func (t *TailSource) Close() {
+	if !t.closed.CompareAndSwap(false, true) {
+		return
+	}
+	t.eng.Quiesce(func() { t.eng.SetBatchLog(nil) })
+	t.hub.closeAll()
+}
+
+// EncodeRecord frames one batch exactly as the on-disk log does —
+// [len u32][crc32 u32][payload] — reusing buf's backing array when it is
+// large enough. The same framing is the replication wire format, so a
+// shipped record round-trips through DecodeRecord byte-identically.
+func EncodeRecord(buf []byte, b Batch) []byte { return encodeRecord(buf, b) }
+
+// DecodeRecord decodes the framed record at the start of data, returning
+// the batch and the total framed length consumed. ok is false for a torn,
+// truncated or corrupt frame.
+func DecodeRecord(data []byte, shards int) (Batch, int, bool) { return nextRecord(data, shards) }
+
+// MarshalShardState appends the snapshot encoding of one shard's durable
+// state (the per-shard block of the snapshot format) to dst. n is the
+// engine's vertex count.
+func MarshalShardState(dst []byte, n int, st ShardState) []byte {
+	off := len(dst)
+	dst = append(dst, make([]byte, shardStateSize(n, st))...)
+	putShardState(dst, off, n, st)
+	return dst
+}
+
+// UnmarshalShardState decodes one shard-state block from the start of
+// data, returning the state and the bytes consumed.
+func UnmarshalShardState(data []byte, n int) (ShardState, int, error) {
+	return getShardState(data, 0, len(data), n)
+}

@@ -1,0 +1,157 @@
+package wal
+
+import (
+	"reflect"
+	"testing"
+
+	"kcore/internal/graph"
+)
+
+func TestTailSourceBootstrapStreamsOnlyLaterBatches(t *testing.T) {
+	eng := newFakeEngine(8, 2)
+	src := NewTailSource(eng)
+	defer src.Close()
+
+	pre := testBatches()[:2]
+	for _, b := range pre {
+		eng.commit(b)
+	}
+	states, tr, err := src.Bootstrap(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+	if len(states) != 2 {
+		t.Fatalf("bootstrap returned %d states, want 2", len(states))
+	}
+	if states[0].Epoch != 1 || states[1].Epoch != 1 {
+		t.Fatalf("bootstrap epochs = %d,%d, want 1,1", states[0].Epoch, states[1].Epoch)
+	}
+
+	post := testBatches()[2:]
+	for _, b := range post {
+		eng.commit(b)
+	}
+	for i, want := range post {
+		got := <-tr.C()
+		if got.Shard != want.Shard || got.Epoch != want.Epoch {
+			t.Fatalf("tail batch %d = shard %d epoch %d, want shard %d epoch %d",
+				i, got.Shard, got.Epoch, want.Shard, want.Epoch)
+		}
+		if !reflect.DeepEqual(append([]graph.Edge{}, got.Ins...), append([]graph.Edge{}, want.Ins...)) {
+			t.Fatalf("tail batch %d ins = %v, want %v", i, got.Ins, want.Ins)
+		}
+	}
+	select {
+	case b := <-tr.C():
+		t.Fatalf("unexpected extra tail batch %+v", b)
+	default:
+	}
+}
+
+func TestTailPublishDeepCopies(t *testing.T) {
+	eng := newFakeEngine(8, 1)
+	src := NewTailSource(eng)
+	defer src.Close()
+	_, tr, err := src.Bootstrap(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+
+	ins := []graph.Edge{{U: 1, V: 2}}
+	eng.commit(Batch{Shard: 0, Epoch: 1, Ins: ins, HasIns: true})
+	ins[0] = graph.Edge{U: 7, V: 7} // the hot path reuses its buffers
+	got := <-tr.C()
+	if got.Ins[0] != (graph.Edge{U: 1, V: 2}) {
+		t.Fatalf("tail batch aliases the commit buffer: %v", got.Ins[0])
+	}
+}
+
+func TestTailOverrunDisconnects(t *testing.T) {
+	eng := newFakeEngine(8, 1)
+	src := NewTailSource(eng)
+	defer src.Close()
+	_, tr, err := src.Bootstrap(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for ep := uint64(1); ep <= 3; ep++ {
+		eng.commit(Batch{Shard: 0, Epoch: ep, HasIns: true})
+	}
+	// Buffer of 2: the third publish overruns and closes the channel.
+	n := 0
+	for range tr.C() {
+		n++
+	}
+	if n != 2 {
+		t.Fatalf("read %d batches before overrun close, want 2", n)
+	}
+	if !tr.Overrun() {
+		t.Fatal("Overrun() = false after a dropped subscription")
+	}
+	// Later commits must not panic on the closed subscription.
+	eng.commit(Batch{Shard: 0, Epoch: 4, HasIns: true})
+}
+
+func TestManagerBootstrapTeesWhileLogging(t *testing.T) {
+	dir := t.TempDir()
+	eng := newFakeEngine(8, 2)
+	m, err := Open(dir, eng, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.commit(testBatches()[0])
+	states, tr, err := m.Bootstrap(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if states[0].Epoch != 1 {
+		t.Fatalf("bootstrap shard 0 epoch = %d, want 1", states[0].Epoch)
+	}
+	eng.commit(testBatches()[3]) // shard 0, epoch 3 in the fixture set
+	got := <-tr.C()
+	if got.Shard != 0 || got.Epoch != 3 {
+		t.Fatalf("tail batch = shard %d epoch %d, want shard 0 epoch 3", got.Shard, got.Epoch)
+	}
+	if st := m.Stats(); st.LoggedBatches != 2 {
+		t.Fatalf("logged %d batches, want 2 (tee must not replace the log)", st.LoggedBatches)
+	}
+	if err := m.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := <-tr.C(); ok {
+		t.Fatal("tail channel still open after manager close")
+	}
+	if _, _, err := m.Bootstrap(1); err == nil {
+		t.Fatal("Bootstrap succeeded after Close")
+	}
+}
+
+func TestShardStateMarshalRoundTrip(t *testing.T) {
+	eng := newFakeEngine(8, 2)
+	eng.epochs[1] = 42
+	st := eng.ShardDurable(1)
+	st.Levels[3] = 7
+	buf := MarshalShardState(nil, 8, st)
+	got, used, err := UnmarshalShardState(buf, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if used != len(buf) {
+		t.Fatalf("consumed %d of %d bytes", used, len(buf))
+	}
+	if got.Epoch != st.Epoch || got.Batches != st.Batches || got.Inserted != st.Inserted {
+		t.Fatalf("counters differ: %+v vs %+v", got, st)
+	}
+	if !reflect.DeepEqual(got.Levels, st.Levels) {
+		t.Fatal("levels differ after round trip")
+	}
+	if !reflect.DeepEqual(got.Graph.Targets, st.Graph.Targets) ||
+		!reflect.DeepEqual(got.Graph.Offsets, st.Graph.Offsets) {
+		t.Fatal("graph differs after round trip")
+	}
+	if _, _, err := UnmarshalShardState(buf[:len(buf)-2], 8); err == nil {
+		t.Fatal("UnmarshalShardState accepted a truncated block")
+	}
+}

@@ -243,6 +243,12 @@ type Manager struct {
 	fs  faultfs.FS
 	log *segLog
 
+	// hub fans the committed-batch stream out to replication subscribers
+	// (see stream.go). Publication happens before the disk append and even
+	// while degraded: replication tracks the applied stream, not the
+	// durable one.
+	hub tailHub
+
 	recovered uint64 // batches replayed at Open
 
 	// Degraded-mode state. degraded is flipped true by an exhausted
@@ -316,6 +322,7 @@ func Open(dir string, eng Engine, opt Options) (*Manager, error) {
 // While degraded it drops the record (the batch is still applied in
 // memory) instead of hammering a broken disk from the hot path.
 func (m *Manager) onBatch(b Batch) {
+	m.hub.publish(b)
 	if m.degraded.Load() {
 		m.dropped.Add(1)
 		return
@@ -542,6 +549,7 @@ func (m *Manager) Close() error {
 	m.closeOnce.Do(func() {
 		close(m.stopCh)
 		m.eng.Quiesce(func() { m.eng.SetBatchLog(nil) })
+		m.hub.closeAll()
 		// The closed flag is set only after the in-flight background work
 		// drains: an auto-snapshot already spawned by the last batches must
 		// be allowed to land, not aborted with "snapshot after close".

@@ -42,6 +42,9 @@ package kcore
 
 import (
 	"fmt"
+	"net"
+	"net/http"
+	"sync"
 	"time"
 
 	"kcore/internal/exact"
@@ -50,6 +53,7 @@ import (
 	"kcore/internal/lds"
 	"kcore/internal/mvcc"
 	"kcore/internal/parallel"
+	"kcore/internal/replica"
 	"kcore/internal/shard"
 	"kcore/internal/wal"
 )
@@ -90,12 +94,15 @@ func DefaultParams() Params {
 }
 
 type options struct {
-	params   lds.Params
-	workers  int
-	shards   int
-	retained int
-	walDir   string
-	walOpts  WALOptions
+	params     lds.Params
+	workers    int
+	shards     int
+	retained   int
+	walDir     string
+	walOpts    WALOptions
+	replListen string
+	replSource string
+	replOpts   ReplicationOptions
 }
 
 // Option configures a Decomposition.
@@ -217,6 +224,70 @@ func WithWAL(dir string, o WALOptions) Option {
 	}
 }
 
+// ReplicationOptions tune the replication transport enabled by
+// WithReplicationListen (primary side) and WithReplicationSource (follower
+// side). The zero value is valid and uses the defaults noted per field.
+type ReplicationOptions struct {
+	// Heartbeat is how often an idle primary stream sends its commit
+	// vector (default 500ms). It bounds partition detection: followers
+	// tear down a stream silent for StreamTimeout.
+	Heartbeat time.Duration
+	// TailBuffer is the per-follower live-tail buffer in batches (default
+	// 4096). A follower that falls further behind is disconnected and
+	// re-bootstraps.
+	TailBuffer int
+	// DialTimeout bounds each follower connection attempt (default 5s).
+	DialTimeout time.Duration
+	// StreamTimeout is the follower's silent-stream watchdog (default 10s;
+	// must comfortably exceed the primary's Heartbeat).
+	StreamTimeout time.Duration
+	// BackoffMin/BackoffMax bound the follower's reconnect backoff
+	// (defaults 100ms and 5s; doubling per consecutive failure).
+	BackoffMin, BackoffMax time.Duration
+	// InitialSync is how long New waits for the follower's first bootstrap
+	// before failing (default 30s; negative = return immediately and sync
+	// in the background).
+	InitialSync time.Duration
+}
+
+// WithReplicationListen makes the decomposition a replication primary: it
+// serves the batch-log shipping stream on addr (host:port; ":0" picks a
+// free port, see ReplicationAddr). Each connecting follower receives a
+// consistent bootstrap of every shard followed by the live committed-batch
+// stream, and converges to byte-identical coreness state. Composes with
+// WithWAL (the log's record stream is teed) and works without it. Call
+// Decomposition.Close to stop serving.
+func WithReplicationListen(addr string) Option {
+	return func(o *options) { o.replListen = addr }
+}
+
+// WithReplicationSource makes the decomposition a read-only follower of
+// the replication primary at addr (host:port or http:// URL, as served by
+// WithReplicationListen). New blocks until the first bootstrap has been
+// applied (see ReplicationOptions.InitialSync), so a successful return
+// means the engine already holds a recent primary state; the follower
+// then keeps applying the primary's batch stream — reconnecting with
+// backoff and re-bootstrapping after partitions — until Close.
+//
+// The follower runs the full read stack (Coreness, Views, pinned and
+// retained reads); its epochs advance exactly as the primary's did, so an
+// epoch observed on the primary can be awaited here (Epoch catches up).
+// The mutating methods (InsertEdges, DeleteEdges, ApplyBatch,
+// RemoveVertex) become no-ops returning 0 — local writes would fork the
+// replica — and ReadOnly reports true. Combining with WithWAL is rejected
+// by New: durability belongs to the primary; a follower restart simply
+// re-bootstraps. The vertex count and shard count must match the
+// primary's.
+func WithReplicationSource(addr string) Option {
+	return func(o *options) { o.replSource = addr }
+}
+
+// WithReplicationOptions overrides the replication transport tuning for
+// either role (see ReplicationOptions).
+func WithReplicationOptions(ro ReplicationOptions) Option {
+	return func(o *options) { o.replOpts = ro }
+}
+
 // Decomposition maintains an approximate k-core decomposition of a dynamic
 // undirected graph. All methods dispatch through one internal engine
 // interface with two implementations: the single-CPLDS backend (default)
@@ -233,6 +304,17 @@ func WithWAL(dir string, o WALOptions) Option {
 type Decomposition struct {
 	eng engine
 	wal *wal.Manager // nil without WithWAL
+
+	// Replication (nil fields when the role is off). A primary serves the
+	// feeder on its own listener; a follower runs one stream goroutine.
+	feeder    *replica.Feeder
+	feederSrv *http.Server
+	feederLn  net.Listener
+	tailSrc   *wal.TailSource // batch tee when feeding without a WAL
+	follower  *replica.Follower
+
+	closeOnce sync.Once
+	closeErr  error
 }
 
 // New creates an empty decomposition over n vertices. It returns an error
@@ -257,6 +339,12 @@ func New(n int, opts ...Option) (*Decomposition, error) {
 	}
 	if o.retained < 0 {
 		return nil, fmt.Errorf("kcore: negative retained-epoch count %d", o.retained)
+	}
+	if o.replListen != "" && o.replSource != "" {
+		return nil, fmt.Errorf("kcore: WithReplicationListen and WithReplicationSource are mutually exclusive")
+	}
+	if o.replSource != "" && o.walDir != "" {
+		return nil, fmt.Errorf("kcore: WithWAL on a replication follower is unsupported (durability belongs to the primary; a follower restart re-bootstraps)")
 	}
 	if o.workers > 0 {
 		parallel.SetWorkers(o.workers)
@@ -287,6 +375,43 @@ func New(n int, opts ...Option) (*Decomposition, error) {
 		d.wal = m
 	}
 	eng.SetRetainedEpochs(o.retained)
+	if o.replListen != "" {
+		// Feed followers from the WAL manager's record stream when there is
+		// one (the same stream the disk sees), else tee the engine's batch
+		// log directly.
+		var src wal.Source
+		if d.wal != nil {
+			src = d.wal
+		} else {
+			d.tailSrc = wal.NewTailSource(eng.(wal.Engine))
+			src = d.tailSrc
+		}
+		d.feeder = replica.NewFeeder(src, replica.FeederOptions{
+			Heartbeat: o.replOpts.Heartbeat,
+			Buffer:    o.replOpts.TailBuffer,
+		})
+		ln, err := net.Listen("tcp", o.replListen)
+		if err != nil {
+			d.Close()
+			return nil, fmt.Errorf("kcore: replication listener: %w", err)
+		}
+		d.feederLn = ln
+		d.feederSrv = &http.Server{Handler: d.feeder.Handler()}
+		go d.feederSrv.Serve(ln)
+	}
+	if o.replSource != "" {
+		fol, err := replica.StartFollower(eng.(replica.Engine), o.replSource, replica.FollowerOptions{
+			DialTimeout:   o.replOpts.DialTimeout,
+			StreamTimeout: o.replOpts.StreamTimeout,
+			BackoffMin:    o.replOpts.BackoffMin,
+			BackoffMax:    o.replOpts.BackoffMax,
+			InitialSync:   o.replOpts.InitialSync,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("kcore: %w", err)
+		}
+		d.follower = fol
+	}
 	return d, nil
 }
 
@@ -315,16 +440,116 @@ func (d *Decomposition) Reattach() error {
 	return d.wal.Reattach()
 }
 
-// Close flushes and closes the write-ahead log (a no-op without WithWAL).
-// The decomposition remains usable afterwards, but further updates are no
-// longer logged. Close is idempotent — every call returns the first call's
-// result — and safe to call concurrently with Snapshot and in-flight
-// update batches.
+// Close shuts down the decomposition's services: it stops replicating
+// (disconnecting followers when primary, detaching from the primary when
+// follower) and flushes and closes the write-ahead log. The decomposition
+// remains readable afterwards — a closed follower keeps serving its last
+// applied state — but further updates are no longer logged or shipped.
+// Close is idempotent — every call returns the first call's result — and
+// safe to call concurrently with Snapshot and in-flight update batches.
 func (d *Decomposition) Close() error {
-	if d.wal == nil {
-		return nil
+	d.closeOnce.Do(func() {
+		if d.follower != nil {
+			d.follower.Close()
+		}
+		if d.feederSrv != nil {
+			d.feederSrv.Close() // also closes feederLn
+		}
+		if d.tailSrc != nil {
+			d.tailSrc.Close()
+		}
+		if d.wal != nil {
+			d.closeErr = d.wal.Close()
+		}
+	})
+	return d.closeErr
+}
+
+// ReadOnly reports whether this decomposition is a replication follower
+// (WithReplicationSource): its state advances only by applying the
+// primary's batch stream, and the local mutating methods are no-ops.
+func (d *Decomposition) ReadOnly() bool { return d.follower != nil }
+
+// ReplicationAddr returns the bound address of the replication listener
+// (WithReplicationListen; useful with ":0"), or "" when not a primary.
+func (d *Decomposition) ReplicationAddr() string {
+	if d.feederLn == nil {
+		return ""
 	}
-	return d.wal.Close()
+	return d.feederLn.Addr().String()
+}
+
+// ReplicationStats is a point-in-time snapshot of the replication role.
+// Exactly one side's fields are populated, per Role.
+type ReplicationStats struct {
+	Role string // "primary" or "follower"
+
+	// Primary (feeder) side.
+	ListenAddr       string // bound replication listener address
+	Followers        int    // currently connected followers
+	Connects         uint64 // follower connections accepted since start
+	FeederBootstraps uint64 // bootstraps served
+	RecordsShipped   uint64
+	BytesShipped     uint64
+	Overruns         uint64 // followers dropped for falling behind the tail buffer
+	Paused           bool   // fault-drill pause hook engaged
+
+	// Follower side.
+	Primary               string // normalized primary base URL
+	Connected             bool   // stream currently established
+	Synced                bool   // bootstrapped on the current connection
+	PrimaryEpoch          uint64 // newest epoch the primary announced
+	LagEpochs             uint64 // PrimaryEpoch - local Epoch (0 when caught up)
+	BytesReceived         uint64
+	BytesApplied          uint64
+	LagBytes              uint64 // received but not yet applied
+	RecordsApplied        uint64
+	Bootstraps            uint64 // bootstraps applied (>1 means re-bootstraps)
+	Reconnects            uint64
+	LastRecordUnixNano    int64
+	LastHeartbeatUnixNano int64
+	Err                   string // last connection error ("" when healthy)
+}
+
+// ReplicationStats reports the replication state; ok is false when neither
+// WithReplicationListen nor WithReplicationSource is configured. Safe to
+// call at any time.
+func (d *Decomposition) ReplicationStats() (stats ReplicationStats, ok bool) {
+	switch {
+	case d.feeder != nil:
+		s := d.feeder.Stats()
+		return ReplicationStats{
+			Role:             "primary",
+			ListenAddr:       d.ReplicationAddr(),
+			Followers:        s.Followers,
+			Connects:         s.Connects,
+			FeederBootstraps: s.Bootstraps,
+			RecordsShipped:   s.RecordsShipped,
+			BytesShipped:     s.BytesShipped,
+			Overruns:         s.Overruns,
+			Paused:           s.Paused,
+		}, true
+	case d.follower != nil:
+		s := d.follower.Stats()
+		return ReplicationStats{
+			Role:                  "follower",
+			Primary:               s.Primary,
+			Connected:             s.Connected,
+			Synced:                s.Synced,
+			PrimaryEpoch:          s.PrimaryEpoch,
+			LagEpochs:             s.LagEpochs,
+			BytesReceived:         s.BytesReceived,
+			BytesApplied:          s.BytesApplied,
+			LagBytes:              s.LagBytes,
+			RecordsApplied:        s.RecordsApplied,
+			Bootstraps:            s.Bootstraps,
+			Reconnects:            s.Reconnects,
+			LastRecordUnixNano:    s.LastRecordUnixNano,
+			LastHeartbeatUnixNano: s.LastHeartbeatUnixNano,
+			Err:                   s.Err,
+		}, true
+	}
+	return ReplicationStats{}, false
 }
 
 // DurabilityStats is a point-in-time snapshot of the write-ahead log:
@@ -464,14 +689,22 @@ func toInternal(edges []Edge) []graph.Edge {
 // the number of edges actually added (self-loops, duplicates within the
 // batch, already-present edges and out-of-range endpoints are ignored).
 // Concurrent Coreness reads remain linearizable throughout the batch.
+// On a replication follower (see ReadOnly) it is a no-op returning 0.
 func (d *Decomposition) InsertEdges(edges []Edge) int {
+	if d.ReadOnly() {
+		return 0
+	}
 	return d.eng.Insert(toInternal(edges))
 }
 
 // DeleteEdges applies a batch of edge deletions in parallel and returns the
 // number of edges actually removed. Concurrent Coreness reads remain
-// linearizable throughout the batch.
+// linearizable throughout the batch. On a replication follower (see
+// ReadOnly) it is a no-op returning 0.
 func (d *Decomposition) DeleteEdges(edges []Edge) int {
+	if d.ReadOnly() {
+		return 0
+	}
 	return d.eng.Delete(toInternal(edges))
 }
 
@@ -484,6 +717,9 @@ func (d *Decomposition) DeleteEdges(edges []Edge) int {
 // sub-batch is its own atomicity unit (per shard, when sharded) and
 // commits its own epoch.
 func (d *Decomposition) ApplyBatch(insertions, deletions []Edge) (inserted, deleted int) {
+	if d.ReadOnly() {
+		return 0, 0
+	}
 	return d.eng.Apply(toInternal(insertions), toInternal(deletions))
 }
 
@@ -496,7 +732,7 @@ func (d *Decomposition) ApplyBatch(insertions, deletions []Edge) (inserted, dele
 // callers — because the incident-edge snapshot and the deletion batch are
 // two steps; concurrent reads stay linearizable throughout.
 func (d *Decomposition) RemoveVertex(v uint32) int {
-	if int(v) >= d.eng.NumVertices() {
+	if d.ReadOnly() || int(v) >= d.eng.NumVertices() {
 		return 0
 	}
 	return d.eng.Delete(d.eng.IncidentEdges(v))
