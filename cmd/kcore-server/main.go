@@ -33,6 +33,13 @@
 //
 //	kcore-server -n 1000000 -addr :8080 -replicate-listen :7070
 //	kcore-server -n 1000000 -addr :8081 -replicate-from localhost:7070
+//
+// Change feed: GET /subscribe streams per-epoch coreness transitions over
+// SSE (filters: ?vertices=, ?cross_k=, ?min_delta=). Slow subscribers get
+// gap markers instead of stalling commits; -max-subscribers and
+// -event-buffer bound the fan-out.
+//
+//	curl -N 'localhost:8080/subscribe?cross_k=3'
 package main
 
 import (
@@ -85,6 +92,12 @@ func main() {
 		"replicate from the primary's -replicate-listen address (read-only replica role)")
 	minEpochWait := flag.Duration("min-epoch-wait", server.DefaultMinEpochWait,
 		"how long a ?min_epoch= read may wait for the epoch floor before shedding with 412")
+	maxSubs := flag.Int("max-subscribers", 0,
+		"max concurrent /subscribe change-feed streams (0 = unlimited)")
+	eventBuffer := flag.Int("event-buffer", 0,
+		"per-subscriber change-feed buffer in epochs; slower subscribers get gap markers (0 = default 64)")
+	feedHeartbeat := flag.Duration("feed-heartbeat", server.DefaultFeedHeartbeat,
+		"idle /subscribe stream heartbeat period")
 	faultFsync := flag.Int("fault-fsync-fail", 0,
 		"TESTING ONLY: inject a failure into the next N WAL fsyncs (-1 = forever)")
 	flag.Parse()
@@ -94,6 +107,9 @@ func main() {
 		server.WithRetainedEpochs(*retain),
 		server.WithRequestTimeout(*reqTimeout),
 		server.WithMinEpochWait(*minEpochWait),
+		server.WithMaxSubscribers(*maxSubs),
+		server.WithEventBuffer(*eventBuffer),
+		server.WithFeedHeartbeat(*feedHeartbeat),
 	}
 	if *replListen != "" {
 		opts = append(opts, server.WithReplicationListen(*replListen))

@@ -7,6 +7,7 @@ import (
 
 	"kcore/internal/cplds"
 	"kcore/internal/exact"
+	"kcore/internal/feed"
 	"kcore/internal/graph"
 	"kcore/internal/lds"
 	"kcore/internal/replica"
@@ -51,6 +52,12 @@ type engine interface {
 	// exactly once, after WAL recovery (the retention logs initialize from
 	// the recovered epochs). Quiescent use only.
 	SetRetainedEpochs(n int)
+
+	// SetEventHub attaches the change-feed hub: every committed batch's
+	// coreness transitions are published to it, stamped with the
+	// (cross-shard) epoch of the commit. nil detaches. Quiescent use only;
+	// New calls it after SetRetainedEpochs.
+	SetEventHub(h *feed.Hub)
 
 	// The retained-read group serves exact reads at a *specific* committed
 	// epoch — including retired ones, for as long as the multi-version
@@ -221,6 +228,18 @@ func (s *singleEngine) RestoreAll(states []wal.ShardState) error {
 }
 
 func (s *singleEngine) SetRetainedEpochs(n int) { s.c.SetRetainedEpochs(n) }
+
+// SetEventHub attaches the change-feed hub. A single engine's local epoch
+// is the global epoch, so events go out stamped exactly as extracted.
+func (s *singleEngine) SetEventHub(h *feed.Hub) {
+	if h == nil {
+		s.c.SetEventSink(nil, nil)
+		return
+	}
+	s.c.SetEventSink(h.Active, func(epoch uint64, events []feed.Event) {
+		h.Publish(epoch, events)
+	})
+}
 
 func (s *singleEngine) Read(v uint32) float64        { return s.c.Read(v) }
 func (s *singleEngine) ReadNonSync(v uint32) float64 { return s.c.ReadNonSync(v) }

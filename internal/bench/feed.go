@@ -1,0 +1,150 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"kcore/internal/feed"
+	"kcore/internal/shard"
+	"kcore/internal/stats"
+)
+
+// FeedResult is one row of the change-feed experiment: the commit path's
+// throughput with a given subscriber fan-out attached, plus the feed-side
+// volume that fan-out produced.
+type FeedResult struct {
+	Dataset     string
+	Shards      int
+	Subscribers int  // fast (drained) all-events subscribers
+	Stalled     bool // plus one 1-slot subscriber that is never drained
+	Edges       int64
+	Elapsed     time.Duration
+	EdgesPerS   float64 // commit throughput with this fan-out
+
+	Events     uint64  // coreness transitions extracted at commit
+	EventsPerS float64 // extraction rate
+	Deliveries uint64  // per-subscriber deliveries enqueued
+	Drops      uint64  // deliveries dropped at full buffers
+	Gaps       uint64  // gap markers delivered
+	DropRate   float64 // drops / (deliveries + drops)
+}
+
+// RunFeed measures the update path with `subscribers` drained all-events
+// subscriptions attached (0 measures the pure fast-path: hub attached,
+// nobody listening). With stalled, one extra 1-slot subscription is opened
+// and never read, so every commit past its first overruns it — the row's
+// drop counters then quantify the backpressure policy (drop + gap, never
+// block commit).
+func RunFeed(cfg Config, shards, subscribers int, stalled bool) (FeedResult, error) {
+	cfg = cfg.withDefaults()
+	res := FeedResult{Dataset: cfg.Dataset, Shards: shards, Subscribers: subscribers, Stalled: stalled}
+	for trial := 0; trial < cfg.Trials; trial++ {
+		p, err := prepare(cfg)
+		if err != nil {
+			return res, err
+		}
+		batches := p.stream.Insertions
+		if cfg.MaxBatches > 0 && len(batches) > cfg.MaxBatches {
+			batches = batches[:cfg.MaxBatches]
+		}
+		eng := shard.New(p.n, shards, cfg.Params)
+		eng.Insert(p.stream.Base)
+
+		hub := feed.NewHub(0)
+		eng.SetEventHub(hub)
+
+		// Fast subscribers: each drained by its own goroutine.
+		var dwg sync.WaitGroup
+		for i := 0; i < subscribers; i++ {
+			sub, err := hub.Subscribe(feed.Filter{}, feed.DefaultBuffer)
+			if err != nil {
+				return res, err
+			}
+			dwg.Add(1)
+			go func(sub *feed.Subscription) {
+				defer dwg.Done()
+				for range sub.C() {
+				}
+			}(sub)
+		}
+		if stalled {
+			if _, err := hub.Subscribe(feed.Filter{}, 1); err != nil {
+				return res, err
+			}
+		}
+
+		var next, edges atomic.Int64
+		var wg sync.WaitGroup
+		t0 := time.Now()
+		for w := 0; w < cfg.Writers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= len(batches) {
+						return
+					}
+					edges.Add(int64(eng.Insert(batches[i])))
+				}
+			}()
+		}
+		wg.Wait()
+		elapsed := time.Since(t0)
+
+		st := hub.Stats()
+		hub.Close() // ends the drain goroutines
+		dwg.Wait()
+		eng.SetEventHub(nil)
+
+		res.Edges += edges.Load()
+		res.Elapsed += elapsed
+		res.EdgesPerS += stats.Throughput(edges.Load(), elapsed)
+		res.Events += st.Events
+		res.EventsPerS += stats.Throughput(int64(st.Events), elapsed)
+		res.Deliveries += st.Deliveries
+		res.Drops += st.Drops
+		res.Gaps += st.Gaps
+	}
+	res.EdgesPerS /= float64(cfg.Trials)
+	res.EventsPerS /= float64(cfg.Trials)
+	if total := res.Deliveries + res.Drops; total > 0 {
+		res.DropRate = float64(res.Drops) / float64(total)
+	}
+	return res, nil
+}
+
+// FigureFeed runs and prints the change-feed experiment: commit throughput
+// at increasing subscriber fan-out (the 0-subscriber row is the baseline
+// the zero-cost claim is judged against), the event extraction rate, and a
+// final row with a stalled 1-slot subscriber demonstrating the drop+gap
+// policy (commit throughput must not collapse).
+func FigureFeed(w io.Writer, datasets []string, shardCounts []int, cfg Config) error {
+	cfg = cfg.withDefaults()
+	fmt.Fprintf(w, "Change feed: commit throughput under subscriber fan-out (writers=%d)\n", cfg.Writers)
+	fmt.Fprintf(w, "%-10s %8s %8s %8s %12s %12s %12s %10s %8s\n",
+		"graph", "shards", "subs", "stalled", "edges/s", "events/s", "deliveries", "drop rate", "gaps")
+	for _, ds := range datasets {
+		c := cfg
+		c.Dataset = ds
+		for _, shards := range shardCounts {
+			for _, fan := range []struct {
+				subs    int
+				stalled bool
+			}{{0, false}, {1, false}, {64, false}, {1024, false}, {1, true}} {
+				r, err := RunFeed(c, shards, fan.subs, fan.stalled)
+				if err != nil {
+					return err
+				}
+				fmt.Fprintf(w, "%-10s %8d %8d %8v %12.0f %12.0f %12d %9.1f%% %8d\n",
+					ds, shards, r.Subscribers, r.Stalled, r.EdgesPerS, r.EventsPerS,
+					r.Deliveries, 100*r.DropRate, r.Gaps)
+			}
+		}
+	}
+	fmt.Fprintln(w)
+	return nil
+}

@@ -1,0 +1,61 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunFeed(t *testing.T) {
+	for _, shards := range []int{1, 2} {
+		// Drained fan-out: commits go through and events flow.
+		r, err := RunFeed(smallCfg(), shards, 2, false)
+		if err != nil {
+			t.Fatalf("shards=%d: %v", shards, err)
+		}
+		if r.Edges == 0 || r.EdgesPerS <= 0 {
+			t.Fatalf("shards=%d: no throughput: %+v", shards, r)
+		}
+		if r.Events == 0 || r.Deliveries == 0 {
+			t.Fatalf("shards=%d: feed saw nothing: %+v", shards, r)
+		}
+
+		// Stalled 1-slot subscriber: commits still go through; overruns
+		// show up as drops, not as a collapsed edge rate.
+		r, err = RunFeed(smallCfg(), shards, 0, true)
+		if err != nil {
+			t.Fatalf("shards=%d stalled: %v", shards, err)
+		}
+		if r.Edges == 0 || r.EdgesPerS <= 0 {
+			t.Fatalf("shards=%d stalled: commits stalled: %+v", shards, r)
+		}
+		if r.Drops == 0 || r.DropRate <= 0 {
+			t.Fatalf("shards=%d stalled: no drops recorded: %+v", shards, r)
+		}
+	}
+
+	// Zero subscribers: hub attached, nothing extracted or delivered.
+	r, err := RunFeed(smallCfg(), 1, 0, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Events != 0 || r.Deliveries != 0 {
+		t.Fatalf("idle hub extracted events: %+v", r)
+	}
+}
+
+func TestFigureFeedDriver(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	var buf bytes.Buffer
+	if err := FigureFeed(&buf, []string{"tiny"}, []int{1, 2}, smallCfg()); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"Change feed", "edges/s", "events/s", "drop rate", "tiny"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+}

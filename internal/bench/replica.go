@@ -31,6 +31,11 @@ type ReplicaResult struct {
 	BytesShipped   uint64        // stream bytes to the follower
 	FollowerReads  int64         // pinned multi-reads served by the follower meanwhile
 	ReadsPerS      float64
+
+	MaxApplyBatch  int     // follower catch-up batching cap (0 = default)
+	RecordsApplied uint64  // batch records the follower applied
+	ApplyRounds    uint64  // quiesce rounds those records were applied in
+	RecsPerRound   float64 // records per quiesce round (batching factor)
 }
 
 // RunReplica measures one replication configuration: a primary and one
@@ -39,10 +44,12 @@ type ReplicaResult struct {
 // hammering the follower's epoch-pinned read path throughout. The row
 // reports the primary's apply throughput, the follower's end-to-end
 // throughput (apply start to full catch-up: shipping + re-applying), the
-// shipped byte volume and the follower's concurrent read rate.
-func RunReplica(cfg Config, shards int) (ReplicaResult, error) {
+// shipped byte volume, the follower's concurrent read rate, and the
+// catch-up batching factor (records applied per quiesce round under
+// applyBatch; 0 uses the follower default, 1 disables batching).
+func RunReplica(cfg Config, shards, applyBatch int) (ReplicaResult, error) {
 	cfg = cfg.withDefaults()
-	res := ReplicaResult{Dataset: cfg.Dataset, Shards: shards, Readers: cfg.Readers}
+	res := ReplicaResult{Dataset: cfg.Dataset, Shards: shards, Readers: cfg.Readers, MaxApplyBatch: applyBatch}
 	for trial := 0; trial < cfg.Trials; trial++ {
 		p, err := prepare(cfg)
 		if err != nil {
@@ -67,6 +74,7 @@ func RunReplica(cfg Config, shards int) (ReplicaResult, error) {
 		folEng := shard.New(p.n, shards, cfg.Params)
 		fol, err := replica.StartFollower(folEng, ln.Addr().String(), replica.FollowerOptions{
 			BackoffMin: 10 * time.Millisecond, InitialSync: 30 * time.Second,
+			MaxApplyBatch: applyBatch,
 		})
 		if err != nil {
 			hs.Close()
@@ -155,6 +163,9 @@ func RunReplica(cfg Config, shards int) (ReplicaResult, error) {
 		res.BytesShipped += feeder.Stats().BytesShipped
 		res.FollowerReads += reads.Load()
 		res.ReadsPerS += stats.Throughput(reads.Load(), catchup)
+		fst := fol.Stats()
+		res.RecordsApplied += fst.RecordsApplied
+		res.ApplyRounds += fst.ApplyRounds
 
 		fol.Close()
 		hs.Close()
@@ -163,36 +174,48 @@ func RunReplica(cfg Config, shards int) (ReplicaResult, error) {
 	res.PrimaryPerS /= float64(cfg.Trials)
 	res.FollowerPerS /= float64(cfg.Trials)
 	res.ReadsPerS /= float64(cfg.Trials)
+	if res.ApplyRounds > 0 {
+		res.RecsPerRound = float64(res.RecordsApplied) / float64(res.ApplyRounds)
+	}
 	return res, nil
 }
 
 // FigureReplica runs and prints the replication experiment: follower
 // end-to-end apply throughput against the primary's apply rate (their
 // ratio is the steady-state headroom before a follower lags), shipped
-// bytes per edge, and the follower's concurrent pinned-read rate.
+// bytes per edge, the follower's concurrent pinned-read rate, and the
+// catch-up batching effect — each configuration runs with per-record
+// apply (batch 1) and with the default apply batching, reporting the
+// records-per-quiesce-round factor achieved.
 func FigureReplica(w io.Writer, datasets []string, shardCounts []int, cfg Config) error {
 	cfg = cfg.withDefaults()
 	fmt.Fprintf(w, "Replication: follower apply throughput and read scaling (writers=%d, readers=%d)\n",
 		cfg.Writers, cfg.Readers)
-	fmt.Fprintf(w, "%-10s %8s %14s %14s %10s %12s %14s\n",
-		"graph", "shards", "primary e/s", "follower e/s", "ratio", "bytes/edge", "fol reads/s")
+	fmt.Fprintf(w, "%-10s %8s %8s %14s %14s %10s %12s %14s %10s\n",
+		"graph", "shards", "apply", "primary e/s", "follower e/s", "ratio", "bytes/edge", "fol reads/s", "recs/rnd")
 	for _, ds := range datasets {
 		c := cfg
 		c.Dataset = ds
 		for _, shards := range shardCounts {
-			r, err := RunReplica(c, shards)
-			if err != nil {
-				return err
+			for _, applyBatch := range []int{1, 0} {
+				r, err := RunReplica(c, shards, applyBatch)
+				if err != nil {
+					return err
+				}
+				ratio, bpe := 0.0, 0.0
+				if r.PrimaryPerS > 0 {
+					ratio = r.FollowerPerS / r.PrimaryPerS
+				}
+				if r.Edges > 0 {
+					bpe = float64(r.BytesShipped) / float64(r.Edges)
+				}
+				label := fmt.Sprintf("%d", applyBatch)
+				if applyBatch == 0 {
+					label = "default"
+				}
+				fmt.Fprintf(w, "%-10s %8d %8s %14.0f %14.0f %9.2fx %12.1f %14.0f %10.2f\n",
+					ds, shards, label, r.PrimaryPerS, r.FollowerPerS, ratio, bpe, r.ReadsPerS, r.RecsPerRound)
 			}
-			ratio, bpe := 0.0, 0.0
-			if r.PrimaryPerS > 0 {
-				ratio = r.FollowerPerS / r.PrimaryPerS
-			}
-			if r.Edges > 0 {
-				bpe = float64(r.BytesShipped) / float64(r.Edges)
-			}
-			fmt.Fprintf(w, "%-10s %8d %14.0f %14.0f %9.2fx %12.1f %14.0f\n",
-				ds, shards, r.PrimaryPerS, r.FollowerPerS, ratio, bpe, r.ReadsPerS)
 		}
 	}
 	fmt.Fprintln(w)

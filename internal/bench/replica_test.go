@@ -8,7 +8,7 @@ import (
 
 func TestRunReplica(t *testing.T) {
 	for _, shards := range []int{1, 2} {
-		r, err := RunReplica(smallCfg(), shards)
+		r, err := RunReplica(smallCfg(), shards, 0)
 		if err != nil {
 			t.Fatalf("shards=%d: %v", shards, err)
 		}
@@ -24,6 +24,12 @@ func TestRunReplica(t *testing.T) {
 		}
 		if r.BytesShipped == 0 {
 			t.Fatalf("shards=%d: nothing shipped", shards)
+		}
+		if r.ApplyRounds == 0 || r.RecordsApplied == 0 || r.RecsPerRound < 1 {
+			t.Fatalf("shards=%d: apply batching unreported: %+v", shards, r)
+		}
+		if r.ApplyRounds > r.RecordsApplied {
+			t.Fatalf("shards=%d: more rounds than records: %+v", shards, r)
 		}
 	}
 }

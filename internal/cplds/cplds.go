@@ -34,6 +34,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"kcore/internal/feed"
 	"kcore/internal/graph"
 	"kcore/internal/lds"
 	"kcore/internal/mvcc"
@@ -163,6 +164,17 @@ type CPLDS struct {
 	// descriptors are still in place. Test hook for inspecting the final
 	// dependency DAGs of a batch.
 	beforeUnmark func(kind plds.Kind, marked []uint32)
+
+	// eventSink, when non-nil, receives this batch's coreness transitions
+	// right after commit publication, while the gate still excludes the
+	// next batch. eventActive gates the extraction: when it reports false
+	// (no subscribers) BatchEnd skips the mover walk entirely, so an idle
+	// feed costs one function call per batch. eventBuf is the reused
+	// extraction arena — the slice passed to eventSink is only valid for
+	// the duration of the call.
+	eventSink   func(localEpoch uint64, events []feed.Event)
+	eventActive func() bool
+	eventBuf    []feed.Event
 
 	// noPathCompression disables path compression in DAG traversals (reads
 	// and unions). Ablation knob: compression is the paper's §5.2
@@ -328,6 +340,33 @@ func (c *CPLDS) BatchEnd(kind plds.Kind) {
 		c.onCommit(func() { c.commitSeq.Add(1) })
 	} else {
 		c.commitSeq.Add(1)
+	}
+	// Change feed: extract this batch's coreness transitions from the same
+	// arenas the retention capture reads — pre-batch levels still in the
+	// descriptor pool, post-batch levels live. Runs after publication (so
+	// the events' epoch is already readable) but before the gate drops (so
+	// the pool slots cannot yet be rewritten by the next batch). Skipped
+	// with a single predicate call when nobody subscribes.
+	if c.eventSink != nil && c.eventActive() {
+		epoch := c.commitSeq.Load() >> 1
+		buf := c.eventBuf[:0]
+		for _, v := range marked {
+			oldLevel := c.pool[v].old.Load()
+			newLevel := c.P.Level(v)
+			if oldLevel == newLevel {
+				continue
+			}
+			buf = append(buf, feed.Event{
+				Epoch:   epoch,
+				Vertex:  v,
+				OldCore: c.S.EstimateFromLevel(oldLevel),
+				NewCore: c.S.EstimateFromLevel(newLevel),
+			})
+		}
+		c.eventBuf = buf
+		if len(buf) > 0 {
+			c.eventSink(epoch, buf)
+		}
 	}
 	c.gate.Unlock()
 }
@@ -645,6 +684,20 @@ func (c *CPLDS) RetainedEpochs() int {
 // SetCommitHook installs a hook wrapping the commit publication of every
 // batch (see the onCommit field). Quiescent use only.
 func (c *CPLDS) SetCommitHook(h func(publish func())) { c.onCommit = h }
+
+// SetEventSink installs the change-feed extraction hook (see the
+// eventSink field): after every commit publication, if active() reports
+// subscribers, sink receives the batch's coreness transitions stamped
+// with this instance's local epoch. The slice is reused across batches —
+// sink must not retain it. Pass (nil, nil) to disable. Quiescent use
+// only.
+func (c *CPLDS) SetEventSink(active func() bool, sink func(localEpoch uint64, events []feed.Event)) {
+	if sink == nil || active == nil {
+		c.eventSink, c.eventActive = nil, nil
+		return
+	}
+	c.eventSink, c.eventActive = sink, active
+}
 
 // OldestReadableEpoch returns the oldest epoch the *At protocols can still
 // serve (the current epoch when retention is disabled).

@@ -58,8 +58,10 @@ func NewVectorLog(initial []uint64, retain int) *VectorLog {
 // Commit records one shard's batch commit atomically with its publication:
 // publish must flip the shard's commit sequence to even (making the commit
 // visible to readers) and is invoked under the log lock, so log order is
-// exactly publication order. Called from each shard's updater at batch end.
-func (l *VectorLog) Commit(shard int, publish func()) {
+// exactly publication order. Called from each shard's updater at batch
+// end. Returns the new global epoch (the post-commit sum), which the
+// change feed uses to stamp this commit's events.
+func (l *VectorLog) Commit(shard int, publish func()) uint64 {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	publish()
@@ -75,6 +77,7 @@ func (l *VectorLog) Commit(shard int, publish func()) {
 	copy(vec, l.cur)
 	l.vecs = append(l.vecs, vec)
 	l.evictLocked()
+	return l.sum
 }
 
 // Reset reinitializes the log over new per-shard committed counts,

@@ -1,6 +1,7 @@
 package replica
 
 import (
+	"bufio"
 	"context"
 	"errors"
 	"fmt"
@@ -31,6 +32,14 @@ type FollowerOptions struct {
 	// to complete before giving up (default 30s; negative = do not wait,
 	// the follower syncs in the background).
 	InitialSync time.Duration
+	// MaxApplyBatch bounds how many consecutive already-received records
+	// the follower applies under one engine quiesce, and sizes the queue
+	// between the stream reader and the applier (default 64). A
+	// catching-up follower has records queued ahead of the engine;
+	// paying one quiesce per round instead of one per record closes most
+	// of the apply-throughput gap against the primary. 1 restores the
+	// one-quiesce-per-record behavior.
+	MaxApplyBatch int
 }
 
 func (o FollowerOptions) withDefaults() FollowerOptions {
@@ -48,6 +57,9 @@ func (o FollowerOptions) withDefaults() FollowerOptions {
 	}
 	if o.InitialSync == 0 {
 		o.InitialSync = 30 * time.Second
+	}
+	if o.MaxApplyBatch <= 0 {
+		o.MaxApplyBatch = 64
 	}
 	return o
 }
@@ -75,8 +87,12 @@ type FollowerStats struct {
 	BytesApplied   uint64 `json:"bytes_applied"`
 	LagBytes       uint64 `json:"lag_bytes"`
 	RecordsApplied uint64 `json:"records_applied"`
-	Bootstraps     uint64 `json:"bootstraps"`
-	Reconnects     uint64 `json:"reconnects"`
+	// ApplyRounds counts quiesce sections spent applying records; the
+	// records-per-round ratio shows how much catch-up batching helps
+	// (1.0 = in sync, applying record by record).
+	ApplyRounds uint64 `json:"apply_rounds"`
+	Bootstraps  uint64 `json:"bootstraps"`
+	Reconnects  uint64 `json:"reconnects"`
 
 	LastRecordUnixNano    int64  `json:"last_record_unix_nano,omitempty"`
 	LastHeartbeatUnixNano int64  `json:"last_heartbeat_unix_nano,omitempty"`
@@ -105,6 +121,7 @@ type Follower struct {
 	bytesRecv  atomic.Uint64
 	bytesAppl  atomic.Uint64
 	records    atomic.Uint64
+	rounds     atomic.Uint64
 	bootstraps atomic.Uint64
 	reconnects atomic.Uint64
 	lastRec    atomic.Int64
@@ -182,6 +199,7 @@ func (f *Follower) Stats() FollowerStats {
 		BytesReceived:         f.bytesRecv.Load(),
 		BytesApplied:          f.bytesAppl.Load(),
 		RecordsApplied:        f.records.Load(),
+		ApplyRounds:           f.rounds.Load(),
 		Bootstraps:            f.bootstraps.Load(),
 		Reconnects:            f.reconnects.Load(),
 		LastRecordUnixNano:    f.lastRec.Load(),
@@ -262,7 +280,11 @@ func (f *Follower) stream() (bootstrapped bool, err error) {
 	watchdog := time.AfterFunc(f.opt.StreamTimeout, func() { resp.Body.Close() })
 	defer watchdog.Stop()
 
-	body := &countingReader{r: resp.Body, n: &f.bytesRecv}
+	// Buffered reads keep frame parsing off raw socket syscalls. Counting
+	// sits on top, so bytesRecv tracks consumed (not merely buffered)
+	// stream bytes and the lag-bytes gauge stays exact.
+	br := bufio.NewReaderSize(resp.Body, 256<<10)
+	body := &countingReader{r: br, n: &f.bytesRecv}
 	n, shards := f.eng.NumVertices(), f.eng.NumShards()
 	if err := readStreamHeader(body, n, shards); err != nil {
 		return false, err
@@ -274,6 +296,21 @@ func (f *Follower) stream() (bootstrapped bool, err error) {
 	seen := make([]bool, shards)
 	vec := make([]uint64, shards)
 	var buf []byte
+	// Records are applied by a separate goroutine fed through a bounded
+	// queue (started once the bootstrap lands). Decoupling the socket
+	// from the engine quiesce is what makes catch-up batching real: the
+	// reader keeps draining the stream while an apply runs, so a backlog
+	// — wherever it was sitting (kernel buffer, HTTP chunking) — surfaces
+	// as queued records the applier folds into one quiesce per round. It
+	// also keeps the silent-stream watchdog honest during long applies.
+	var applyCh chan queuedRecord
+	var applyWG sync.WaitGroup
+	defer func() {
+		if applyCh != nil {
+			close(applyCh)
+			applyWG.Wait()
+		}
+	}()
 	for {
 		typ, payload, rerr := readFrame(body, buf)
 		if rerr != nil {
@@ -316,6 +353,15 @@ func (f *Follower) stream() (bootstrapped bool, err error) {
 			f.synced.Store(true)
 			f.lastErr.Store(nil)
 			f.syncOnce.Do(func() { close(f.firstSync) })
+			// The applier owns its own copy of the vector from here on;
+			// the reader's copy only tracks heartbeat announcements.
+			avec := append(make([]uint64, 0, shards), vec...)
+			applyCh = make(chan queuedRecord, f.opt.MaxApplyBatch)
+			applyWG.Add(1)
+			go func() {
+				defer applyWG.Done()
+				f.applyLoop(applyCh, avec)
+			}()
 		case frameRecord:
 			if !bootstrapped {
 				return false, errors.New("replica: record frame before end of bootstrap")
@@ -324,16 +370,12 @@ func (f *Follower) stream() (bootstrapped bool, err error) {
 			if !ok || used != len(payload) {
 				return bootstrapped, errors.New("replica: corrupt record frame")
 			}
-			// Apply under the engine's quiesce: the stream goroutine is
-			// the follower's only updater, but quiescing keeps the
-			// engine's snapshot/invariant surfaces (which assume no
-			// concurrent apply) safe to use on a live follower.
-			f.eng.Quiesce(func() { f.eng.ApplyLogged(b) })
-			vec[b.Shard] = b.Epoch
-			f.observePrimaryVec(vec)
-			f.records.Add(1)
-			f.bytesAppl.Store(f.bytesRecv.Load())
-			f.lastRec.Store(time.Now().UnixNano())
+			// Hand off to the applier (DecodeRecord copied the edges, so
+			// the frame buffer is free to reuse). A full queue blocks the
+			// reader — the engine is MaxApplyBatch records behind the
+			// socket at most, and beyond that the primary's tail buffer
+			// overruns exactly as before.
+			applyCh <- queuedRecord{b: b, recvd: f.bytesRecv.Load()}
 		case frameHeartbeat:
 			if err := parseVector(payload, vec); err != nil {
 				return bootstrapped, err
@@ -343,6 +385,55 @@ func (f *Follower) stream() (bootstrapped bool, err error) {
 		default:
 			return bootstrapped, fmt.Errorf("replica: unknown frame type %d", typ)
 		}
+	}
+}
+
+// queuedRecord is one decoded record frame in flight between the stream
+// reader and the applier, stamped with the stream bytes consumed up to
+// and including its frame (for the applied-bytes lag gauge).
+type queuedRecord struct {
+	b     wal.Batch
+	recvd uint64
+}
+
+// applyLoop applies queued records until the channel closes. Each round
+// folds the first record plus everything else already queued (up to
+// MaxApplyBatch) into a single engine quiesce: the stream goroutine is
+// the only producer, so queued depth is exactly how far the socket has
+// run ahead of the engine, and a catching-up follower pays one
+// reader-exclusion per round instead of one per record. vec is the
+// applier's private copy of the commit vector, seeded from the bootstrap.
+func (f *Follower) applyLoop(ch <-chan queuedRecord, vec []uint64) {
+	batch := make([]queuedRecord, 0, f.opt.MaxApplyBatch)
+	for qr := range ch {
+		batch = append(batch[:0], qr)
+	drain:
+		for len(batch) < f.opt.MaxApplyBatch {
+			select {
+			case nqr, open := <-ch:
+				if !open {
+					break drain
+				}
+				batch = append(batch, nqr)
+			default:
+				break drain
+			}
+		}
+		// Quiescing keeps the engine's snapshot/invariant surfaces (which
+		// assume no concurrent apply) safe to use on a live follower.
+		f.eng.Quiesce(func() {
+			for _, rb := range batch {
+				f.eng.ApplyLogged(rb.b)
+			}
+		})
+		for _, rb := range batch {
+			vec[rb.b.Shard] = rb.b.Epoch
+		}
+		f.observePrimaryVec(vec)
+		f.records.Add(uint64(len(batch)))
+		f.rounds.Add(1)
+		f.bytesAppl.Store(batch[len(batch)-1].recvd)
+		f.lastRec.Store(time.Now().UnixNano())
 	}
 }
 

@@ -343,3 +343,89 @@ func TestStartFollowerNoPrimary(t *testing.T) {
 		t.Fatal("expected an initial-sync failure with no primary")
 	}
 }
+
+// TestCatchupBatchesBufferedRecords pins the catch-up drain: while the
+// follower's apply path is held inside an engine quiesce, the primary
+// commits a burst; once released, the backlog must land in far fewer
+// quiesce rounds than records. A second follower running with
+// MaxApplyBatch 1 consumes the same stream strictly one record per round.
+func TestCatchupBatchesBufferedRecords(t *testing.T) {
+	const n = 200
+	const burst = 30
+	primary := newEngine(n, 1)
+	primary.Insert(randomBatches(n, 1, 400, 1)[0][0])
+	feeder, srv, _ := startFeeder(t, primary, replica.FeederOptions{Heartbeat: 250 * time.Millisecond, Buffer: 256})
+
+	opts := fastFollowerOpts()
+	// The held quiesce below stops the stream goroutine from reading;
+	// don't let the silent-stream watchdog tear the connection down.
+	opts.StreamTimeout = 30 * time.Second
+	batched := newEngine(n, 1)
+	fol, err := replica.StartFollower(batched, srv.URL, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fol.Close()
+
+	serialOpts := opts
+	serialOpts.MaxApplyBatch = 1
+	serial := newEngine(n, 1)
+	sfol, err := replica.StartFollower(serial, srv.URL, serialOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sfol.Close()
+
+	waitFor(t, 5*time.Second, "both followers synced", func() bool {
+		return batched.Epoch() == primary.Epoch() && serial.Epoch() == primary.Epoch()
+	})
+	base := fol.Stats()
+	shipped0 := feeder.Stats().RecordsShipped
+
+	// Hold the batched follower's engine gate so its stream goroutine
+	// parks at the apply quiesce while the burst piles up on its socket.
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	var qwg sync.WaitGroup
+	qwg.Add(1)
+	go func() {
+		defer qwg.Done()
+		batched.Quiesce(func() { close(entered); <-release })
+	}()
+	<-entered
+
+	for _, r := range randomBatches(n, burst, 40, 2) {
+		primary.Insert(r[0])
+	}
+	// Both connections ship independently; wait until the feeder has
+	// written the whole burst to each (the serial follower's catch-up
+	// also proves the stream end-to-end), then let TCP land it.
+	waitFor(t, 5*time.Second, "burst shipped to both connections", func() bool {
+		return feeder.Stats().RecordsShipped >= shipped0+2*burst
+	})
+	waitFor(t, 5*time.Second, "serial follower caught up", func() bool {
+		return serial.Epoch() == primary.Epoch()
+	})
+	time.Sleep(50 * time.Millisecond)
+	close(release)
+	qwg.Wait()
+
+	waitFor(t, 5*time.Second, "batched follower caught up", func() bool {
+		return batched.Epoch() == primary.Epoch()
+	})
+	expectParity(t, primary, batched)
+	expectParity(t, primary, serial)
+
+	st := fol.Stats()
+	applied := st.RecordsApplied - base.RecordsApplied
+	rounds := st.ApplyRounds - base.ApplyRounds
+	if applied != burst {
+		t.Fatalf("batched follower applied %d records, want %d", applied, burst)
+	}
+	if rounds*2 > applied {
+		t.Fatalf("catch-up applied %d records in %d quiesce rounds; batching never engaged", applied, rounds)
+	}
+	if sst := sfol.Stats(); sst.ApplyRounds != sst.RecordsApplied {
+		t.Fatalf("MaxApplyBatch=1 follower: %d records in %d rounds, want one per round", sst.RecordsApplied, sst.ApplyRounds)
+	}
+}

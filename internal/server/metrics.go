@@ -121,6 +121,14 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	gauge("kcore_vertices", "Vertex capacity.", s.eng.NumVertices())
 	gauge("kcore_shards", "Engine shards.", s.eng.NumShards())
 
+	fs := s.hub.Stats()
+	gauge("kcore_feed_subscribers", "Currently attached change-feed subscribers.", fs.Subscribers)
+	gauge("kcore_feed_epochs_total", "Commits published to the change feed.", fs.Epochs)
+	gauge("kcore_feed_events_total", "Coreness-change events offered to the feed.", fs.Events)
+	gauge("kcore_feed_deliveries_total", "Per-subscriber deliveries enqueued.", fs.Deliveries)
+	gauge("kcore_feed_drops_total", "Deliveries dropped at full subscriber buffers.", fs.Drops)
+	gauge("kcore_feed_gaps_total", "Gap markers delivered to slow subscribers.", fs.Gaps)
+
 	if s.wal != nil {
 		st := s.wal.Stats()
 		degraded := 0

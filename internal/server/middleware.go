@@ -294,6 +294,13 @@ func (s *Server) timeoutMiddleware(next http.Handler) http.Handler {
 		return next
 	}
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/subscribe" {
+			// A change-feed stream is expected to outlive any request
+			// deadline, and the buffering timeoutWriter cannot flush SSE
+			// frames as they are written.
+			next.ServeHTTP(w, r)
+			return
+		}
 		ctx, cancel := context.WithTimeout(r.Context(), s.reqTimeout)
 		defer cancel()
 		r = r.WithContext(ctx)

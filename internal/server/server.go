@@ -8,6 +8,7 @@
 //	GET  /coreness?v=<id>[&mode=...][&epoch=<e>][&min_epoch=<e>]
 //	POST /coreness/bulk              — JSON vertex list, one consistent cut
 //	GET  /top?k=<n>[&epoch=<e>][&min_epoch=<e>]
+//	GET  /subscribe                  — SSE coreness change feed (subscribe.go)
 //	GET  /stats                      — graph, batch and replication counters
 //	GET  /metrics                    — Prometheus text exposition (metrics.go)
 //	GET  /healthz                    — liveness (always 200 while serving)
@@ -78,6 +79,7 @@ import (
 	"time"
 
 	"kcore/internal/apps"
+	"kcore/internal/feed"
 	"kcore/internal/graph"
 	"kcore/internal/lds"
 	"kcore/internal/mvcc"
@@ -197,6 +199,35 @@ func WithMinEpochWait(d time.Duration) Option {
 	return func(s *Server) { s.minEpochWait = d }
 }
 
+// WithMaxSubscribers caps concurrent /subscribe connections: the next
+// subscription answers 503 "overloaded". n <= 0 means unlimited (the
+// default).
+func WithMaxSubscribers(n int) Option {
+	return func(s *Server) {
+		if n > 0 {
+			s.maxSubs = n
+		}
+	}
+}
+
+// WithEventBuffer sets the per-subscriber delivery buffer of /subscribe
+// streams, in per-epoch deliveries (default feed.DefaultBuffer). A
+// subscriber further behind than the buffer receives a gap marker instead
+// of the missed events. n <= 0 keeps the default.
+func WithEventBuffer(n int) Option {
+	return func(s *Server) {
+		if n > 0 {
+			s.feedBuffer = n
+		}
+	}
+}
+
+// WithFeedHeartbeat sets how often an idle /subscribe stream emits an SSE
+// comment line (default DefaultFeedHeartbeat). d <= 0 keeps the default.
+func WithFeedHeartbeat(d time.Duration) Option {
+	return func(s *Server) { s.feedHeartbeat = d }
+}
+
 // Server is an HTTP k-core query/update service.
 type Server struct {
 	eng *shard.Engine
@@ -223,6 +254,14 @@ type Server struct {
 	feederLn     net.Listener
 	tailSrc      *wal.TailSource // batch tee when feeding without a WAL
 	follower     *replica.Follower
+
+	// Change feed (/subscribe). The hub always exists — an idle hub costs
+	// one atomic load per commit — so subscriptions work in every
+	// configuration, including on a replica.
+	hub           *feed.Hub
+	maxSubs       int           // 0 = unlimited
+	feedBuffer    int           // 0 = feed.DefaultBuffer
+	feedHeartbeat time.Duration // 0 = DefaultFeedHeartbeat
 
 	metrics *metrics
 
@@ -272,6 +311,10 @@ func New(n int, p lds.Params, opts ...Option) (*Server, error) {
 		s.wal = m
 	}
 	s.eng.SetRetainedEpochs(s.retained)
+	// Attach the change feed before the engine serves traffic. On a
+	// replica the feed fires as replicated batches apply.
+	s.hub = feed.NewHub(s.maxSubs)
+	s.eng.SetEventHub(s.hub)
 	if s.replListen != "" {
 		var src wal.Source
 		if s.wal != nil {
@@ -337,6 +380,9 @@ func (s *Server) Close() error {
 	if s.tailSrc != nil {
 		s.tailSrc.Close()
 	}
+	if s.hub != nil {
+		s.hub.Close() // ends every /subscribe stream
+	}
 	if s.wal == nil {
 		return nil
 	}
@@ -390,6 +436,11 @@ func (s *Server) Handler() http.Handler {
 	route("POST /edges/batch", "/edges/batch", heavy(s.readOnlyGuard(http.HandlerFunc(s.handleBatch))))
 	route("POST /snapshot", "/snapshot", s.readOnlyGuard(http.HandlerFunc(s.handleSnapshot)))
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	// /subscribe streams: like /metrics, registered without the metrics
+	// instrumentation — its buffering statusWriter cannot flush SSE frames
+	// as they are written (and a long-lived stream would skew the latency
+	// histograms). The timeout middleware also exempts this path.
+	mux.HandleFunc("GET /subscribe", s.handleSubscribe)
 	var h http.Handler = mux
 	h = s.recoverMiddleware(h)
 	h = s.timeoutMiddleware(h)
@@ -732,6 +783,7 @@ type statsResponse struct {
 	Deleted     int64         `json:"edges_deleted"`
 	Reads       int64         `json:"reads_served"`
 	ShardLoad   []shard.Stats     `json:"shard_load"`
+	Feed        feed.Stats        `json:"feed"`
 	Durability  *wal.Stats        `json:"durability,omitempty"`
 	Replication *replicationStats `json:"replication,omitempty"`
 	Overload    overloadStats     `json:"overload"`
@@ -768,6 +820,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		Deleted:     s.deleted.Load(),
 		Reads:       s.reads.Load(),
 		ShardLoad:   s.eng.Stats(),
+		Feed:        s.hub.Stats(),
 		Overload: overloadStats{
 			RateLimited: s.rateLimited.Load(),
 			LoadShed:    s.loadShed.Load(),

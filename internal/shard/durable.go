@@ -140,6 +140,10 @@ func (e *Engine) RestoreAll(states []wal.ShardState) error {
 			}
 			e.vlog.Reset(counts)
 		}
+		// Re-base the change-feed epoch counter (a no-op unless the feed
+		// is on without retention) so post-restore events carry epochs
+		// consistent with the restored commit vector.
+		e.installCommitHooks()
 	})
 	return err
 }

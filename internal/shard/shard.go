@@ -52,6 +52,7 @@ import (
 
 	"kcore/internal/cplds"
 	"kcore/internal/exact"
+	"kcore/internal/feed"
 	"kcore/internal/graph"
 	"kcore/internal/lds"
 	"kcore/internal/mvcc"
@@ -102,6 +103,12 @@ type shardState struct {
 
 	batches atomic.Uint64 // coalesced batches applied on this shard
 
+	// lastGlobal is the global epoch assigned to this shard's most recent
+	// commit, written inside the commit hook and read by the change-feed
+	// sink later in the same BatchEnd call — both run on the shard's one
+	// updater goroutine, so a plain field suffices.
+	lastGlobal uint64
+
 	// Load counters, maintained atomically by the shard's updater so that
 	// Stats can be served concurrently with updates.
 	inserted     atomic.Int64 // edges applied to the local subgraph, total
@@ -139,6 +146,17 @@ type Engine struct {
 	// epoch is the single shard's local epoch) when no log is needed.
 	retained int
 	vlog     *mvcc.VectorLog
+
+	// Change feed (SetEventHub). With p > 1 every event must carry the
+	// cross-shard epoch of its commit: the vector log's Commit returns it
+	// when retention is on; otherwise feedMu+feedEpoch replicate just the
+	// counter half of the log (publication serialized under the mutex, so
+	// global epochs are totally ordered and stamped before the commit is
+	// visible). feedEpoch always tracks commits once installed — counter
+	// sync cannot depend on whether subscribers are attached.
+	hub       *feed.Hub
+	feedMu    sync.Mutex
+	feedEpoch uint64
 
 	// batchLog, when non-nil, receives one wal.Batch per committed
 	// coalesced round, invoked inside the committing shard's one-updater
@@ -407,20 +425,101 @@ func (e *Engine) SetRetainedEpochs(n int) {
 		e.vlog = nil
 		for _, s := range e.shards {
 			s.c.SetRetainedEpochs(n)
+		}
+	} else {
+		init := make([]uint64, e.p)
+		for si, s := range e.shards {
+			s.c.SetRetainedEpochs(n)
+			init[si] = s.c.Epoch()
+		}
+		e.vlog = mvcc.NewVectorLog(init, n)
+	}
+	e.installCommitHooks()
+}
+
+// installCommitHooks (re)installs every shard's commit hook to match the
+// current vlog/hub configuration. The hook's job is twofold: serialize
+// commit publication with the cross-shard epoch counter, and record the
+// global epoch each commit lands on (shardState.lastGlobal) for the
+// change-feed sink that runs later in the same BatchEnd. Quiescent use
+// only (called from SetRetainedEpochs, SetEventHub and RestoreAll).
+func (e *Engine) installCommitHooks() {
+	switch {
+	case e.vlog != nil:
+		// The vector log already serializes publication; its Commit hands
+		// back the global epoch.
+		for si, s := range e.shards {
+			si, s := si, s
+			s.c.SetCommitHook(func(publish func()) { s.lastGlobal = e.vlog.Commit(si, publish) })
+		}
+	case e.hub != nil && e.p > 1:
+		// Feed without retention: replicate just the counter half of the
+		// vector log, re-based on the current global epoch.
+		e.feedEpoch = 0
+		for _, s := range e.shards {
+			e.feedEpoch += s.c.Epoch()
+		}
+		for _, s := range e.shards {
+			s := s
+			s.c.SetCommitHook(func(publish func()) {
+				e.feedMu.Lock()
+				publish()
+				e.feedEpoch++
+				s.lastGlobal = e.feedEpoch
+				e.feedMu.Unlock()
+			})
+		}
+	default:
+		// p == 1 (local epoch is the global epoch) or no consumer.
+		for _, s := range e.shards {
 			s.c.SetCommitHook(nil)
 		}
+	}
+}
+
+// SetEventHub attaches the change-feed hub: after every shard commit, the
+// batch's coreness transitions are published to h stamped with the
+// cross-shard epoch of that commit (see installCommitHooks). When no
+// subscriber is attached the per-batch cost is one atomic load. nil
+// detaches. Quiescent use only.
+func (e *Engine) SetEventHub(h *feed.Hub) {
+	e.hub = h
+	if h == nil {
+		for _, s := range e.shards {
+			s.c.SetEventSink(nil, nil)
+		}
+		e.installCommitHooks()
 		return
 	}
-	init := make([]uint64, e.p)
 	for si, s := range e.shards {
-		s.c.SetRetainedEpochs(n)
-		init[si] = s.c.Epoch()
+		si, s := si, s
+		sink := func(localEpoch uint64, events []feed.Event) {
+			if e.p == 1 {
+				h.Publish(localEpoch, events)
+				return
+			}
+			// Mirrored cross-shard edges make this shard's cplds move levels
+			// for vertices it does not own; reads route to the owner shard,
+			// so only owned vertices' transitions are coreness changes. Keep
+			// those, restamped with the cross-shard epoch this commit landed
+			// on. Compacting in place is safe: the slice is the cplds
+			// extraction arena, valid (and ours) until the sink returns.
+			epoch := s.lastGlobal
+			kept := events[:0]
+			for _, ev := range events {
+				if e.ShardOf(ev.Vertex) != si {
+					continue
+				}
+				ev.Epoch = epoch
+				kept = append(kept, ev)
+			}
+			if len(kept) > 0 {
+				h.Publish(epoch, kept)
+			}
+		}
+		s.c.SetEventSink(h.Active, sink)
 	}
-	e.vlog = mvcc.NewVectorLog(init, n)
-	for si, s := range e.shards {
-		si := si
-		s.c.SetCommitHook(func(publish func()) { e.vlog.Commit(si, publish) })
-	}
+	e.installCommitHooks()
 }
 
 // RetainedEpochs returns the configured retention depth (0 = disabled).

@@ -49,6 +49,7 @@ import (
 
 	"kcore/internal/exact"
 	"kcore/internal/faultfs"
+	"kcore/internal/feed"
 	"kcore/internal/graph"
 	"kcore/internal/lds"
 	"kcore/internal/mvcc"
@@ -94,15 +95,17 @@ func DefaultParams() Params {
 }
 
 type options struct {
-	params     lds.Params
-	workers    int
-	shards     int
-	retained   int
-	walDir     string
-	walOpts    WALOptions
-	replListen string
-	replSource string
-	replOpts   ReplicationOptions
+	params      lds.Params
+	workers     int
+	shards      int
+	retained    int
+	walDir      string
+	walOpts     WALOptions
+	replListen  string
+	replSource  string
+	replOpts    ReplicationOptions
+	feedMaxSubs int
+	feedBuffer  int
 }
 
 // Option configures a Decomposition.
@@ -288,6 +291,22 @@ func WithReplicationOptions(ro ReplicationOptions) Option {
 	return func(o *options) { o.replOpts = ro }
 }
 
+// WithMaxSubscribers caps the number of concurrent change-feed
+// subscriptions (Subscribe fails with ErrTooManySubscribers beyond it).
+// 0, the default, means unlimited; negative n is rejected by New.
+func WithMaxSubscribers(n int) Option {
+	return func(o *options) { o.feedMaxSubs = n }
+}
+
+// WithEventBuffer sets the default per-subscription delivery buffer, in
+// per-epoch deliveries (default feed.DefaultBuffer = 64). A subscriber
+// that falls more than the buffer behind starts receiving gap markers
+// instead of events (see Subscribe). 0 keeps the default; negative n is
+// rejected by New.
+func WithEventBuffer(n int) Option {
+	return func(o *options) { o.feedBuffer = n }
+}
+
 // Decomposition maintains an approximate k-core decomposition of a dynamic
 // undirected graph. All methods dispatch through one internal engine
 // interface with two implementations: the single-CPLDS backend (default)
@@ -304,6 +323,12 @@ func WithReplicationOptions(ro ReplicationOptions) Option {
 type Decomposition struct {
 	eng engine
 	wal *wal.Manager // nil without WithWAL
+
+	// Change feed: always constructed (an idle hub costs one atomic load
+	// per commit), so Subscribe works in every configuration — including
+	// on a follower, whose feed is driven by the replicated batch stream.
+	hub        *feed.Hub
+	feedBuffer int
 
 	// Replication (nil fields when the role is off). A primary serves the
 	// feeder on its own listener; a follower runs one stream goroutine.
@@ -340,6 +365,12 @@ func New(n int, opts ...Option) (*Decomposition, error) {
 	if o.retained < 0 {
 		return nil, fmt.Errorf("kcore: negative retained-epoch count %d", o.retained)
 	}
+	if o.feedMaxSubs < 0 {
+		return nil, fmt.Errorf("kcore: negative subscriber cap %d", o.feedMaxSubs)
+	}
+	if o.feedBuffer < 0 {
+		return nil, fmt.Errorf("kcore: negative event buffer %d", o.feedBuffer)
+	}
 	if o.replListen != "" && o.replSource != "" {
 		return nil, fmt.Errorf("kcore: WithReplicationListen and WithReplicationSource are mutually exclusive")
 	}
@@ -375,6 +406,12 @@ func New(n int, opts ...Option) (*Decomposition, error) {
 		d.wal = m
 	}
 	eng.SetRetainedEpochs(o.retained)
+	// Attach the change feed before the engine serves traffic. On a
+	// follower the feed fires as replicated batches apply, so subscribers
+	// see the primary's coreness churn.
+	d.hub = feed.NewHub(o.feedMaxSubs)
+	d.feedBuffer = o.feedBuffer
+	eng.SetEventHub(d.hub)
 	if o.replListen != "" {
 		// Feed followers from the WAL manager's record stream when there is
 		// one (the same stream the disk sees), else tee the engine's batch
@@ -460,6 +497,9 @@ func (d *Decomposition) Close() error {
 		}
 		if d.wal != nil {
 			d.closeErr = d.wal.Close()
+		}
+		if d.hub != nil {
+			d.hub.Close()
 		}
 	})
 	return d.closeErr
@@ -605,6 +645,60 @@ func (d *Decomposition) DurabilityStats() (stats DurabilityStats, ok bool) {
 		Reattaches:            s.Reattaches,
 	}, true
 }
+
+// --- change feed ---
+
+// CoreEvent is one vertex's coreness transition at one committed batch,
+// as delivered by Subscribe. NewCore is exactly the value an epoch-pinned
+// read at Epoch (ViewAt(Epoch)) returns for Vertex; OldCore is exactly
+// the value at Epoch-1.
+type CoreEvent = feed.Event
+
+// EventFilter selects which events a subscription receives; the zero
+// value matches all events. See feed.Filter for the matching rules
+// (vertex set ∧ threshold crossing ∧ min delta).
+type EventFilter = feed.Filter
+
+// EventDelivery is one message on a subscription channel: either one
+// committed epoch's matching events, or a gap marker for the epoch range
+// [GapFrom, GapTo] the subscriber was too slow to receive. Recover from a
+// gap with an epoch-pinned re-read (ViewAt) at GapTo or later.
+type EventDelivery = feed.Delivery
+
+// Subscription is a change-feed consumer handle: receive deliveries from
+// C(), detach with Close.
+type Subscription = feed.Subscription
+
+// FeedStats is a snapshot of the change-feed hub's counters.
+type FeedStats = feed.Stats
+
+// ErrTooManySubscribers is returned by Subscribe when the
+// WithMaxSubscribers cap is reached.
+var ErrTooManySubscribers = feed.ErrTooManySubscribers
+
+// Subscribe attaches a change-feed consumer: every committed update batch
+// delivers the coreness transitions matching filter as one EventDelivery
+// on the returned channel, stamped with the batch's epoch — events for
+// epoch e are sent only after e is readable, so a ViewAt(e) issued on
+// receipt always succeeds (subject to retention).
+//
+// The commit path never blocks on a subscriber: a subscription whose
+// buffer (WithEventBuffer) is full receives a gap marker carrying the
+// missed epoch range instead of the events; re-read the vertices of
+// interest via ViewAt to resynchronize. Close the subscription when done
+// — an abandoned one degrades into a stream of gaps but still consumes a
+// subscriber slot.
+//
+// Works in every configuration, including on a replication follower
+// (events fire as the primary's batches apply locally). Safe for
+// concurrent callers.
+func (d *Decomposition) Subscribe(filter EventFilter) (*Subscription, error) {
+	return d.hub.Subscribe(filter, d.feedBuffer)
+}
+
+// FeedStats reports the change-feed hub's counters. Safe to call at any
+// time.
+func (d *Decomposition) FeedStats() FeedStats { return d.hub.Stats() }
 
 // Shards returns the number of shards (1 unless WithShards was used).
 func (d *Decomposition) Shards() int { return d.eng.NumShards() }
