@@ -29,7 +29,9 @@
 // replica at that listener. A replica serves the full read surface from
 // byte-identical state, answers every write with 403 "read_only", and
 // honors ?min_epoch= read floors, waiting up to -min-epoch-wait before
-// shedding with 412:
+// shedding with 412. The primary retains the newest -replicate-retain
+// committed batches so a briefly disconnected replica resumes from its
+// applied vector instead of re-transferring the snapshot:
 //
 //	kcore-server -n 1000000 -addr :8080 -replicate-listen :7070
 //	kcore-server -n 1000000 -addr :8081 -replicate-from localhost:7070
@@ -56,6 +58,7 @@ import (
 	"kcore/internal/faultfs"
 	"kcore/internal/graph"
 	"kcore/internal/lds"
+	"kcore/internal/replica"
 	"kcore/internal/server"
 	"kcore/internal/wal"
 )
@@ -90,6 +93,9 @@ func main() {
 		"serve the replication stream for followers on this address (primary role)")
 	replFrom := flag.String("replicate-from", "",
 		"replicate from the primary's -replicate-listen address (read-only replica role)")
+	replRetain := flag.Int("replicate-retain", 0,
+		"committed batches the primary retains for follower resume; a follower disconnected "+
+			"for fewer batches reconnects without a snapshot transfer (0 = default 1024, negative disables)")
 	minEpochWait := flag.Duration("min-epoch-wait", server.DefaultMinEpochWait,
 		"how long a ?min_epoch= read may wait for the epoch floor before shedding with 412")
 	maxSubs := flag.Int("max-subscribers", 0,
@@ -113,6 +119,10 @@ func main() {
 	}
 	if *replListen != "" {
 		opts = append(opts, server.WithReplicationListen(*replListen))
+		if *replRetain != 0 {
+			opts = append(opts, server.WithReplicationOptions(
+				replica.FeederOptions{RetainBatches: *replRetain}, replica.FollowerOptions{}))
+		}
 	}
 	if *replFrom != "" {
 		opts = append(opts, server.WithReplicationSource(*replFrom))

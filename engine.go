@@ -206,6 +206,8 @@ func (s *singleEngine) ShardDurable(int) wal.ShardState {
 // RestoreShard restores the engine from a captured state. Recovery calls
 // it on a fresh engine; replication bootstrap calls it on a live one via
 // RestoreAll (the CPLDS restore is reader-safe).
+func (s *singleEngine) ShardEpoch(int) uint64 { return s.c.Epoch() }
+
 func (s *singleEngine) RestoreShard(_ int, st wal.ShardState) error {
 	if err := s.c.Restore(st.Graph, st.Levels, st.Epoch); err != nil {
 		return err

@@ -3,6 +3,7 @@ package kcore
 import (
 	"fmt"
 	"math"
+	"sort"
 	"sync"
 	"testing"
 )
@@ -295,5 +296,96 @@ func TestFeedSubscriberCapOption(t *testing.T) {
 	}
 	if _, err := d.Subscribe(EventFilter{}); err != ErrTooManySubscribers {
 		t.Fatalf("over cap: err=%v", err)
+	}
+}
+
+// feedEventsByEpoch canonicalizes a drained feed for comparison: events
+// grouped per epoch, sorted by vertex within each, failing on gap markers.
+func feedEventsByEpoch(t *testing.T, who string, ds []EventDelivery) map[uint64][]CoreEvent {
+	t.Helper()
+	byEpoch := make(map[uint64][]CoreEvent)
+	for _, del := range ds {
+		if del.Gap {
+			t.Fatalf("%s feed gapped with a large buffer: %+v", who, del)
+		}
+		if _, dup := byEpoch[del.Epoch]; dup {
+			t.Fatalf("%s feed delivered epoch %d twice", who, del.Epoch)
+		}
+		evs := append([]CoreEvent(nil), del.Events...)
+		sort.Slice(evs, func(i, j int) bool { return evs[i].Vertex < evs[j].Vertex })
+		byEpoch[del.Epoch] = evs
+	}
+	return byEpoch
+}
+
+// TestFeedParityPrimaryFollower subscribes an unfiltered feed on both ends
+// of a replication link during ingest and asserts the follower's replayed
+// commits emit exactly the primary's mover events, epoch for epoch. This is
+// the replica-feed acceptance test: the change feed is derived from batch
+// application, so replaying the same batch stream must publish the same
+// events.
+func TestFeedParityPrimaryFollower(t *testing.T) {
+	const n = 128
+	for _, shards := range []int{1, 3} {
+		t.Run(fmt.Sprintf("shards=%d", shards), func(t *testing.T) {
+			primary, err := New(n, WithShards(shards), WithReplicationListen("127.0.0.1:0"),
+				fastReplOpts(), WithRetainedEpochs(64), WithEventBuffer(512))
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer primary.Close()
+			// The follower attaches before any ingest so it observes every
+			// epoch from 1, same as the primary's subscriber.
+			follower, err := New(n, WithShards(shards),
+				WithReplicationSource(primary.ReplicationAddr()),
+				fastReplOpts(), WithRetainedEpochs(64), WithEventBuffer(512))
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer follower.Close()
+
+			psub, err := primary.Subscribe(EventFilter{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer psub.Close()
+			fsub, err := follower.Subscribe(EventFilter{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer fsub.Close()
+
+			primary.InsertEdges(ring(n))
+			primary.InsertEdges(clique(16))
+			primary.InsertEdges(clique(32))
+			primary.DeleteEdges(clique(16)[:40])
+			waitForEpoch(t, follower, primary.Epoch())
+
+			pe := feedEventsByEpoch(t, "primary", drainFeed(psub))
+			fe := feedEventsByEpoch(t, "follower", drainFeed(fsub))
+			if len(pe) == 0 {
+				t.Fatal("primary feed delivered nothing")
+			}
+			if len(pe) != len(fe) {
+				t.Fatalf("primary delivered %d epochs, follower %d", len(pe), len(fe))
+			}
+			for e, pevs := range pe {
+				fevs, ok := fe[e]
+				if !ok {
+					t.Fatalf("follower feed missing epoch %d", e)
+				}
+				if len(pevs) != len(fevs) {
+					t.Fatalf("epoch %d: primary %d events, follower %d", e, len(pevs), len(fevs))
+				}
+				for i := range pevs {
+					p, f := pevs[i], fevs[i]
+					if p.Vertex != f.Vertex ||
+						math.Float64bits(p.OldCore) != math.Float64bits(f.OldCore) ||
+						math.Float64bits(p.NewCore) != math.Float64bits(f.NewCore) {
+						t.Fatalf("epoch %d event %d differs: primary %+v, follower %+v", e, i, p, f)
+					}
+				}
+			}
+		})
 	}
 }

@@ -4,7 +4,9 @@ import (
 	"context"
 	"encoding/binary"
 	"encoding/json"
+	"fmt"
 	"net/http"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -22,8 +24,15 @@ type FeederOptions struct {
 	Heartbeat time.Duration
 	// Buffer is the per-follower tail buffer in batches (default
 	// wal.DefaultTailBuffer). A follower that falls further behind than
-	// this is disconnected and re-bootstraps.
+	// this is disconnected; it reconnects and resumes (or re-bootstraps
+	// once the ring has evicted past its cursor).
 	Buffer int
+	// RetainBatches sizes the retained-batch ring serving resume: a
+	// follower disconnected for fewer committed batches than this
+	// reconnects without a snapshot transfer. 0 means
+	// wal.DefaultRetainBatches; negative disables retention (every
+	// reconnect re-bootstraps, the pre-resume behavior).
+	RetainBatches int
 }
 
 func (o FeederOptions) withDefaults() FeederOptions {
@@ -33,25 +42,37 @@ func (o FeederOptions) withDefaults() FeederOptions {
 	if o.Buffer <= 0 {
 		o.Buffer = wal.DefaultTailBuffer
 	}
+	if o.RetainBatches == 0 {
+		o.RetainBatches = wal.DefaultRetainBatches
+	}
 	return o
 }
 
 // FeederStats is a point-in-time snapshot of the feeder's counters,
 // served in the primary's /stats replication block.
 type FeederStats struct {
-	Followers      int    `json:"followers"` // currently connected
-	Connects       uint64 `json:"total_connects"`
-	Bootstraps     uint64 `json:"bootstraps"`
+	Followers  int    `json:"followers"` // currently connected
+	Connects   uint64 `json:"total_connects"`
+	Bootstraps uint64 `json:"bootstraps"`
+	// Resumes counts reconnects served from the retained ring (no
+	// snapshot transfer); ResumeRejects counts resume requests that fell
+	// outside retention and were told to re-bootstrap.
+	Resumes        uint64 `json:"resumes"`
+	ResumeRejects  uint64 `json:"resume_rejects"`
 	RecordsShipped uint64 `json:"records_shipped"`
 	BytesShipped   uint64 `json:"bytes_shipped"`
 	Overruns       uint64 `json:"overruns"` // followers dropped for falling behind
+	Kicks          uint64 `json:"kicks,omitempty"`
 	Paused         bool   `json:"paused,omitempty"`
 }
 
 // Feeder is the primary-side replication server: each follower connection
-// gets a bootstrap (every shard's durable state captured atomically with
-// the tail subscription) followed by the live record stream. The Feeder is
-// an http.Handler; the integration layer owns the listener.
+// gets either a bootstrap (every shard's durable state captured atomically
+// with the tail subscription) or — when the follower presents an applied
+// commit vector still covered by the retained ring — a resume (the
+// retained records after that vector spliced into the live tail), followed
+// by the live record stream. The Feeder is an http.Handler; the
+// integration layer owns the listener.
 type Feeder struct {
 	src wal.Source
 	opt FeederOptions
@@ -62,24 +83,42 @@ type Feeder struct {
 	// vector, so the link stays alive) and followers visibly lag.
 	paused atomic.Bool
 
-	followers  atomic.Int64
-	connects   atomic.Uint64
-	bootstraps atomic.Uint64
-	records    atomic.Uint64
-	bytes      atomic.Uint64
-	overruns   atomic.Uint64
+	// connMu guards conns, the per-connection kick channels. Kick closes
+	// them all, forcing every follower through a reconnect (and therefore
+	// a resume) deterministically.
+	connMu sync.Mutex
+	conns  map[chan struct{}]struct{}
+
+	followers     atomic.Int64
+	connects      atomic.Uint64
+	bootstraps    atomic.Uint64
+	resumes       atomic.Uint64
+	resumeRejects atomic.Uint64
+	records       atomic.Uint64
+	bytes         atomic.Uint64
+	overruns      atomic.Uint64
+	kicks         atomic.Uint64
 }
 
-// NewFeeder returns a feeder shipping src's capture + batch stream.
+// NewFeeder returns a feeder shipping src's capture + batch stream, with
+// the source's retained ring sized from opt.RetainBatches.
 func NewFeeder(src wal.Source, opt FeederOptions) *Feeder {
 	f := &Feeder{src: src, opt: opt.withDefaults()}
+	retain := f.opt.RetainBatches
+	if retain < 0 {
+		retain = 0
+	}
+	src.SetRetain(retain)
 	f.mux = http.NewServeMux()
 	f.mux.HandleFunc("GET "+StreamPath, f.handleStream)
+	f.mux.HandleFunc("POST "+StreamPath, f.handleResume)
 	f.mux.HandleFunc("GET "+InfoPath, f.handleInfo)
+	f.mux.HandleFunc("POST "+KickPath, f.handleKick)
 	return f
 }
 
-// Handler returns the feeder's HTTP handler (StreamPath + InfoPath).
+// Handler returns the feeder's HTTP handler (StreamPath + InfoPath +
+// KickPath).
 func (f *Feeder) Handler() http.Handler { return f.mux }
 
 // Pause stops record forwarding on every connection (heartbeats continue,
@@ -89,15 +128,53 @@ func (f *Feeder) Pause() { f.paused.Store(true) }
 // Resume re-enables record forwarding after a Pause.
 func (f *Feeder) Resume() { f.paused.Store(false) }
 
+// Kick drops every connected follower and returns how many it dropped.
+// Followers reconnect and resume from their applied vector, so this is a
+// cheap way to force a deterministic reconnect cycle (smoke tests, or
+// rebalancing followers across primaries).
+func (f *Feeder) Kick() int {
+	f.connMu.Lock()
+	n := len(f.conns)
+	for ch := range f.conns {
+		close(ch)
+	}
+	f.conns = nil
+	f.connMu.Unlock()
+	if n > 0 {
+		f.kicks.Add(uint64(n))
+	}
+	return n
+}
+
+func (f *Feeder) registerConn() chan struct{} {
+	ch := make(chan struct{})
+	f.connMu.Lock()
+	if f.conns == nil {
+		f.conns = make(map[chan struct{}]struct{})
+	}
+	f.conns[ch] = struct{}{}
+	f.connMu.Unlock()
+	return ch
+}
+
+func (f *Feeder) unregisterConn(ch chan struct{}) {
+	f.connMu.Lock()
+	delete(f.conns, ch)
+	f.connMu.Unlock()
+}
+
 // Stats returns a point-in-time counter snapshot.
 func (f *Feeder) Stats() FeederStats {
 	return FeederStats{
 		Followers:      int(f.followers.Load()),
 		Connects:       f.connects.Load(),
 		Bootstraps:     f.bootstraps.Load(),
+		Resumes:        f.resumes.Load(),
+		ResumeRejects:  f.resumeRejects.Load(),
 		RecordsShipped: f.records.Load(),
 		BytesShipped:   f.bytes.Load(),
 		Overruns:       f.overruns.Load(),
+		Kicks:          f.kicks.Load(),
 		Paused:         f.paused.Load(),
 	}
 }
@@ -111,9 +188,55 @@ func (f *Feeder) handleInfo(w http.ResponseWriter, _ *http.Request) {
 	}{f.src.NumVertices(), f.src.NumShards(), f.Stats()})
 }
 
+func (f *Feeder) handleKick(w http.ResponseWriter, _ *http.Request) {
+	n := f.Kick()
+	w.Header().Set("Content-Type", "application/json")
+	fmt.Fprintf(w, "{\"kicked\":%d}\n", n)
+}
+
+// streamConn is one follower connection's write-side state: the counting
+// writer, the shipped commit vector the heartbeats announce, and the
+// per-connection scratch buffers every frame is built in (the hot paths —
+// records and heartbeats — allocate nothing per frame).
+type streamConn struct {
+	cw      *countingWriter
+	flusher http.Flusher
+	kick    chan struct{}
+	vec     []uint64 // last shipped epoch per shard
+	frame   []byte   // record frame scratch
+	recBuf  []byte   // record encoding scratch
+	vecBuf  []byte   // vector frame scratch (heartbeats, end-of-bootstrap)
+}
+
+// writeVectorFrame builds a vector frame ([type][len][vec]) in the
+// connection's scratch buffer and ships it — no per-heartbeat allocation.
+func (c *streamConn) writeVectorFrame(typ byte, vec []uint64) error {
+	c.vecBuf = c.vecBuf[:0]
+	c.vecBuf = append(c.vecBuf, typ)
+	var l [4]byte
+	binary.LittleEndian.PutUint32(l[:], uint32(8*len(vec)))
+	c.vecBuf = append(c.vecBuf, l[:]...)
+	c.vecBuf = appendVector(c.vecBuf, vec)
+	_, err := c.cw.Write(c.vecBuf)
+	return err
+}
+
+// writeRecordFrame encodes and ships one committed batch, advancing the
+// shipped vector.
+func (c *streamConn) writeRecordFrame(f *Feeder, b wal.Batch) error {
+	c.recBuf = wal.EncodeRecord(c.recBuf, b)
+	c.frame = appendFrame(c.frame[:0], frameRecord, c.recBuf)
+	if _, err := c.cw.Write(c.frame); err != nil {
+		return err
+	}
+	c.vec[b.Shard] = b.Epoch
+	f.records.Add(1)
+	return nil
+}
+
 // handleStream serves one follower for the lifetime of its connection:
 // bootstrap, then live tail. Any write error or client disconnect ends
-// the stream; the follower reconnects and re-bootstraps.
+// the stream; the follower reconnects and resumes (or re-bootstraps).
 func (f *Feeder) handleStream(w http.ResponseWriter, r *http.Request) {
 	flusher, ok := w.(http.Flusher)
 	if !ok {
@@ -129,48 +252,118 @@ func (f *Feeder) handleStream(w http.ResponseWriter, r *http.Request) {
 	f.connects.Add(1)
 	f.followers.Add(1)
 	defer f.followers.Add(-1)
+	kick := f.registerConn()
+	defer f.unregisterConn(kick)
 
 	w.Header().Set("Content-Type", "application/octet-stream")
 	n, shards := f.src.NumVertices(), f.src.NumShards()
-	cw := &countingWriter{w: w, f: f}
-	if err := writeStreamHeader(cw, n, shards); err != nil {
+	c := &streamConn{cw: &countingWriter{w: w, f: f}, flusher: flusher, kick: kick,
+		vec: make([]uint64, shards)}
+	if err := writeStreamHeader(c.cw, n, shards); err != nil {
 		return
 	}
 
 	// Bootstrap: one state frame per shard, then the captured vector.
-	vec := make([]uint64, shards)
-	var frame []byte
 	for si, st := range states {
-		frame = frame[:0]
 		var sihdr [4]byte
 		binary.LittleEndian.PutUint32(sihdr[:], uint32(si))
 		payload := wal.MarshalShardState(sihdr[:4:4], n, st)
-		frame = appendFrame(frame, frameState, payload)
-		if _, err := cw.Write(frame); err != nil {
+		c.frame = appendFrame(c.frame[:0], frameState, payload)
+		if _, err := c.cw.Write(c.frame); err != nil {
 			return
 		}
-		vec[si] = st.Epoch
+		c.vec[si] = st.Epoch
 	}
-	if err := f.writeVectorFrame(cw, frameEnd, vec); err != nil {
+	if err := c.writeVectorFrame(frameEnd, c.vec); err != nil {
 		return
 	}
 	flusher.Flush()
 	f.bootstraps.Add(1)
 
-	// Live tail. Records are flushed eagerly when the tail drains (low
-	// latency) and batched while it is backed up (throughput).
+	f.serveTail(r.Context(), c, tail)
+}
+
+// handleResume serves a reconnecting follower from its applied commit
+// vector: when the retained ring still covers it, the response carries
+// frameResumeOK, the retained records after the vector, then the live
+// tail — no snapshot transfer. A cursor outside retention gets
+// frameResumeStale and the follower falls back to a full bootstrap.
+func (f *Feeder) handleResume(w http.ResponseWriter, r *http.Request) {
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		http.Error(w, "streaming unsupported", http.StatusInternalServerError)
+		return
+	}
+	n, shards := f.src.NumVertices(), f.src.NumShards()
+	vec := make([]uint64, shards)
+	if err := readResumeRequest(r.Body, n, shards, vec); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	replay, cur, tail, ok, err := f.src.Resume(vec, f.opt.Buffer)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusServiceUnavailable)
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	c := &streamConn{cw: &countingWriter{w: w, f: f}, flusher: flusher}
+	if err := writeStreamHeader(c.cw, n, shards); err != nil {
+		if tail != nil {
+			tail.Close()
+		}
+		return
+	}
+	if !ok {
+		// Outside retention: tell the follower to bootstrap instead.
+		f.resumeRejects.Add(1)
+		if c.writeVectorFrame(frameResumeStale, nil) == nil {
+			flusher.Flush()
+		}
+		return
+	}
+	defer tail.Close()
+	f.connects.Add(1)
+	f.followers.Add(1)
+	defer f.followers.Add(-1)
+	c.kick = f.registerConn()
+	defer f.unregisterConn(c.kick)
+
+	// The shipped vector starts at the follower's cursor; the replay ends
+	// exactly at the captured current vector (every retained batch in
+	// between ships below).
+	c.vec = vec
+	if err := c.writeVectorFrame(frameResumeOK, cur); err != nil {
+		return
+	}
+	for _, b := range replay {
+		if err := c.writeRecordFrame(f, b); err != nil {
+			return
+		}
+	}
+	flusher.Flush()
+	f.resumes.Add(1)
+
+	f.serveTail(r.Context(), c, tail)
+}
+
+// serveTail runs the live record stream on one connection until the
+// client disconnects, the subscription overruns, or a kick. Records are
+// flushed eagerly when the tail drains (low latency) and batched while it
+// is backed up (throughput).
+func (f *Feeder) serveTail(ctx context.Context, c *streamConn, tail *wal.TailReader) {
 	hb := time.NewTicker(f.opt.Heartbeat)
 	defer hb.Stop()
-	ctx := r.Context()
-	var recBuf []byte
 	for {
 		select {
 		case <-ctx.Done():
 			return
+		case <-c.kick:
+			return
 		case b, open := <-tail.C():
 			if !open {
 				// Overrun (or source shutdown): the follower is too far
-				// behind this buffer — drop the stream, it re-bootstraps.
+				// behind this buffer — drop the stream; it reconnects and
+				// resumes if the ring still covers it.
 				if tail.Overrun() {
 					f.overruns.Add(1)
 				}
@@ -179,24 +372,20 @@ func (f *Feeder) handleStream(w http.ResponseWriter, r *http.Request) {
 			// The pause hook blocks *before* the record hits the socket,
 			// so a paused feed ships nothing — the drained record is held
 			// here and shipped on resume, never lost.
-			if err := f.waitWhilePaused(ctx, cw, flusher, vec); err != nil {
+			if err := f.waitWhilePaused(ctx, c); err != nil {
 				return
 			}
-			recBuf = wal.EncodeRecord(recBuf, b)
-			frame = appendFrame(frame[:0], frameRecord, recBuf)
-			if _, err := cw.Write(frame); err != nil {
+			if err := c.writeRecordFrame(f, b); err != nil {
 				return
 			}
-			vec[b.Shard] = b.Epoch
-			f.records.Add(1)
 			if len(tail.C()) == 0 {
-				flusher.Flush()
+				c.flusher.Flush()
 			}
 		case <-hb.C:
-			if err := f.writeVectorFrame(cw, frameHeartbeat, vec); err != nil {
+			if err := c.writeVectorFrame(frameHeartbeat, c.vec); err != nil {
 				return
 			}
-			flusher.Flush()
+			c.flusher.Flush()
 		}
 	}
 }
@@ -205,25 +394,21 @@ func (f *Feeder) handleStream(w http.ResponseWriter, r *http.Request) {
 // link alive with heartbeats (carrying the last *shipped* vector, so a
 // paused feed is indistinguishable from an idle primary to the follower's
 // liveness logic — only its epoch lag shows).
-func (f *Feeder) waitWhilePaused(ctx context.Context, cw *countingWriter, flusher http.Flusher, vec []uint64) error {
+func (f *Feeder) waitWhilePaused(ctx context.Context, c *streamConn) error {
 	for f.paused.Load() {
 		select {
 		case <-ctx.Done():
 			return ctx.Err()
+		case <-c.kick:
+			return context.Canceled
 		case <-time.After(f.opt.Heartbeat):
-			if err := f.writeVectorFrame(cw, frameHeartbeat, vec); err != nil {
+			if err := c.writeVectorFrame(frameHeartbeat, c.vec); err != nil {
 				return err
 			}
-			flusher.Flush()
+			c.flusher.Flush()
 		}
 	}
 	return nil
-}
-
-func (f *Feeder) writeVectorFrame(cw *countingWriter, typ byte, vec []uint64) error {
-	payload := appendVector(make([]byte, 0, 8*len(vec)), vec)
-	_, err := cw.Write(appendFrame(nil, typ, payload))
-	return err
 }
 
 // countingWriter tracks shipped bytes into the feeder's counter.

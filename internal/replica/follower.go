@@ -2,6 +2,7 @@ package replica
 
 import (
 	"bufio"
+	"bytes"
 	"context"
 	"errors"
 	"fmt"
@@ -13,6 +14,12 @@ import (
 
 	"kcore/internal/wal"
 )
+
+// errResumeStale means the primary rejected our resume cursor (outside
+// retention, or a primary without resume support). The follower clears its
+// cursor and immediately falls back to a full bootstrap — no backoff, the
+// primary is reachable and healthy.
+var errResumeStale = errors.New("replica: resume cursor outside primary retention")
 
 // FollowerOptions configure the follower runtime.
 type FollowerOptions struct {
@@ -92,7 +99,10 @@ type FollowerStats struct {
 	// (1.0 = in sync, applying record by record).
 	ApplyRounds uint64 `json:"apply_rounds"`
 	Bootstraps  uint64 `json:"bootstraps"`
-	Reconnects  uint64 `json:"reconnects"`
+	// Resumes counts reconnects served from the primary's retained ring —
+	// no snapshot transfer, just the missed records.
+	Resumes    uint64 `json:"resumes"`
+	Reconnects uint64 `json:"reconnects"`
 
 	LastRecordUnixNano    int64  `json:"last_record_unix_nano,omitempty"`
 	LastHeartbeatUnixNano int64  `json:"last_heartbeat_unix_nano,omitempty"`
@@ -102,9 +112,11 @@ type FollowerStats struct {
 // Follower replicates a primary into a local engine: it dials the
 // primary's replication listener, restores the bootstrapped states, then
 // applies every shipped record through the engine's normal batch path —
-// the engine serves its full read stack concurrently throughout. On any
-// stream failure it reconnects with exponential backoff and
-// re-bootstraps (see the package comment for why there is no resume).
+// the engine serves its full read stack concurrently throughout. On a
+// stream failure it reconnects with exponential backoff and resumes from
+// its applied commit vector when the primary's retained ring still covers
+// it, falling back to a full re-bootstrap otherwise (see the package
+// comment's Resume section).
 type Follower struct {
 	eng     Engine
 	primary string // normalized base URL
@@ -115,6 +127,15 @@ type Follower struct {
 	cancel context.CancelFunc
 	wg     sync.WaitGroup
 
+	// applied is the per-shard commit vector the engine has fully applied
+	// — the resume cursor. nil until the first bootstrap succeeds (a
+	// fresh process has no state worth resuming from); cleared again when
+	// the primary reports the cursor stale. The applier goroutine
+	// advances it after every quiesce round; the reconnect loop reads it
+	// between connections.
+	vecMu   sync.Mutex
+	applied []uint64
+
 	connected  atomic.Bool
 	synced     atomic.Bool
 	primaryEp  atomic.Uint64
@@ -123,13 +144,40 @@ type Follower struct {
 	records    atomic.Uint64
 	rounds     atomic.Uint64
 	bootstraps atomic.Uint64
+	resumes    atomic.Uint64
 	reconnects atomic.Uint64
 	lastRec    atomic.Int64
 	lastHB     atomic.Int64
 	lastErr    atomic.Pointer[error]
 
-	firstSync chan struct{} // closed after the first successful bootstrap
+	firstSync chan struct{} // closed after the first successful sync
 	syncOnce  sync.Once
+}
+
+// appliedVec returns a copy of the resume cursor, nil when the follower
+// has never bootstrapped (or was told its cursor is stale).
+func (f *Follower) appliedVec() []uint64 {
+	f.vecMu.Lock()
+	defer f.vecMu.Unlock()
+	if f.applied == nil {
+		return nil
+	}
+	return append([]uint64(nil), f.applied...)
+}
+
+func (f *Follower) setAppliedVec(vec []uint64) {
+	f.vecMu.Lock()
+	f.applied = vec
+	f.vecMu.Unlock()
+}
+
+// advanceApplied moves the resume cursor past one applied round.
+func (f *Follower) advanceApplied(batch []queuedRecord) {
+	f.vecMu.Lock()
+	for _, rb := range batch {
+		f.applied[rb.b.Shard] = rb.b.Epoch
+	}
+	f.vecMu.Unlock()
 }
 
 // StartFollower connects eng to the primary at addr (host:port or a full
@@ -201,6 +249,7 @@ func (f *Follower) Stats() FollowerStats {
 		RecordsApplied:        f.records.Load(),
 		ApplyRounds:           f.rounds.Load(),
 		Bootstraps:            f.bootstraps.Load(),
+		Resumes:               f.resumes.Load(),
 		Reconnects:            f.reconnects.Load(),
 		LastRecordUnixNano:    f.lastRec.Load(),
 		LastHeartbeatUnixNano: f.lastHB.Load(),
@@ -225,7 +274,10 @@ func (f *Follower) Close() {
 }
 
 // run is the reconnect loop: one stream() per connection, exponential
-// backoff between failures, reset once a connection bootstraps.
+// backoff between failures, reset once a connection syncs. A connection
+// attempts resume whenever a cursor exists; a stale verdict falls straight
+// through to a bootstrap attempt with no backoff (the primary is healthy,
+// it just evicted past us).
 func (f *Follower) run() {
 	defer f.wg.Done()
 	backoff := f.opt.BackoffMin
@@ -233,18 +285,22 @@ func (f *Follower) run() {
 		if f.ctx.Err() != nil {
 			return
 		}
-		bootstrapped, err := f.stream()
+		synced, err := f.stream(f.appliedVec())
 		f.connected.Store(false)
 		f.synced.Store(false)
 		if f.ctx.Err() != nil {
 			return
+		}
+		if errors.Is(err, errResumeStale) {
+			f.setAppliedVec(nil)
+			continue
 		}
 		if err != nil {
 			e := err
 			f.lastErr.Store(&e)
 		}
 		f.reconnects.Add(1)
-		if bootstrapped {
+		if synced {
 			backoff = f.opt.BackoffMin
 		}
 		select {
@@ -258,11 +314,20 @@ func (f *Follower) run() {
 	}
 }
 
-// stream runs one connection lifetime: dial, bootstrap, apply the live
-// tail until the stream breaks, goes silent, or the follower closes.
-// Returns whether the bootstrap completed (for backoff reset).
-func (f *Follower) stream() (bootstrapped bool, err error) {
-	req, err := http.NewRequestWithContext(f.ctx, http.MethodGet, f.primary+StreamPath, nil)
+// stream runs one connection lifetime: dial, sync (a full bootstrap, or a
+// resume from cursor when one exists), then apply the live tail until the
+// stream breaks, goes silent, or the follower closes. Returns whether the
+// sync completed (for backoff reset).
+func (f *Follower) stream(cursor []uint64) (synced bool, err error) {
+	n, shards := f.eng.NumVertices(), f.eng.NumShards()
+	resuming := cursor != nil
+	var req *http.Request
+	if resuming {
+		body := appendResumeRequest(make([]byte, 0, streamHdrLen+8*shards), n, shards, cursor)
+		req, err = http.NewRequestWithContext(f.ctx, http.MethodPost, f.primary+StreamPath, bytes.NewReader(body))
+	} else {
+		req, err = http.NewRequestWithContext(f.ctx, http.MethodGet, f.primary+StreamPath, nil)
+	}
 	if err != nil {
 		return false, err
 	}
@@ -272,6 +337,13 @@ func (f *Follower) stream() (bootstrapped bool, err error) {
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
+		if resuming {
+			// The primary refused the POST — a pre-resume primary answers
+			// 405. Fall back to a full bootstrap; a transport-level error
+			// (primary unreachable) takes the normal backoff path instead
+			// and keeps the cursor.
+			return false, errResumeStale
+		}
 		return false, fmt.Errorf("replica: primary returned %s", resp.Status)
 	}
 
@@ -282,25 +354,30 @@ func (f *Follower) stream() (bootstrapped bool, err error) {
 
 	// Buffered reads keep frame parsing off raw socket syscalls. Counting
 	// sits on top, so bytesRecv tracks consumed (not merely buffered)
-	// stream bytes and the lag-bytes gauge stays exact.
+	// stream bytes and the lag-bytes gauge stays exact. The buffer size
+	// does not bound catch-up batching: round boundaries come from the
+	// drain marker below, not from how many frames fit in one buffer.
 	br := bufio.NewReaderSize(resp.Body, 256<<10)
 	body := &countingReader{r: br, n: &f.bytesRecv}
-	n, shards := f.eng.NumVertices(), f.eng.NumShards()
 	if err := readStreamHeader(body, n, shards); err != nil {
 		return false, err
 	}
 	watchdog.Reset(f.opt.StreamTimeout)
 	f.connected.Store(true)
 
-	states := make([]wal.ShardState, shards)
-	seen := make([]bool, shards)
+	var states []wal.ShardState
+	var seen []bool
+	if !resuming {
+		states = make([]wal.ShardState, shards)
+		seen = make([]bool, shards)
+	}
 	vec := make([]uint64, shards)
 	var buf []byte
 	// Records are applied by a separate goroutine fed through a bounded
-	// queue (started once the bootstrap lands). Decoupling the socket
-	// from the engine quiesce is what makes catch-up batching real: the
-	// reader keeps draining the stream while an apply runs, so a backlog
-	// — wherever it was sitting (kernel buffer, HTTP chunking) — surfaces
+	// queue (started once the sync lands). Decoupling the socket from the
+	// engine quiesce is what makes catch-up batching real: the reader
+	// keeps draining the stream while an apply runs, so a backlog —
+	// wherever it was sitting (kernel buffer, HTTP chunking) — surfaces
 	// as queued records the applier folds into one quiesce per round. It
 	// also keeps the silent-stream watchdog honest during long applies.
 	var applyCh chan queuedRecord
@@ -311,64 +388,111 @@ func (f *Follower) stream() (bootstrapped bool, err error) {
 			applyWG.Wait()
 		}
 	}()
+	startApplier := func(avec []uint64) {
+		// Markers interleave with records on the queue, so give them
+		// headroom beyond the records a round can hold.
+		applyCh = make(chan queuedRecord, 2*f.opt.MaxApplyBatch)
+		applyWG.Add(1)
+		go func() {
+			defer applyWG.Done()
+			f.applyLoop(applyCh, avec)
+		}()
+	}
+	pending := 0 // records handed to the applier since the last drain marker
 	for {
+		// Drain marker: the stream has no more buffered bytes, so the
+		// records handed over so far are a complete round — tell the
+		// applier to stop waiting and quiesce. Sent before potentially
+		// blocking on the socket, which is what keeps the applier's
+		// marker wait finite. (A partial frame in the buffer sends no
+		// marker: the rest of the frame is already in flight — the
+		// feeder flushes whole frames — so the wait is transient and the
+		// record joins the round instead of splitting it.)
+		if pending > 0 && br.Buffered() == 0 {
+			applyCh <- queuedRecord{flush: true}
+			pending = 0
+		}
 		typ, payload, rerr := readFrame(body, buf)
 		if rerr != nil {
 			if f.ctx.Err() != nil {
-				return bootstrapped, nil
+				return synced, nil
 			}
-			return bootstrapped, rerr
+			return synced, rerr
 		}
 		buf = payload[:0]
 		watchdog.Reset(f.opt.StreamTimeout)
 		switch typ {
 		case frameState:
+			if resuming || synced {
+				return synced, errors.New("replica: unexpected state frame")
+			}
 			si, st, perr := parseStateFrame(payload, n, shards)
 			if perr != nil {
-				return bootstrapped, perr
+				return synced, perr
 			}
 			states[si], seen[si] = st, true
 		case frameEnd:
+			if resuming || synced {
+				return synced, errors.New("replica: unexpected end-of-bootstrap frame")
+			}
 			if err := parseVector(payload, vec); err != nil {
-				return bootstrapped, err
+				return synced, err
 			}
 			for si, ok := range seen {
 				if !ok {
-					return bootstrapped, fmt.Errorf("replica: bootstrap missing shard %d", si)
+					return synced, fmt.Errorf("replica: bootstrap missing shard %d", si)
 				}
 				if states[si].Epoch != vec[si] {
-					return bootstrapped, fmt.Errorf("replica: bootstrap vector %d != shard %d state epoch %d",
+					return synced, fmt.Errorf("replica: bootstrap vector %d != shard %d state epoch %d",
 						vec[si], si, states[si].Epoch)
 				}
 			}
 			if err := f.eng.RestoreAll(states); err != nil {
-				return bootstrapped, fmt.Errorf("replica: applying bootstrap: %w", err)
+				return synced, fmt.Errorf("replica: applying bootstrap: %w", err)
 			}
 			f.observePrimaryVec(vec)
 			// Free the bootstrap copies; the tail loop does not need them.
 			states, seen = nil, nil
-			bootstrapped = true
+			synced = true
 			f.bootstraps.Add(1)
+			f.setAppliedVec(append([]uint64(nil), vec...))
 			f.bytesAppl.Store(f.bytesRecv.Load())
 			f.synced.Store(true)
 			f.lastErr.Store(nil)
 			f.syncOnce.Do(func() { close(f.firstSync) })
 			// The applier owns its own copy of the vector from here on;
 			// the reader's copy only tracks heartbeat announcements.
-			avec := append(make([]uint64, 0, shards), vec...)
-			applyCh = make(chan queuedRecord, f.opt.MaxApplyBatch)
-			applyWG.Add(1)
-			go func() {
-				defer applyWG.Done()
-				f.applyLoop(applyCh, avec)
-			}()
+			startApplier(append(make([]uint64, 0, shards), vec...))
+		case frameResumeOK:
+			if !resuming || synced {
+				return synced, errors.New("replica: unexpected resume-ok frame")
+			}
+			// Payload is the primary's current vector; our engine already
+			// holds the cursor state, and the records between the two
+			// follow as ordinary record frames.
+			if err := parseVector(payload, vec); err != nil {
+				return synced, err
+			}
+			f.observePrimaryVec(vec)
+			synced = true
+			f.resumes.Add(1)
+			f.bytesAppl.Store(f.bytesRecv.Load())
+			f.synced.Store(true)
+			f.lastErr.Store(nil)
+			f.syncOnce.Do(func() { close(f.firstSync) })
+			startApplier(append(make([]uint64, 0, shards), cursor...))
+		case frameResumeStale:
+			if !resuming || synced {
+				return synced, errors.New("replica: unexpected resume-stale frame")
+			}
+			return false, errResumeStale
 		case frameRecord:
-			if !bootstrapped {
-				return false, errors.New("replica: record frame before end of bootstrap")
+			if !synced {
+				return synced, errors.New("replica: record frame before sync")
 			}
 			b, used, ok := wal.DecodeRecord(payload, shards)
 			if !ok || used != len(payload) {
-				return bootstrapped, errors.New("replica: corrupt record frame")
+				return synced, errors.New("replica: corrupt record frame")
 			}
 			// Hand off to the applier (DecodeRecord copied the edges, so
 			// the frame buffer is free to reuse). A full queue blocks the
@@ -376,47 +500,75 @@ func (f *Follower) stream() (bootstrapped bool, err error) {
 			// socket at most, and beyond that the primary's tail buffer
 			// overruns exactly as before.
 			applyCh <- queuedRecord{b: b, recvd: f.bytesRecv.Load()}
+			pending++
 		case frameHeartbeat:
 			if err := parseVector(payload, vec); err != nil {
-				return bootstrapped, err
+				return synced, err
 			}
 			f.observePrimaryVec(vec)
 			f.lastHB.Store(time.Now().UnixNano())
 		default:
-			return bootstrapped, fmt.Errorf("replica: unknown frame type %d", typ)
+			return synced, fmt.Errorf("replica: unknown frame type %d", typ)
 		}
 	}
 }
 
 // queuedRecord is one decoded record frame in flight between the stream
 // reader and the applier, stamped with the stream bytes consumed up to
-// and including its frame (for the applied-bytes lag gauge).
+// and including its frame (for the applied-bytes lag gauge) — or, when
+// flush is set, a drain marker: the reader found the stream empty, so the
+// records queued ahead of the marker form a complete round.
 type queuedRecord struct {
 	b     wal.Batch
 	recvd uint64
+	flush bool
 }
 
 // applyLoop applies queued records until the channel closes. Each round
-// folds the first record plus everything else already queued (up to
+// folds every record up to the stream's next drain point (bounded by
 // MaxApplyBatch) into a single engine quiesce: the stream goroutine is
-// the only producer, so queued depth is exactly how far the socket has
-// run ahead of the engine, and a catching-up follower pays one
-// reader-exclusion per round instead of one per record. vec is the
-// applier's private copy of the commit vector, seeded from the bootstrap.
+// the only producer, and it sends a drain marker whenever it is about to
+// block on an empty socket, so a round is exactly the backlog — a
+// catching-up follower pays one reader-exclusion per round instead of one
+// per record, while an in-sync follower applies record by record with no
+// waiting (its marker arrives right behind each record). A marker with
+// records already queued behind it is skipped: the backlog has moved past
+// that drain point, keep folding. vec is the applier's private copy of
+// the commit vector, seeded from the sync point.
 func (f *Follower) applyLoop(ch <-chan queuedRecord, vec []uint64) {
 	batch := make([]queuedRecord, 0, f.opt.MaxApplyBatch)
-	for qr := range ch {
+	for {
+		qr, open := <-ch
+		if !open {
+			return
+		}
+		if qr.flush {
+			continue // stray marker, nothing pending
+		}
 		batch = append(batch[:0], qr)
-	drain:
+	collect:
 		for len(batch) < f.opt.MaxApplyBatch {
 			select {
-			case nqr, open := <-ch:
-				if !open {
-					break drain
+			case nqr, ok := <-ch:
+				if !ok {
+					break collect
+				}
+				if nqr.flush {
+					if len(ch) == 0 {
+						break collect
+					}
+					continue // records already queued past this drain point
 				}
 				batch = append(batch, nqr)
 			default:
-				break drain
+				// Queue empty but no drain marker yet: the reader is
+				// still mid-stream, so more of this round is in flight —
+				// wait for it rather than paying a quiesce per fragment.
+				nqr, ok := <-ch
+				if !ok || nqr.flush {
+					break collect
+				}
+				batch = append(batch, nqr)
 			}
 		}
 		// Quiescing keeps the engine's snapshot/invariant surfaces (which
@@ -429,6 +581,7 @@ func (f *Follower) applyLoop(ch <-chan queuedRecord, vec []uint64) {
 		for _, rb := range batch {
 			vec[rb.b.Shard] = rb.b.Epoch
 		}
+		f.advanceApplied(batch)
 		f.observePrimaryVec(vec)
 		f.records.Add(uint64(len(batch)))
 		f.rounds.Add(1)

@@ -182,7 +182,11 @@ func TestFollowerParity(t *testing.T) {
 	}
 }
 
-func TestFollowerReconnectsAndReBootstraps(t *testing.T) {
+// TestFollowerReconnectsAndResumes is the resume acceptance path: a
+// follower partitioned for fewer batches than the retained ring reconnects
+// without a second snapshot transfer — one bootstrap ever, Resumes
+// incremented — and still converges byte-identical.
+func TestFollowerReconnectsAndResumes(t *testing.T) {
 	const n, shards = 200, 2
 	primary := newEngine(n, shards)
 	batches := randomBatches(n, 24, 30, 11)
@@ -216,7 +220,8 @@ func TestFollowerReconnectsAndReBootstraps(t *testing.T) {
 		primary.Apply(b[0], b[1])
 	}
 	// Heal: a fresh listener on the same address. The follower's backoff
-	// loop finds it and re-bootstraps (no resume protocol).
+	// loop finds it and resumes from its applied vector — the default
+	// retained ring easily covers the 8 batches it missed.
 	waitFor(t, 5*time.Second, "listener rebind", func() bool {
 		ln2, err := net.Listen("tcp", addr)
 		if err != nil {
@@ -236,12 +241,21 @@ func TestFollowerReconnectsAndReBootstraps(t *testing.T) {
 		return fol.Epoch() == primary.Epoch()
 	})
 	expectParity(t, primary, follower)
+	if err := follower.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
 	st := fol.Stats()
-	if st.Bootstraps < 2 {
-		t.Fatalf("expected a re-bootstrap after the partition, got stats %+v", st)
+	if st.Bootstraps != 1 {
+		t.Fatalf("partition within retention must not re-bootstrap, got stats %+v", st)
+	}
+	if st.Resumes < 1 {
+		t.Fatalf("expected a resume after the partition, got stats %+v", st)
 	}
 	if st.Reconnects < 1 {
 		t.Fatalf("expected reconnect attempts, got stats %+v", st)
+	}
+	if fs := feeder.Stats(); fs.Bootstraps != 1 || fs.Resumes < 1 {
+		t.Fatalf("feeder should have served exactly one bootstrap and a resume, got %+v", fs)
 	}
 }
 
@@ -289,13 +303,14 @@ func TestFeederPauseCreatesLagResumeCatchesUp(t *testing.T) {
 	expectParity(t, primary, follower)
 }
 
-func TestOverrunForcesReBootstrap(t *testing.T) {
+func TestOverrunRecoversViaResume(t *testing.T) {
 	const n, shards = 120, 1
 	primary := newEngine(n, shards)
 	primary.Insert([]graph.Edge{{U: 0, V: 1}})
-	// Tiny tail buffer: while the feed is paused the primary outruns it,
-	// the hub drops the subscription, and the follower must recover by
-	// reconnecting into a fresh bootstrap.
+	// Tiny tail buffer: while the feed is paused the primary outruns it
+	// and the hub drops the subscription. The retained ring is far deeper
+	// than the tail buffer, so the follower recovers with a resume — an
+	// overrun now costs re-shipping the missed records, not the snapshot.
 	feeder, srv, _ := startFeeder(t, primary,
 		replica.FeederOptions{Heartbeat: 10 * time.Millisecond, Buffer: 2})
 
@@ -318,8 +333,97 @@ func TestOverrunForcesReBootstrap(t *testing.T) {
 	if feeder.Stats().Overruns == 0 {
 		t.Fatal("expected the tiny tail buffer to overrun")
 	}
-	if fol.Stats().Bootstraps < 2 {
-		t.Fatalf("expected a re-bootstrap after the overrun, got %+v", fol.Stats())
+	st := fol.Stats()
+	if st.Bootstraps != 1 || st.Resumes < 1 {
+		t.Fatalf("expected the overrun to recover via resume, got %+v", st)
+	}
+}
+
+// TestKickForcesResume drives the deterministic reconnect path: Kick drops
+// every connection; the follower comes back with its applied vector and
+// the feeder serves the missed records from the ring — no second snapshot.
+func TestKickForcesResume(t *testing.T) {
+	const n, shards = 150, 2
+	primary := newEngine(n, shards)
+	batches := randomBatches(n, 12, 25, 17)
+	for _, b := range batches[:4] {
+		primary.Apply(b[0], b[1])
+	}
+	feeder, srv, _ := startFeeder(t, primary, replica.FeederOptions{Heartbeat: 10 * time.Millisecond})
+
+	follower := newEngine(n, shards)
+	fol, err := replica.StartFollower(follower, srv.URL, fastFollowerOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fol.Close()
+	bootstraps0 := feeder.Stats().Bootstraps
+
+	if kicked := feeder.Kick(); kicked != 1 {
+		t.Fatalf("kicked %d connections, want 1", kicked)
+	}
+	// Committed while the follower is between connections; the ring
+	// retains them and the resume replays them.
+	for _, b := range batches[4:] {
+		primary.Apply(b[0], b[1])
+	}
+	waitFor(t, 10*time.Second, "catch-up after kick", func() bool {
+		return fol.Epoch() == primary.Epoch()
+	})
+	expectParity(t, primary, follower)
+	st := fol.Stats()
+	if st.Resumes < 1 || st.Bootstraps != 1 {
+		t.Fatalf("expected the kicked follower to resume, got %+v", st)
+	}
+	fs := feeder.Stats()
+	if fs.Bootstraps != bootstraps0 || fs.Resumes < 1 || fs.Kicks != 1 {
+		t.Fatalf("feeder should have resumed without another bootstrap, got %+v", fs)
+	}
+}
+
+// TestResumeStaleFallsBack pins the fallback: a follower whose cursor the
+// ring has evicted past is told frameResumeStale and silently performs a
+// full re-bootstrap — no error surfaces, state still converges.
+func TestResumeStaleFallsBack(t *testing.T) {
+	const n, shards = 120, 1
+	primary := newEngine(n, shards)
+	primary.Insert([]graph.Edge{{U: 0, V: 1}})
+	// A ring of 2 against a 10-batch burst guarantees eviction past any
+	// disconnected cursor.
+	feeder, srv, _ := startFeeder(t, primary,
+		replica.FeederOptions{Heartbeat: 10 * time.Millisecond, RetainBatches: 2})
+
+	opts := fastFollowerOpts()
+	// Keep the follower away long enough for the whole burst to commit
+	// before its resume attempt.
+	opts.BackoffMin = 300 * time.Millisecond
+	follower := newEngine(n, shards)
+	fol, err := replica.StartFollower(follower, srv.URL, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fol.Close()
+
+	feeder.Kick()
+	for _, b := range randomBatches(n, 10, 10, 9) {
+		primary.Apply(b[0], b[1])
+	}
+	waitFor(t, 10*time.Second, "catch-up after stale resume", func() bool {
+		return fol.Epoch() == primary.Epoch()
+	})
+	expectParity(t, primary, follower)
+	st := fol.Stats()
+	if st.Bootstraps != 2 {
+		t.Fatalf("stale cursor must fall back to a re-bootstrap, got %+v", st)
+	}
+	if st.Resumes != 0 {
+		t.Fatalf("no resume should have succeeded, got %+v", st)
+	}
+	if st.Err != "" {
+		t.Fatalf("a stale cursor is a fallback, not an error: %+v", st)
+	}
+	if fs := feeder.Stats(); fs.ResumeRejects < 1 {
+		t.Fatalf("feeder should have rejected the stale cursor, got %+v", fs)
 	}
 }
 

@@ -28,13 +28,37 @@
 //	               sent when the stream is otherwise idle; carries
 //	               liveness and lets the follower measure lag
 //
-// There is no resume protocol on purpose: a (re)connecting follower always
-// receives a fresh bootstrap. Resuming from a follower-supplied vector
-// would require the primary to retain arbitrarily old log segments and to
-// race their purges; re-bootstrapping costs one state transfer and is
-// always correct. The capture and the tail subscription happen inside one
-// engine quiesce (wal.Source.Bootstrap), so the record stream continues
-// exactly where the captured states end — no gap, no overlap.
+// # Resume
+//
+// A follower that already holds an applied state does not need the
+// snapshot again — it needs exactly the batches after its applied commit
+// vector. The primary retains a bounded in-memory ring of the newest
+// committed batches (FeederOptions.RetainBatches, wal.Source.SetRetain)
+// with a per-shard low-water vector that advances as the ring evicts. A
+// reconnecting follower POSTs /replicate/stream with a fixed-size body —
+// the same 16-byte identification header followed by its applied per-shard
+// commit vector ([shards]u64) — and the primary answers on the response
+// stream:
+//
+//	frameResumeOK    the cursor is covered by retention: payload is the
+//	                 primary's current commit vector; the retained records
+//	                 after the cursor follow as ordinary frameRecords,
+//	                 spliced into the live tail with no gap and no overlap
+//	                 (replay capture + tail subscription happen inside one
+//	                 engine quiesce, wal.Source.Resume — the same atomicity
+//	                 Bootstrap gets)
+//	frameResumeStale some shard's cursor predates the low-water mark (the
+//	                 ring evicted past it), runs ahead of the primary (a
+//	                 replaced primary), or retention is disabled; the
+//	                 stream ends and the follower falls back to a full GET
+//	                 bootstrap — stale is a fallback, not an error
+//
+// The follower only resumes within one process lifetime (the applied
+// vector is not persisted): a restarted follower's engine state cannot be
+// trusted to match any vector, so the first connection always bootstraps.
+// A primary that predates resume answers the POST with 405 and the
+// follower likewise falls back. The stream version is unchanged: the GET
+// path is byte-identical to version 1.
 package replica
 
 import (
@@ -52,10 +76,12 @@ const (
 
 	frameHdrLen = 5 // [type u8][len u32]
 
-	frameState     = byte(1)
-	frameEnd       = byte(2)
-	frameRecord    = byte(3)
-	frameHeartbeat = byte(4)
+	frameState       = byte(1)
+	frameEnd         = byte(2)
+	frameRecord      = byte(3)
+	frameHeartbeat   = byte(4)
+	frameResumeOK    = byte(5) // resume accepted: payload = primary's commit vector
+	frameResumeStale = byte(6) // cursor outside retention: empty payload, stream ends
 
 	// maxFrameLen bounds a frame's claimed payload length before the
 	// follower allocates for it: a corrupt or hostile length field can
@@ -72,6 +98,12 @@ const StreamPath = "/replicate/stream"
 // InfoPath serves a small JSON diagnostic block (vertex/shard counts,
 // feeder counters) next to the stream endpoint.
 const InfoPath = "/replicate/info"
+
+// KickPath drops every connected follower (POST). Followers reconnect and
+// resume from their applied vector, so a kick is cheap — it exists so
+// operators and the smoke script can force a deterministic
+// reconnect/resume cycle without waiting out TCP timeouts.
+const KickPath = "/replicate/kick"
 
 // writeStreamHeader writes the 16-byte stream identification header.
 func writeStreamHeader(w io.Writer, n, shards int) error {
@@ -107,6 +139,33 @@ func readStreamHeader(r io.Reader, n, shards int) error {
 		return fmt.Errorf("replica: primary has %d shards, follower has %d", got, shards)
 	}
 	return nil
+}
+
+// appendResumeRequest builds the POST body a resuming follower sends: the
+// 16-byte identification header followed by its applied per-shard commit
+// vector. Fixed size, so the primary can read it with one ReadFull.
+func appendResumeRequest(dst []byte, n, shards int, vec []uint64) []byte {
+	var hdr [streamHdrLen]byte
+	le := binary.LittleEndian
+	le.PutUint32(hdr[0:], streamMagic)
+	le.PutUint32(hdr[4:], streamVersion)
+	le.PutUint32(hdr[8:], uint32(n))
+	le.PutUint32(hdr[12:], uint32(shards))
+	dst = append(dst, hdr[:]...)
+	return appendVector(dst, vec)
+}
+
+// readResumeRequest validates a resume request body against the primary's
+// shape and decodes the follower's applied commit vector into vec.
+func readResumeRequest(r io.Reader, n, shards int, vec []uint64) error {
+	if err := readStreamHeader(r, n, shards); err != nil {
+		return err
+	}
+	buf := make([]byte, 8*shards)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return fmt.Errorf("replica: reading resume vector: %w", err)
+	}
+	return parseVector(buf, vec)
 }
 
 // appendFrame appends one framed payload to dst.

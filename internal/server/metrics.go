@@ -146,6 +146,8 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		gauge("kcore_replication_bytes_shipped_total", "Stream bytes shipped to followers.", st.BytesShipped)
 		gauge("kcore_replication_records_shipped_total", "Batch records shipped to followers.", st.RecordsShipped)
 		gauge("kcore_replication_overruns_total", "Followers dropped for falling behind the tail buffer.", st.Overruns)
+		gauge("kcore_replication_resumes_total", "Reconnects served from the retained ring (no snapshot transfer).", st.Resumes)
+		gauge("kcore_replication_resume_rejects_total", "Resume cursors outside retention, told to re-bootstrap.", st.ResumeRejects)
 	case s.follower != nil:
 		st := s.follower.Stats()
 		connected := 0
@@ -158,6 +160,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		gauge("kcore_replication_bytes_received_total", "Stream bytes received from the primary.", st.BytesReceived)
 		gauge("kcore_replication_records_applied_total", "Batch records applied from the stream.", st.RecordsApplied)
 		gauge("kcore_replication_bootstraps_total", "Bootstraps applied (more than one means re-bootstraps).", st.Bootstraps)
+		gauge("kcore_replication_resumes_total", "Reconnects resumed from the applied vector (no snapshot transfer).", st.Resumes)
 	}
 
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")

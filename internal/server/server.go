@@ -554,10 +554,12 @@ type epochBehindResponse struct {
 // fast path — floor already committed, which is always the case on a
 // primary serving a floor it issued — costs one atomic load.
 func (s *Server) awaitEpochFloor(w http.ResponseWriter, r *http.Request, floor uint64) bool {
-	if floor == 0 || s.eng.Epoch() >= floor {
+	startEpoch := s.eng.Epoch()
+	if floor == 0 || startEpoch >= floor {
 		return true
 	}
-	deadline := time.Now().Add(s.minEpochWait)
+	start := time.Now()
+	deadline := start.Add(s.minEpochWait)
 	for s.minEpochWait > 0 {
 		select {
 		case <-r.Context().Done():
@@ -571,7 +573,7 @@ func (s *Server) awaitEpochFloor(w http.ResponseWriter, r *http.Request, floor u
 			break
 		}
 	}
-	w.Header().Set("Retry-After", "1")
+	w.Header().Set("Retry-After", retryAfterSeconds(floor, startEpoch, s.eng.Epoch(), time.Since(start), s.minEpochWait))
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(http.StatusPreconditionFailed)
 	_ = writeJSONBody(w, epochBehindResponse{
@@ -581,6 +583,31 @@ func (s *Server) awaitEpochFloor(w http.ResponseWriter, r *http.Request, floor u
 		MinEpoch: floor,
 	})
 	return false
+}
+
+// retryAfterSeconds derives the 412 Retry-After hint from the progress
+// observed during the wait: if the engine advanced at all, extrapolate the
+// remaining gap at that rate; if it made no progress (a paused feed, a
+// partitioned follower), fall back to the configured wait budget — the
+// soonest a retry could plausibly see a different outcome. Clamped to
+// [1, 60] so a stalled replica never tells routers to hammer it or to
+// give up for minutes.
+func retryAfterSeconds(floor, startEpoch, nowEpoch uint64, waited, budget time.Duration) string {
+	var secs int64
+	if nowEpoch > startEpoch && waited > 0 {
+		gap := floor - nowEpoch
+		perEpoch := waited / time.Duration(nowEpoch-startEpoch)
+		secs = int64((time.Duration(gap)*perEpoch + time.Second - 1) / time.Second)
+	} else {
+		secs = int64((budget + time.Second - 1) / time.Second)
+	}
+	if secs < 1 {
+		secs = 1
+	}
+	if secs > 60 {
+		secs = 60
+	}
+	return strconv.FormatInt(secs, 10)
 }
 
 // serveAt runs read against the requested epoch with the epoch pinned for

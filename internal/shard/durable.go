@@ -88,6 +88,10 @@ func (e *Engine) ShardDurable(si int) wal.ShardState {
 	return st
 }
 
+// ShardEpoch returns shard si's local committed epoch (one atomic load;
+// the cheap slice of ShardDurable the resume ring seeds from).
+func (e *Engine) ShardEpoch(si int) uint64 { return e.shards[si].c.Epoch() }
+
 // RestoreShard restores shard si from st: the shard's CPLDS is rebuilt
 // from the snapshot, the cumulative counters are re-seeded, and the live
 // edge counters (local, primary, global) are recomputed from the restored

@@ -29,6 +29,13 @@ import (
 // Bootstrap is called with buffer <= 0.
 const DefaultTailBuffer = 4096
 
+// DefaultRetainBatches is the retained-batch ring depth used when
+// SetRetain is called with the feeder's zero-value option: how many of
+// the newest committed batches the primary keeps in memory so that a
+// reconnecting follower can Resume from its applied commit vector instead
+// of re-bootstrapping the full snapshot.
+const DefaultRetainBatches = 1024
+
 // TailReader is one subscription to the live committed-batch stream.
 // Batches arrive on C in per-shard commit order (the same linearization
 // the log records); the edge slices are deep copies owned by the reader.
@@ -63,11 +70,90 @@ func (r *TailReader) closeLocked() {
 	close(r.ch)
 }
 
-// tailHub fans the committed-batch stream out to subscribers. The zero
-// value is ready to use.
+// tailHub fans the committed-batch stream out to subscribers and,
+// when retention is enabled, keeps the newest retain batches in a ring so
+// a reconnecting follower can resume from its applied commit vector. The
+// zero value is ready to use (retention off).
 type tailHub struct {
 	mu   sync.Mutex
 	subs map[*TailReader]struct{}
+
+	// Retained ring: the newest `retain` published batches, in publish
+	// order (which is per-shard commit order). low is the per-shard
+	// low-water vector — every epoch <= low[si] has been evicted from the
+	// ring (or predates retention being enabled); cur is the per-shard
+	// newest published epoch. A cursor vec is resumable exactly when
+	// low[si] <= vec[si] <= cur[si] for every shard: the ring then holds
+	// every batch after vec and nothing before it is needed.
+	retain int
+	ring   []Batch // circular, ring[(start+i)%len] for i < count
+	start  int
+	count  int
+	low    []uint64
+	cur    []uint64
+}
+
+// setRetain (re)configures the retained ring. cur must be the per-shard
+// committed epochs at the call point, read where no batch can commit (the
+// callers hold an engine quiesce): everything up to cur counts as already
+// evicted, so only batches published after this call are resumable.
+// n <= 0 disables retention.
+func (h *tailHub) setRetain(n int, cur []uint64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.start, h.count = 0, 0
+	if n <= 0 {
+		h.retain, h.ring, h.low, h.cur = 0, nil, nil, nil
+		return
+	}
+	h.retain = n
+	h.ring = make([]Batch, n)
+	h.low = append([]uint64(nil), cur...)
+	h.cur = append([]uint64(nil), cur...)
+}
+
+// retainLocked pushes one already-deep-copied batch into the ring,
+// evicting the oldest entry (advancing its shard's low-water mark) when
+// full. Caller holds h.mu.
+func (h *tailHub) retainLocked(cp Batch) {
+	if h.count == h.retain {
+		old := h.ring[h.start]
+		h.low[old.Shard] = old.Epoch
+		h.ring[h.start] = Batch{}
+		h.start = (h.start + 1) % h.retain
+		h.count--
+	}
+	h.ring[(h.start+h.count)%h.retain] = cp
+	h.count++
+	h.cur[cp.Shard] = cp.Epoch
+}
+
+// replayAfter returns the retained batches after the commit vector vec, in
+// publish (per-shard commit) order, plus a copy of the current vector. ok
+// is false when vec is not covered by retention — some shard's cursor
+// predates the low-water mark (evicted), runs ahead of the primary, or
+// retention is off — in which case the caller falls back to bootstrap.
+// The returned batches alias ring entries; their contents are immutable
+// (publish deep-copied them once) so sharing is safe even as the ring
+// later evicts them.
+func (h *tailHub) replayAfter(vec []uint64) (replay []Batch, cur []uint64, ok bool) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.retain == 0 || len(vec) != len(h.cur) {
+		return nil, nil, false
+	}
+	for si := range vec {
+		if vec[si] < h.low[si] || vec[si] > h.cur[si] {
+			return nil, nil, false
+		}
+	}
+	for i := 0; i < h.count; i++ {
+		b := h.ring[(h.start+i)%h.retain]
+		if b.Epoch > vec[b.Shard] {
+			replay = append(replay, b)
+		}
+	}
+	return replay, append([]uint64(nil), h.cur...), true
 }
 
 // subscribe registers a new reader. Callers that need the stream to start
@@ -86,16 +172,17 @@ func (h *tailHub) subscribe(buffer int) *TailReader {
 	return r
 }
 
-// publish delivers one committed batch to every subscriber. It runs inside
-// the committing shard's one-updater section, so per-shard batches are
-// published in commit order; shards publish concurrently, which the hub
-// lock serializes. The batch's edge slices alias the caller's buffers and
-// are deep-copied once, shared read-only by all subscribers. A subscriber
-// whose channel is full is dropped (overrun) rather than blocked on.
+// publish delivers one committed batch to every subscriber and the
+// retained ring. It runs inside the committing shard's one-updater
+// section, so per-shard batches are published in commit order; shards
+// publish concurrently, which the hub lock serializes. The batch's edge
+// slices alias the caller's buffers and are deep-copied once, shared
+// read-only by the ring and all subscribers. A subscriber whose channel is
+// full is dropped (overrun) rather than blocked on.
 func (h *tailHub) publish(b Batch) {
 	h.mu.Lock()
 	defer h.mu.Unlock()
-	if len(h.subs) == 0 {
+	if len(h.subs) == 0 && h.retain == 0 {
 		return
 	}
 	cp := b
@@ -104,6 +191,9 @@ func (h *tailHub) publish(b Batch) {
 	}
 	if len(b.Del) > 0 {
 		cp.Del = append([]graph.Edge(nil), b.Del...)
+	}
+	if h.retain > 0 {
+		h.retainLocked(cp)
 	}
 	for r := range h.subs {
 		select {
@@ -136,6 +226,20 @@ type Source interface {
 	// exactly the batches committed after the captured per-shard epochs.
 	// buffer <= 0 uses DefaultTailBuffer.
 	Bootstrap(buffer int) ([]ShardState, *TailReader, error)
+	// SetRetain sizes the retained-batch ring behind Resume: the source
+	// keeps the newest n committed batches in memory. Only batches
+	// committed after the call are resumable. n <= 0 disables retention
+	// (every Resume reports stale).
+	SetRetain(n int)
+	// Resume serves a reconnecting follower from its applied per-shard
+	// commit vector: when every shard's cursor is still covered by the
+	// retained ring it returns the retained batches after vec (in
+	// per-shard commit order), the primary's current vector, and a tail
+	// subscription capturing exactly the stream after those batches —
+	// replay then tail carries every batch after vec exactly once. ok is
+	// false when the cursor predates retention (or runs ahead of the
+	// primary); the caller falls back to Bootstrap.
+	Resume(vec []uint64, buffer int) (replay []Batch, cur []uint64, tr *TailReader, ok bool, err error)
 }
 
 // NumVertices returns the attached engine's vertex count.
@@ -161,6 +265,49 @@ func (m *Manager) Bootstrap(buffer int) ([]ShardState, *TailReader, error) {
 		tr = m.hub.subscribe(buffer)
 	})
 	return states, tr, nil
+}
+
+// SetRetain implements Source: it sizes the retained-batch ring, seeding
+// the low-water vector from the engine's committed epochs inside a quiesce
+// so retention coverage starts exactly at the current commit point.
+func (m *Manager) SetRetain(n int) {
+	m.eng.Quiesce(func() { m.hub.setRetain(n, shardEpochs(m.eng)) })
+}
+
+// Resume implements Source: under one engine quiesce it checks the cursor
+// against the retained ring and, when covered, collects the replay and
+// registers the tail subscription — the same atomicity Bootstrap gets, so
+// replay + tail carries every batch after vec exactly once.
+func (m *Manager) Resume(vec []uint64, buffer int) ([]Batch, []uint64, *TailReader, bool, error) {
+	if m.closed.Load() {
+		return nil, nil, nil, false, fmt.Errorf("wal: resume after close")
+	}
+	if len(vec) != m.eng.NumShards() {
+		return nil, nil, nil, false, fmt.Errorf("wal: resume vector has %d shards, engine has %d",
+			len(vec), m.eng.NumShards())
+	}
+	var (
+		replay []Batch
+		cur    []uint64
+		tr     *TailReader
+		ok     bool
+	)
+	m.eng.Quiesce(func() {
+		if replay, cur, ok = m.hub.replayAfter(vec); ok {
+			tr = m.hub.subscribe(buffer)
+		}
+	})
+	return replay, cur, tr, ok, nil
+}
+
+// shardEpochs reads every shard's committed epoch. Callers hold an engine
+// quiesce, so the vector is a consistent commit point.
+func shardEpochs(eng Engine) []uint64 {
+	vec := make([]uint64, eng.NumShards())
+	for si := range vec {
+		vec[si] = eng.ShardEpoch(si)
+	}
+	return vec
 }
 
 // TailSource adapts a bare engine (no WAL attached) to Source by
@@ -201,6 +348,34 @@ func (t *TailSource) Bootstrap(buffer int) ([]ShardState, *TailReader, error) {
 		tr = t.hub.subscribe(buffer)
 	})
 	return states, tr, nil
+}
+
+// SetRetain implements Source (see Manager.SetRetain).
+func (t *TailSource) SetRetain(n int) {
+	t.eng.Quiesce(func() { t.hub.setRetain(n, shardEpochs(t.eng)) })
+}
+
+// Resume implements Source (see Manager.Resume).
+func (t *TailSource) Resume(vec []uint64, buffer int) ([]Batch, []uint64, *TailReader, bool, error) {
+	if t.closed.Load() {
+		return nil, nil, nil, false, fmt.Errorf("wal: resume after close")
+	}
+	if len(vec) != t.eng.NumShards() {
+		return nil, nil, nil, false, fmt.Errorf("wal: resume vector has %d shards, engine has %d",
+			len(vec), t.eng.NumShards())
+	}
+	var (
+		replay []Batch
+		cur    []uint64
+		tr     *TailReader
+		ok     bool
+	)
+	t.eng.Quiesce(func() {
+		if replay, cur, ok = t.hub.replayAfter(vec); ok {
+			tr = t.hub.subscribe(buffer)
+		}
+	})
+	return replay, cur, tr, ok, nil
 }
 
 // Close uninstalls the batch hook and drops every subscriber.

@@ -94,6 +94,109 @@ func TestTailOverrunDisconnects(t *testing.T) {
 	eng.commit(Batch{Shard: 0, Epoch: 4, HasIns: true})
 }
 
+func TestResumeReplaysExactlyAfterCursor(t *testing.T) {
+	eng := newFakeEngine(8, 2)
+	src := NewTailSource(eng)
+	defer src.Close()
+	src.SetRetain(16)
+
+	all := testBatches()
+	for _, b := range all {
+		eng.commit(b)
+	}
+	// Cursor after the first two batches (shard epochs 1,1): the replay
+	// must be exactly the later three, in publish order.
+	replay, cur, tr, ok, err := src.Resume([]uint64{1, 1}, 4)
+	if err != nil || !ok {
+		t.Fatalf("Resume(1,1) = ok=%v err=%v, want covered", ok, err)
+	}
+	defer tr.Close()
+	if want := []uint64{3, 2}; !reflect.DeepEqual(cur, want) {
+		t.Fatalf("current vector %v, want %v", cur, want)
+	}
+	if len(replay) != 3 {
+		t.Fatalf("replay of %d batches, want 3", len(replay))
+	}
+	for i, want := range all[2:] {
+		if replay[i].Shard != want.Shard || replay[i].Epoch != want.Epoch {
+			t.Fatalf("replay[%d] = shard %d epoch %d, want shard %d epoch %d",
+				i, replay[i].Shard, replay[i].Epoch, want.Shard, want.Epoch)
+		}
+	}
+	// The tail starts exactly after the capture: a batch committed now is
+	// delivered, nothing is doubled.
+	eng.commit(Batch{Shard: 1, Epoch: 3, HasIns: true})
+	got := <-tr.C()
+	if got.Shard != 1 || got.Epoch != 3 {
+		t.Fatalf("tail batch = shard %d epoch %d, want shard 1 epoch 3", got.Shard, got.Epoch)
+	}
+	select {
+	case b := <-tr.C():
+		t.Fatalf("unexpected extra tail batch %+v", b)
+	default:
+	}
+
+	// A caught-up cursor replays nothing.
+	replay, _, tr2, ok, err := src.Resume([]uint64{3, 3}, 4)
+	if err != nil || !ok || len(replay) != 0 {
+		t.Fatalf("caught-up Resume = replay %d ok=%v err=%v, want empty+covered", len(replay), ok, err)
+	}
+	tr2.Close()
+
+	// A cursor ahead of the primary (replaced primary) is not resumable.
+	if _, _, _, ok, _ := src.Resume([]uint64{9, 9}, 4); ok {
+		t.Fatal("Resume accepted a cursor ahead of the primary")
+	}
+	// Shape mismatch is an error, not a stale.
+	if _, _, _, _, err := src.Resume([]uint64{1}, 4); err == nil {
+		t.Fatal("Resume accepted a wrong-length vector")
+	}
+}
+
+func TestResumeStaleAfterEviction(t *testing.T) {
+	eng := newFakeEngine(8, 1)
+	src := NewTailSource(eng)
+	defer src.Close()
+	src.SetRetain(2)
+
+	for ep := uint64(1); ep <= 5; ep++ {
+		eng.commit(Batch{Shard: 0, Epoch: ep, HasIns: true})
+	}
+	// Ring of 2 holds epochs {4,5}; low-water is 3.
+	if replay, _, tr, ok, err := src.Resume([]uint64{3}, 4); err != nil || !ok || len(replay) != 2 {
+		t.Fatalf("Resume(3) = replay %d ok=%v err=%v, want 2 batches covered", len(replay), ok, err)
+	} else {
+		tr.Close()
+	}
+	// Epoch 2 was evicted: the gap is unservable.
+	if _, _, _, ok, err := src.Resume([]uint64{2}, 4); ok || err != nil {
+		t.Fatalf("Resume(2) = ok=%v err=%v, want stale", ok, err)
+	}
+	// Batches committed before SetRetain are never resumable: reconfigure
+	// and check the old coverage is gone.
+	src.SetRetain(8)
+	if _, _, _, ok, _ := src.Resume([]uint64{3}, 4); ok {
+		t.Fatal("Resume covered batches from before SetRetain")
+	}
+	eng.commit(Batch{Shard: 0, Epoch: 6, HasIns: true})
+	if replay, _, tr, ok, err := src.Resume([]uint64{5}, 4); err != nil || !ok || len(replay) != 1 {
+		t.Fatalf("post-reconfigure Resume(5) = replay %d ok=%v err=%v, want 1 batch", len(replay), ok, err)
+	} else {
+		tr.Close()
+	}
+}
+
+func TestResumeDisabledRetention(t *testing.T) {
+	eng := newFakeEngine(8, 1)
+	src := NewTailSource(eng)
+	defer src.Close()
+	// No SetRetain: every cursor is stale.
+	eng.commit(Batch{Shard: 0, Epoch: 1, HasIns: true})
+	if _, _, _, ok, err := src.Resume([]uint64{1}, 4); ok || err != nil {
+		t.Fatalf("Resume with retention off = ok=%v err=%v, want stale", ok, err)
+	}
+}
+
 func TestManagerBootstrapTeesWhileLogging(t *testing.T) {
 	dir := t.TempDir()
 	eng := newFakeEngine(8, 2)

@@ -205,6 +205,10 @@ type Engine interface {
 	// ShardDurable captures shard si's durable state (copies, safe to use
 	// after the quiesce section ends).
 	ShardDurable(si int) ShardState
+	// ShardEpoch returns shard si's committed local epoch — the cheap
+	// (no-copy) slice of ShardDurable the resume ring needs to seed its
+	// retention vector. Called from inside a Quiesce section.
+	ShardEpoch(si int) uint64
 	// RestoreShard restores shard si of a fresh engine from st.
 	RestoreShard(si int, st ShardState) error
 }

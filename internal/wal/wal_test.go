@@ -61,6 +61,8 @@ func (f *fakeEngine) ShardDurable(si int) ShardState {
 	}
 }
 
+func (f *fakeEngine) ShardEpoch(si int) uint64 { return f.epochs[si] }
+
 func (f *fakeEngine) RestoreShard(si int, st ShardState) error {
 	f.restored[si] = st
 	f.epochs[si] = st.Epoch

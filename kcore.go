@@ -236,9 +236,16 @@ type ReplicationOptions struct {
 	// tear down a stream silent for StreamTimeout.
 	Heartbeat time.Duration
 	// TailBuffer is the per-follower live-tail buffer in batches (default
-	// 4096). A follower that falls further behind is disconnected and
-	// re-bootstraps.
+	// 4096). A follower that falls further behind is disconnected; it
+	// reconnects and resumes from its applied vector (or re-bootstraps
+	// once the retained ring has evicted past it).
 	TailBuffer int
+	// RetainBatches sizes the primary's retained-batch ring serving
+	// resume: a follower disconnected for fewer committed batches than
+	// this reconnects without a snapshot transfer, receiving only the
+	// records it missed. 0 means the default (1024); negative disables
+	// retention, restoring re-bootstrap-on-every-reconnect.
+	RetainBatches int
 	// DialTimeout bounds each follower connection attempt (default 5s).
 	DialTimeout time.Duration
 	// StreamTimeout is the follower's silent-stream watchdog (default 10s;
@@ -270,7 +277,9 @@ func WithReplicationListen(addr string) Option {
 // applied (see ReplicationOptions.InitialSync), so a successful return
 // means the engine already holds a recent primary state; the follower
 // then keeps applying the primary's batch stream — reconnecting with
-// backoff and re-bootstrapping after partitions — until Close.
+// backoff after partitions, resuming from its applied commit vector when
+// the primary still retains the missed batches (RetainBatches) and
+// re-bootstrapping otherwise — until Close.
 //
 // The follower runs the full read stack (Coreness, Views, pinned and
 // retained reads); its epochs advance exactly as the primary's did, so an
@@ -424,8 +433,9 @@ func New(n int, opts ...Option) (*Decomposition, error) {
 			src = d.tailSrc
 		}
 		d.feeder = replica.NewFeeder(src, replica.FeederOptions{
-			Heartbeat: o.replOpts.Heartbeat,
-			Buffer:    o.replOpts.TailBuffer,
+			Heartbeat:     o.replOpts.Heartbeat,
+			Buffer:        o.replOpts.TailBuffer,
+			RetainBatches: o.replOpts.RetainBatches,
 		})
 		ln, err := net.Listen("tcp", o.replListen)
 		if err != nil {
@@ -529,6 +539,8 @@ type ReplicationStats struct {
 	Followers        int    // currently connected followers
 	Connects         uint64 // follower connections accepted since start
 	FeederBootstraps uint64 // bootstraps served
+	FeederResumes    uint64 // reconnects served from the retained ring (no snapshot)
+	ResumeRejects    uint64 // resume cursors outside retention, told to re-bootstrap
 	RecordsShipped   uint64
 	BytesShipped     uint64
 	Overruns         uint64 // followers dropped for falling behind the tail buffer
@@ -545,6 +557,7 @@ type ReplicationStats struct {
 	LagBytes              uint64 // received but not yet applied
 	RecordsApplied        uint64
 	Bootstraps            uint64 // bootstraps applied (>1 means re-bootstraps)
+	Resumes               uint64 // reconnects resumed from the applied vector (no snapshot)
 	Reconnects            uint64
 	LastRecordUnixNano    int64
 	LastHeartbeatUnixNano int64
@@ -564,6 +577,8 @@ func (d *Decomposition) ReplicationStats() (stats ReplicationStats, ok bool) {
 			Followers:        s.Followers,
 			Connects:         s.Connects,
 			FeederBootstraps: s.Bootstraps,
+			FeederResumes:    s.Resumes,
+			ResumeRejects:    s.ResumeRejects,
 			RecordsShipped:   s.RecordsShipped,
 			BytesShipped:     s.BytesShipped,
 			Overruns:         s.Overruns,
@@ -583,6 +598,7 @@ func (d *Decomposition) ReplicationStats() (stats ReplicationStats, ok bool) {
 			LagBytes:              s.LagBytes,
 			RecordsApplied:        s.RecordsApplied,
 			Bootstraps:            s.Bootstraps,
+			Resumes:               s.Resumes,
 			Reconnects:            s.Reconnects,
 			LastRecordUnixNano:    s.LastRecordUnixNano,
 			LastHeartbeatUnixNano: s.LastHeartbeatUnixNano,

@@ -4,8 +4,13 @@
 # primary, waits for the followers to converge, and verifies the bulk
 # coreness responses are byte-identical across all three at the same
 # epoch. Then SIGKILLs one follower mid-stream, keeps writing, restarts
-# it and verifies it re-bootstraps to byte-identical state. Also checks
-# the replica contract: every write answers 403 "read_only", an
+# it and verifies it re-bootstraps to byte-identical state (a fresh
+# process has no cursor). Then exercises the resume path: SIGSTOP a
+# follower, kick its connection, write a little (within the primary's
+# retained ring) and SIGCONT — the follower must reconnect via resume,
+# not bootstrap. A second round writes past the retention window and
+# asserts the stale cursor falls back to a clean full bootstrap. Also
+# checks the replica contract: every write answers 403 "read_only", an
 # unreachable ?min_epoch= floor sheds with 412 "epoch_behind", and a
 # satisfied floor serves normally.
 set -euo pipefail
@@ -49,7 +54,9 @@ wait_epoch() { # addr target
     exit 1
 }
 
-"$work/kcore-server" -n $N -shards $SHARDS -addr "$P_ADDR" -replicate-listen "$REPL_ADDR" &
+RETAIN=8
+"$work/kcore-server" -n $N -shards $SHARDS -addr "$P_ADDR" \
+    -replicate-listen "$REPL_ADDR" -replicate-retain $RETAIN &
 ppid=$!
 wait_up "$P_ADDR"
 
@@ -107,6 +114,77 @@ if [ "$p_bulk" != "$(bulk "$F1_ADDR")" ] || [ "$p_bulk" != "$(bulk "$F2_ADDR")" 
     exit 1
 fi
 
+repl_stat() { # addr jq-path
+    curl -sf "http://$1/stats" | jq "$2"
+}
+
+# Resume: stop (not kill) a follower, sever its connection, and write a
+# few batches — fewer per shard than the primary retains. On SIGCONT the
+# follower reconnects with its applied cursor and the primary serves the
+# gap from the retained ring: resumes increment, bootstraps do not.
+f1_boots=$(repl_stat "$F1_ADDR" .replication.follower.bootstraps)
+p_boots=$(repl_stat "$P_ADDR" .replication.feeder.bootstraps)
+kill -STOP "$f1pid"
+curl -sf -X POST "http://$REPL_ADDR/replicate/kick" >/dev/null
+insert_batches 10 11 # 2 batches x 2 shards = 4 retained entries, under $RETAIN
+kill -CONT "$f1pid"
+target=$(epoch_of "$P_ADDR")
+wait_epoch "$F1_ADDR" "$target"
+
+f1_resumes=$(repl_stat "$F1_ADDR" .replication.follower.resumes)
+if [ "$f1_resumes" -lt 1 ]; then
+    echo "replication_smoke: paused follower never resumed (resumes=$f1_resumes)" >&2
+    exit 1
+fi
+if [ "$(repl_stat "$F1_ADDR" .replication.follower.bootstraps)" != "$f1_boots" ]; then
+    echo "replication_smoke: resume path re-bootstrapped instead of resuming" >&2
+    exit 1
+fi
+if [ "$(repl_stat "$P_ADDR" .replication.feeder.bootstraps)" != "$p_boots" ]; then
+    echo "replication_smoke: primary served a bootstrap on the resume path" >&2
+    exit 1
+fi
+if [ "$(repl_stat "$P_ADDR" .replication.feeder.resumes)" -lt 1 ]; then
+    echo "replication_smoke: primary feeder resumes did not increment" >&2
+    exit 1
+fi
+wait_epoch "$F2_ADDR" "$target"
+p_bulk=$(bulk "$P_ADDR")
+if [ "$p_bulk" != "$(bulk "$F1_ADDR")" ] || [ "$p_bulk" != "$(bulk "$F2_ADDR")" ]; then
+    echo "replication_smoke: bulk coreness diverges after resume" >&2
+    exit 1
+fi
+
+# Stale cursor: same drill, but write past the retention window while the
+# follower is stopped. Its cursor is no longer covered by the ring, so the
+# reconnect must fall back to a full bootstrap — cleanly, with no error.
+f1_boots=$(repl_stat "$F1_ADDR" .replication.follower.bootstraps)
+kill -STOP "$f1pid"
+curl -sf -X POST "http://$REPL_ADDR/replicate/kick" >/dev/null
+insert_batches 12 21 # 10 batches x 2 shards = 20 retained entries, past $RETAIN
+kill -CONT "$f1pid"
+target=$(epoch_of "$P_ADDR")
+wait_epoch "$F1_ADDR" "$target"
+
+if [ "$(repl_stat "$F1_ADDR" .replication.follower.bootstraps)" -le "$f1_boots" ]; then
+    echo "replication_smoke: stale cursor did not fall back to a bootstrap" >&2
+    exit 1
+fi
+if [ "$(repl_stat "$P_ADDR" .replication.feeder.resume_rejects)" -lt 1 ]; then
+    echo "replication_smoke: primary never rejected the stale cursor" >&2
+    exit 1
+fi
+if [ "$(repl_stat "$F1_ADDR" .replication.follower.error)" != "null" ]; then
+    echo "replication_smoke: stale fallback left an error: $(repl_stat "$F1_ADDR" .replication.follower.error)" >&2
+    exit 1
+fi
+wait_epoch "$F2_ADDR" "$target"
+p_bulk=$(bulk "$P_ADDR")
+if [ "$p_bulk" != "$(bulk "$F1_ADDR")" ] || [ "$p_bulk" != "$(bulk "$F2_ADDR")" ]; then
+    echo "replication_smoke: bulk coreness diverges after stale-cursor bootstrap" >&2
+    exit 1
+fi
+
 # The replica contract: writes are rejected with a stable code...
 for ep in edges/insert edges/delete edges/batch snapshot; do
     resp=$(curl -s -w '\n%{http_code}' --data-binary '1 2' "http://$F1_ADDR/$ep")
@@ -140,4 +218,4 @@ if ! curl -sf "http://$F1_ADDR/metrics" | grep -q '^kcore_replication_lag_epochs
     exit 1
 fi
 
-echo "replication_smoke: OK (epoch $target, 2 followers byte-identical, crash + re-bootstrap converged, read_only + epoch_behind contract holds)"
+echo "replication_smoke: OK (epoch $target, 2 followers byte-identical, crash + re-bootstrap converged, pause + resume served from the ring, stale cursor fell back to bootstrap, read_only + epoch_behind contract holds)"
