@@ -203,11 +203,12 @@ func (s *singleEngine) ShardDurable(int) wal.ShardState {
 	return st
 }
 
+// ShardEpoch returns the committed epoch (there is exactly one shard).
+func (s *singleEngine) ShardEpoch(int) uint64 { return s.c.Epoch() }
+
 // RestoreShard restores the engine from a captured state. Recovery calls
 // it on a fresh engine; replication bootstrap calls it on a live one via
 // RestoreAll (the CPLDS restore is reader-safe).
-func (s *singleEngine) ShardEpoch(int) uint64 { return s.c.Epoch() }
-
 func (s *singleEngine) RestoreShard(_ int, st wal.ShardState) error {
 	if err := s.c.Restore(st.Graph, st.Levels, st.Epoch); err != nil {
 		return err

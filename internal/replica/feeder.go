@@ -2,6 +2,7 @@ package replica
 
 import (
 	"context"
+	crand "crypto/rand"
 	"encoding/binary"
 	"encoding/json"
 	"fmt"
@@ -78,6 +79,18 @@ type Feeder struct {
 	opt FeederOptions
 	mux *http.ServeMux
 
+	// streamID is this primary incarnation's random identity, stamped on
+	// every stream header and required to match in resume requests. The
+	// retained ring's epochs only mean anything relative to the history
+	// this process committed: a restarted primary may have recovered short
+	// of batches it already shipped (publish precedes the WAL append, and
+	// degraded mode commits without the disk) and then re-committed
+	// different batches under the same epochs — a cursor from the previous
+	// incarnation could pass the epoch-window check while naming a
+	// divergent history. The id mismatch forces such followers through a
+	// full bootstrap instead.
+	streamID uint64
+
 	// paused is the fault-injection/test hook: while set, connections
 	// stop forwarding records (they keep heartbeating with the shipped
 	// vector, so the link stays alive) and followers visibly lag.
@@ -103,7 +116,7 @@ type Feeder struct {
 // NewFeeder returns a feeder shipping src's capture + batch stream, with
 // the source's retained ring sized from opt.RetainBatches.
 func NewFeeder(src wal.Source, opt FeederOptions) *Feeder {
-	f := &Feeder{src: src, opt: opt.withDefaults()}
+	f := &Feeder{src: src, opt: opt.withDefaults(), streamID: newStreamID()}
 	retain := f.opt.RetainBatches
 	if retain < 0 {
 		retain = 0
@@ -115,6 +128,18 @@ func NewFeeder(src wal.Source, opt FeederOptions) *Feeder {
 	f.mux.HandleFunc("GET "+InfoPath, f.handleInfo)
 	f.mux.HandleFunc("POST "+KickPath, f.handleKick)
 	return f
+}
+
+// newStreamID draws the per-boot stream identity: random, nonzero (zero
+// is what a follower holds before it has ever read a header).
+func newStreamID() uint64 {
+	var b [8]byte
+	if _, err := crand.Read(b[:]); err == nil {
+		if id := binary.LittleEndian.Uint64(b[:]); id != 0 {
+			return id
+		}
+	}
+	return uint64(time.Now().UnixNano()) | 1
 }
 
 // Handler returns the feeder's HTTP handler (StreamPath + InfoPath +
@@ -259,7 +284,7 @@ func (f *Feeder) handleStream(w http.ResponseWriter, r *http.Request) {
 	n, shards := f.src.NumVertices(), f.src.NumShards()
 	c := &streamConn{cw: &countingWriter{w: w, f: f}, flusher: flusher, kick: kick,
 		vec: make([]uint64, shards)}
-	if err := writeStreamHeader(c.cw, n, shards); err != nil {
+	if err := writeStreamHeader(c.cw, n, shards, f.streamID); err != nil {
 		return
 	}
 
@@ -296,25 +321,38 @@ func (f *Feeder) handleResume(w http.ResponseWriter, r *http.Request) {
 	}
 	n, shards := f.src.NumVertices(), f.src.NumShards()
 	vec := make([]uint64, shards)
-	if err := readResumeRequest(r.Body, n, shards, vec); err != nil {
+	reqID, err := readResumeRequest(r.Body, n, shards, vec)
+	if err != nil {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
-	replay, cur, tail, ok, err := f.src.Resume(vec, f.opt.Buffer)
-	if err != nil {
-		http.Error(w, err.Error(), http.StatusServiceUnavailable)
-		return
+	var (
+		replay  []wal.Batch
+		cur     []uint64
+		tail    *wal.TailReader
+		covered bool
+	)
+	// A cursor minted under another primary incarnation's stream id may
+	// name a divergent history even when its epochs fall inside the ring's
+	// window — never consult the ring for it, answer stale below.
+	if reqID == f.streamID {
+		replay, cur, tail, covered, err = f.src.Resume(vec, f.opt.Buffer)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusServiceUnavailable)
+			return
+		}
 	}
 	w.Header().Set("Content-Type", "application/octet-stream")
 	c := &streamConn{cw: &countingWriter{w: w, f: f}, flusher: flusher}
-	if err := writeStreamHeader(c.cw, n, shards); err != nil {
+	if err := writeStreamHeader(c.cw, n, shards, f.streamID); err != nil {
 		if tail != nil {
 			tail.Close()
 		}
 		return
 	}
-	if !ok {
-		// Outside retention: tell the follower to bootstrap instead.
+	if !covered {
+		// Foreign stream id or outside retention: tell the follower to
+		// bootstrap instead.
 		f.resumeRejects.Add(1)
 		if c.writeVectorFrame(frameResumeStale, nil) == nil {
 			flusher.Flush()

@@ -16,9 +16,10 @@ import (
 )
 
 // errResumeStale means the primary rejected our resume cursor (outside
-// retention, or a primary without resume support). The follower clears its
-// cursor and immediately falls back to a full bootstrap — no backoff, the
-// primary is reachable and healthy.
+// retention, minted under a previous primary incarnation's stream id, or
+// a primary without resume support). The follower clears its cursor and
+// immediately falls back to a full bootstrap — no backoff, the primary is
+// reachable and healthy.
 var errResumeStale = errors.New("replica: resume cursor outside primary retention")
 
 // FollowerOptions configure the follower runtime.
@@ -132,9 +133,14 @@ type Follower struct {
 	// fresh process has no state worth resuming from); cleared again when
 	// the primary reports the cursor stale. The applier goroutine
 	// advances it after every quiesce round; the reconnect loop reads it
-	// between connections.
-	vecMu   sync.Mutex
-	applied []uint64
+	// between connections. appliedID is the stream id of the primary
+	// incarnation the cursor's epochs belong to (from the stream header it
+	// bootstrapped under); a resume presents it so a restarted primary —
+	// whose recovered history the epochs may not match — rejects the
+	// cursor instead of splicing a divergent tail.
+	vecMu     sync.Mutex
+	applied   []uint64
+	appliedID uint64
 
 	connected  atomic.Bool
 	synced     atomic.Bool
@@ -154,20 +160,21 @@ type Follower struct {
 	syncOnce  sync.Once
 }
 
-// appliedVec returns a copy of the resume cursor, nil when the follower
-// has never bootstrapped (or was told its cursor is stale).
-func (f *Follower) appliedVec() []uint64 {
+// appliedVec returns a copy of the resume cursor and the stream id it was
+// minted under; nil when the follower has never bootstrapped (or was told
+// its cursor is stale).
+func (f *Follower) appliedVec() ([]uint64, uint64) {
 	f.vecMu.Lock()
 	defer f.vecMu.Unlock()
 	if f.applied == nil {
-		return nil
+		return nil, 0
 	}
-	return append([]uint64(nil), f.applied...)
+	return append([]uint64(nil), f.applied...), f.appliedID
 }
 
-func (f *Follower) setAppliedVec(vec []uint64) {
+func (f *Follower) setAppliedVec(vec []uint64, id uint64) {
 	f.vecMu.Lock()
-	f.applied = vec
+	f.applied, f.appliedID = vec, id
 	f.vecMu.Unlock()
 }
 
@@ -292,7 +299,7 @@ func (f *Follower) run() {
 			return
 		}
 		if errors.Is(err, errResumeStale) {
-			f.setAppliedVec(nil)
+			f.setAppliedVec(nil, 0)
 			continue
 		}
 		if err != nil {
@@ -318,12 +325,12 @@ func (f *Follower) run() {
 // resume from cursor when one exists), then apply the live tail until the
 // stream breaks, goes silent, or the follower closes. Returns whether the
 // sync completed (for backoff reset).
-func (f *Follower) stream(cursor []uint64) (synced bool, err error) {
+func (f *Follower) stream(cursor []uint64, cursorID uint64) (synced bool, err error) {
 	n, shards := f.eng.NumVertices(), f.eng.NumShards()
 	resuming := cursor != nil
 	var req *http.Request
 	if resuming {
-		body := appendResumeRequest(make([]byte, 0, streamHdrLen+8*shards), n, shards, cursor)
+		body := appendResumeRequest(make([]byte, 0, streamHdrLen+8*shards), n, shards, cursorID, cursor)
 		req, err = http.NewRequestWithContext(f.ctx, http.MethodPost, f.primary+StreamPath, bytes.NewReader(body))
 	} else {
 		req, err = http.NewRequestWithContext(f.ctx, http.MethodGet, f.primary+StreamPath, nil)
@@ -338,11 +345,18 @@ func (f *Follower) stream(cursor []uint64) (synced bool, err error) {
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
 		if resuming {
-			// The primary refused the POST — a pre-resume primary answers
-			// 405. Fall back to a full bootstrap; a transport-level error
-			// (primary unreachable) takes the normal backoff path instead
-			// and keeps the cursor.
-			return false, errResumeStale
+			switch resp.StatusCode {
+			case http.StatusMethodNotAllowed, http.StatusNotFound, http.StatusBadRequest:
+				// The primary understood the POST and rejected it — a
+				// pre-resume primary answers 405 (or 404), a shape mismatch
+				// 400. The cursor will never be accepted; fall back to a
+				// full bootstrap.
+				return false, errResumeStale
+			}
+			// Anything else (a 503 from overload protection, a proxy 5xx)
+			// is transient: keep the still-valid cursor and take the normal
+			// backoff path rather than converting an overloaded primary's
+			// pushback into a snapshot-transfer storm.
 		}
 		return false, fmt.Errorf("replica: primary returned %s", resp.Status)
 	}
@@ -359,7 +373,8 @@ func (f *Follower) stream(cursor []uint64) (synced bool, err error) {
 	// drain marker below, not from how many frames fit in one buffer.
 	br := bufio.NewReaderSize(resp.Body, 256<<10)
 	body := &countingReader{r: br, n: &f.bytesRecv}
-	if err := readStreamHeader(body, n, shards); err != nil {
+	streamID, err := readStreamHeader(body, n, shards)
+	if err != nil {
 		return false, err
 	}
 	watchdog.Reset(f.opt.StreamTimeout)
@@ -455,7 +470,7 @@ func (f *Follower) stream(cursor []uint64) (synced bool, err error) {
 			states, seen = nil, nil
 			synced = true
 			f.bootstraps.Add(1)
-			f.setAppliedVec(append([]uint64(nil), vec...))
+			f.setAppliedVec(append([]uint64(nil), vec...), streamID)
 			f.bytesAppl.Store(f.bytesRecv.Load())
 			f.synced.Store(true)
 			f.lastErr.Store(nil)

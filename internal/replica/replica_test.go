@@ -427,6 +427,87 @@ func TestResumeStaleFallsBack(t *testing.T) {
 	}
 }
 
+// TestPrimaryRestartRejectsForeignCursor pins the stream-id identity
+// check: a cursor whose epochs fall inside a restarted primary's retention
+// window must still not resume — the epochs name the previous
+// incarnation's history (the tail publish precedes the WAL append, so a
+// recovered primary may have re-committed different batches under the
+// same epoch numbers). The follower must be answered stale and
+// re-bootstrap onto the survivor history.
+func TestPrimaryRestartRejectsForeignCursor(t *testing.T) {
+	const n, shards = 120, 1
+	batches := randomBatches(n, 12, 15, 13)
+
+	primary := newEngine(n, shards)
+	for _, b := range batches[:8] {
+		primary.Apply(b[0], b[1])
+	}
+	src := wal.NewTailSource(primary)
+	feederA := replica.NewFeeder(src, replica.FeederOptions{Heartbeat: 10 * time.Millisecond})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	hs := &http.Server{Handler: feederA.Handler()}
+	go hs.Serve(ln)
+
+	follower := newEngine(n, shards)
+	fol, err := replica.StartFollower(follower, addr, fastFollowerOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fol.Close()
+
+	// "Crash" the primary: the listener dies and its in-memory state (the
+	// ring, the stream id) is discarded. The follower keeps its cursor at
+	// the 8-batch epoch.
+	hs.Close()
+	src.Close()
+
+	// The recovered primary replayed a shorter history (the tail never
+	// made the disk), sized its ring there, then committed more batches
+	// past the follower's cursor: the cursor's epochs now sit inside the
+	// new ring's window [6-batch epoch, 12-batch epoch], so only the
+	// stream id tells the two histories apart.
+	restarted := newEngine(n, shards)
+	for _, b := range batches[:6] {
+		restarted.Apply(b[0], b[1])
+	}
+	src2 := wal.NewTailSource(restarted)
+	defer src2.Close()
+	feederB := replica.NewFeeder(src2, replica.FeederOptions{Heartbeat: 10 * time.Millisecond})
+	for _, b := range batches[6:] {
+		restarted.Apply(b[0], b[1])
+	}
+	waitFor(t, 5*time.Second, "listener rebind", func() bool {
+		ln2, err := net.Listen("tcp", addr)
+		if err != nil {
+			return false
+		}
+		ln = ln2
+		return true
+	})
+	hs2 := &http.Server{Handler: feederB.Handler()}
+	go hs2.Serve(ln)
+	defer hs2.Close()
+
+	waitFor(t, 10*time.Second, "re-bootstrap onto the restarted primary", func() bool {
+		return fol.Epoch() == restarted.Epoch()
+	})
+	expectParity(t, restarted, follower)
+	st := fol.Stats()
+	if st.Resumes != 0 {
+		t.Fatalf("a cursor from the previous incarnation must not resume, got %+v", st)
+	}
+	if st.Bootstraps != 2 {
+		t.Fatalf("expected a full re-bootstrap after the primary restart, got %+v", st)
+	}
+	if fs := feederB.Stats(); fs.ResumeRejects < 1 {
+		t.Fatalf("restarted feeder should have rejected the foreign cursor, got %+v", fs)
+	}
+}
+
 func TestStartFollowerRejectsShapeMismatch(t *testing.T) {
 	primary := newEngine(100, 2)
 	_, srv, _ := startFeeder(t, primary, replica.FeederOptions{})

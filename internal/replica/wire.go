@@ -15,7 +15,9 @@
 // A follower issues GET /replicate/stream against the primary's
 // replication listener and receives one long-lived response body:
 //
-//	stream header: magic u32, version u32, vertices u32, shards u32
+//	stream header: magic u32, version u32, vertices u32, shards u32,
+//	               stream id u64 (a per-boot random identity of the
+//	               primary process — see Resume)
 //	frames:        [type u8][len u32][payload], little-endian
 //
 //	frameState     one shard's durable state: shard u32 + the snapshot
@@ -36,9 +38,9 @@
 // committed batches (FeederOptions.RetainBatches, wal.Source.SetRetain)
 // with a per-shard low-water vector that advances as the ring evicts. A
 // reconnecting follower POSTs /replicate/stream with a fixed-size body —
-// the same 16-byte identification header followed by its applied per-shard
-// commit vector ([shards]u64) — and the primary answers on the response
-// stream:
+// the same identification header (carrying the stream id it learned from
+// the connection it is resuming) followed by its applied per-shard commit
+// vector ([shards]u64) — and the primary answers on the response stream:
 //
 //	frameResumeOK    the cursor is covered by retention: payload is the
 //	                 primary's current commit vector; the retained records
@@ -47,18 +49,31 @@
 //	                 (replay capture + tail subscription happen inside one
 //	                 engine quiesce, wal.Source.Resume — the same atomicity
 //	                 Bootstrap gets)
-//	frameResumeStale some shard's cursor predates the low-water mark (the
-//	                 ring evicted past it), runs ahead of the primary (a
-//	                 replaced primary), or retention is disabled; the
-//	                 stream ends and the follower falls back to a full GET
-//	                 bootstrap — stale is a fallback, not an error
+//	frameResumeStale the request's stream id is not this primary's (the
+//	                 primary restarted — see below), some shard's cursor
+//	                 predates the low-water mark (the ring evicted past
+//	                 it), runs ahead of the primary, or retention is
+//	                 disabled; the stream ends and the follower falls back
+//	                 to a full GET bootstrap — stale is a fallback, not an
+//	                 error
+//
+// The stream id is what gives a cursor an identity beyond its epoch
+// numbers: the tail stream is published before the WAL append, and a
+// degraded primary keeps committing without the disk, so a primary that
+// crashes and recovers can re-commit *different* batches under epochs a
+// follower already applied. A bare epoch vector from before the crash can
+// therefore look resumable against the recovered primary's ring while
+// naming a divergent history. Each primary process draws a random stream
+// id at feeder construction and stamps every stream header with it; a
+// resume request carries the id of the stream the cursor came from, and
+// an id mismatch is answered frameResumeStale regardless of the epochs —
+// the follower re-bootstraps and converges on the survivor history.
 //
 // The follower only resumes within one process lifetime (the applied
 // vector is not persisted): a restarted follower's engine state cannot be
 // trusted to match any vector, so the first connection always bootstraps.
 // A primary that predates resume answers the POST with 405 and the
-// follower likewise falls back. The stream version is unchanged: the GET
-// path is byte-identical to version 1.
+// follower likewise falls back.
 package replica
 
 import (
@@ -71,8 +86,8 @@ import (
 
 const (
 	streamMagic   = uint32(0x6b72706c) // "krpl"
-	streamVersion = uint32(1)
-	streamHdrLen  = 16
+	streamVersion = uint32(2)
+	streamHdrLen  = 24
 
 	frameHdrLen = 5 // [type u8][len u32]
 
@@ -81,7 +96,7 @@ const (
 	frameRecord      = byte(3)
 	frameHeartbeat   = byte(4)
 	frameResumeOK    = byte(5) // resume accepted: payload = primary's commit vector
-	frameResumeStale = byte(6) // cursor outside retention: empty payload, stream ends
+	frameResumeStale = byte(6) // cursor outside retention or from another primary boot: empty payload, stream ends
 
 	// maxFrameLen bounds a frame's claimed payload length before the
 	// follower allocates for it: a corrupt or hostile length field can
@@ -105,67 +120,77 @@ const InfoPath = "/replicate/info"
 // reconnect/resume cycle without waiting out TCP timeouts.
 const KickPath = "/replicate/kick"
 
-// writeStreamHeader writes the 16-byte stream identification header.
-func writeStreamHeader(w io.Writer, n, shards int) error {
-	var hdr [streamHdrLen]byte
+// putStreamHeader encodes the identification header into hdr. In a
+// response stream id is the primary's per-boot stream id; in a resume
+// request it is the id of the stream the follower's cursor came from.
+func putStreamHeader(hdr *[streamHdrLen]byte, n, shards int, id uint64) {
 	le := binary.LittleEndian
 	le.PutUint32(hdr[0:], streamMagic)
 	le.PutUint32(hdr[4:], streamVersion)
 	le.PutUint32(hdr[8:], uint32(n))
 	le.PutUint32(hdr[12:], uint32(shards))
+	le.PutUint64(hdr[16:], id)
+}
+
+// writeStreamHeader writes the 24-byte stream identification header.
+func writeStreamHeader(w io.Writer, n, shards int, id uint64) error {
+	var hdr [streamHdrLen]byte
+	putStreamHeader(&hdr, n, shards, id)
 	_, err := w.Write(hdr[:])
 	return err
 }
 
 // readStreamHeader reads and validates the stream header against the
-// follower engine's shape. A mismatch is a configuration error, not a
-// transient fault.
-func readStreamHeader(r io.Reader, n, shards int) error {
+// reader's engine shape, returning the stream id. A shape mismatch is a
+// configuration error, not a transient fault; the id is not validated
+// here — identity checks belong to the resume handshake.
+func readStreamHeader(r io.Reader, n, shards int) (uint64, error) {
 	var hdr [streamHdrLen]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
-		return fmt.Errorf("replica: reading stream header: %w", err)
+		return 0, fmt.Errorf("replica: reading stream header: %w", err)
 	}
 	le := binary.LittleEndian
 	if got := le.Uint32(hdr[0:]); got != streamMagic {
-		return fmt.Errorf("replica: bad stream magic %#x", got)
+		return 0, fmt.Errorf("replica: bad stream magic %#x", got)
 	}
 	if got := le.Uint32(hdr[4:]); got != streamVersion {
-		return fmt.Errorf("replica: unsupported stream version %d", got)
+		return 0, fmt.Errorf("replica: unsupported stream version %d", got)
 	}
 	if got := int(le.Uint32(hdr[8:])); got != n {
-		return fmt.Errorf("replica: primary has %d vertices, follower has %d", got, n)
+		return 0, fmt.Errorf("replica: primary has %d vertices, follower has %d", got, n)
 	}
 	if got := int(le.Uint32(hdr[12:])); got != shards {
-		return fmt.Errorf("replica: primary has %d shards, follower has %d", got, shards)
+		return 0, fmt.Errorf("replica: primary has %d shards, follower has %d", got, shards)
 	}
-	return nil
+	return le.Uint64(hdr[16:]), nil
 }
 
 // appendResumeRequest builds the POST body a resuming follower sends: the
-// 16-byte identification header followed by its applied per-shard commit
-// vector. Fixed size, so the primary can read it with one ReadFull.
-func appendResumeRequest(dst []byte, n, shards int, vec []uint64) []byte {
+// 24-byte identification header (carrying the cursor's stream id) followed
+// by its applied per-shard commit vector. Fixed size, so the primary can
+// read it with one ReadFull.
+func appendResumeRequest(dst []byte, n, shards int, id uint64, vec []uint64) []byte {
 	var hdr [streamHdrLen]byte
-	le := binary.LittleEndian
-	le.PutUint32(hdr[0:], streamMagic)
-	le.PutUint32(hdr[4:], streamVersion)
-	le.PutUint32(hdr[8:], uint32(n))
-	le.PutUint32(hdr[12:], uint32(shards))
+	putStreamHeader(&hdr, n, shards, id)
 	dst = append(dst, hdr[:]...)
 	return appendVector(dst, vec)
 }
 
 // readResumeRequest validates a resume request body against the primary's
-// shape and decodes the follower's applied commit vector into vec.
-func readResumeRequest(r io.Reader, n, shards int, vec []uint64) error {
-	if err := readStreamHeader(r, n, shards); err != nil {
-		return err
+// shape and decodes the follower's applied commit vector into vec,
+// returning the stream id the cursor was minted under. The caller compares
+// that id against its own: a mismatch means the cursor names a different
+// primary incarnation's history and must be answered frameResumeStale.
+func readResumeRequest(r io.Reader, n, shards int, vec []uint64) (uint64, error) {
+	id, err := readStreamHeader(r, n, shards)
+	if err != nil {
+		return 0, err
 	}
 	buf := make([]byte, 8*shards)
 	if _, err := io.ReadFull(r, buf); err != nil {
-		return fmt.Errorf("replica: reading resume vector: %w", err)
+		return 0, fmt.Errorf("replica: reading resume vector: %w", err)
 	}
-	return parseVector(buf, vec)
+	return id, parseVector(buf, vec)
 }
 
 // appendFrame appends one framed payload to dst.

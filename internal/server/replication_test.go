@@ -310,6 +310,29 @@ func TestReplicationServerOptionValidation(t *testing.T) {
 	}
 }
 
+func TestRetryAfterSeconds(t *testing.T) {
+	// The engine can cross the floor between the wait deadline and the
+	// header computation: the hint must not underflow the (now negative)
+	// gap — just say retry immediately.
+	if got := retryAfterSeconds(10, 2, 10, 40*time.Millisecond, time.Second); got != "1" {
+		t.Fatalf("floor met: Retry-After %q, want \"1\"", got)
+	}
+	if got := retryAfterSeconds(10, 2, 12, 40*time.Millisecond, time.Second); got != "1" {
+		t.Fatalf("floor passed: Retry-After %q, want \"1\"", got)
+	}
+	// Observed progress extrapolates: 8 epochs in 2s, 8 to go => ~2s.
+	if got := retryAfterSeconds(20, 4, 12, 2*time.Second, 5*time.Second); got != "2" {
+		t.Fatalf("extrapolated: Retry-After %q, want \"2\"", got)
+	}
+	// No progress falls back to the wait budget, clamped to [1, 60].
+	if got := retryAfterSeconds(20, 4, 4, 2*time.Second, 5*time.Second); got != "5" {
+		t.Fatalf("stalled: Retry-After %q, want \"5\"", got)
+	}
+	if got := retryAfterSeconds(20, 4, 4, 2*time.Second, 5*time.Minute); got != "60" {
+		t.Fatalf("stalled long budget: Retry-After %q, want \"60\"", got)
+	}
+}
+
 func TestMetricsExposition(t *testing.T) {
 	const n = 100
 	primary, rep, pts, rts := newReplicatedPair(t, n, 2)

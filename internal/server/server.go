@@ -593,6 +593,12 @@ func (s *Server) awaitEpochFloor(w http.ResponseWriter, r *http.Request, floor u
 // [1, 60] so a stalled replica never tells routers to hammer it or to
 // give up for minutes.
 func retryAfterSeconds(floor, startEpoch, nowEpoch uint64, waited, budget time.Duration) string {
+	if nowEpoch >= floor {
+		// The floor was crossed between the wait deadline and this call;
+		// the 412 is already committed, so just tell the client to retry
+		// immediately (and keep the gap arithmetic below underflow-free).
+		return "1"
+	}
 	var secs int64
 	if nowEpoch > startEpoch && waited > 0 {
 		gap := floor - nowEpoch

@@ -213,8 +213,18 @@ if [ "$p_role" != "primary" ] || [ "$f_role" != "replica" ]; then
     echo "replication_smoke: /stats roles: primary=$p_role follower=$f_role" >&2
     exit 1
 fi
-if ! curl -sf "http://$F1_ADDR/metrics" | grep -q '^kcore_replication_lag_epochs 0$'; then
-    echo "replication_smoke: follower /metrics missing kcore_replication_lag_epochs 0" >&2
+# The lag gauge reaches 0 once the last heartbeat's epoch is applied;
+# give the in-flight frame a moment rather than asserting an instant.
+lag_zero=0
+for _ in $(seq 1 50); do
+    if curl -sf "http://$F1_ADDR/metrics" | grep -q '^kcore_replication_lag_epochs 0$'; then
+        lag_zero=1
+        break
+    fi
+    sleep 0.1
+done
+if [ "$lag_zero" != 1 ]; then
+    echo "replication_smoke: follower /metrics never reached kcore_replication_lag_epochs 0" >&2
     exit 1
 fi
 
